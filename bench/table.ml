@@ -1,0 +1,75 @@
+(* Fixed-width plain-text tables for the experiment output.  When the
+   ORACLE_SIZE_CSV_DIR environment variable names a directory, every table
+   is additionally written there as a CSV file named after its title. *)
+
+type align = L | R
+
+let slug title =
+  let b = Buffer.create 32 in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | ' ' | '-' | '_' | '.' | ':' ->
+        if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '-' then
+          Buffer.add_char b '-'
+      | _ -> ())
+    title;
+  let s = Buffer.contents b in
+  if String.length s > 60 then String.sub s 0 60 else s
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~title ~header rows =
+  match Sys.getenv_opt "ORACLE_SIZE_CSV_DIR" with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (slug title ^ ".csv") in
+    let oc = open_out path in
+    let line cells = output_string oc (String.concat "," (List.map csv_escape cells) ^ "\n") in
+    line header;
+    List.iter line rows;
+    close_out oc
+
+let render ~title ~header ~aligns rows =
+  let columns = List.length header in
+  if List.exists (fun r -> List.length r <> columns) rows then
+    invalid_arg "Table.render: ragged rows";
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | L -> s ^ String.make gap ' '
+    | R -> String.make gap ' ' ^ s
+  in
+  let line cells =
+    "| "
+    ^ String.concat " | "
+        (List.mapi (fun i c -> pad (List.nth aligns i) (List.nth widths i) c) cells)
+    ^ " |"
+  in
+  let rule = "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" title);
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf (rule ^ "\n");
+  print_string (Buffer.contents buf);
+  write_csv ~title ~header rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let i v = string_of_int v
+let b v = if v then "yes" else "NO"

@@ -1,0 +1,384 @@
+(* Command-line interface to the library: generate networks, run wakeup and
+   broadcast with their oracles, measure the separation, and play the
+   edge-discovery adversary. *)
+
+open Cmdliner
+module Graph = Netgraph.Graph
+module Families = Netgraph.Families
+
+(* {1 Shared arguments} *)
+
+let family_conv =
+  let parse s =
+    match Families.of_name s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown family %S (known: %s)" s
+             (String.concat ", " (List.map Families.name Families.all))))
+  in
+  Arg.conv (parse, fun fmt f -> Format.pp_print_string fmt (Families.name f))
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv Families.Sparse_random
+    & info [ "f"; "family" ] ~docv:"FAMILY" ~doc:"Graph family (see $(b,graph --list)).")
+
+let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Requested node count.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let source_arg =
+  Arg.(value & opt int 0 & info [ "s"; "source" ] ~docv:"NODE" ~doc:"Source node index.")
+
+let scheduler_conv =
+  let parse = function
+    | "sync" -> Ok Sim.Scheduler.Synchronous
+    | "fifo" -> Ok Sim.Scheduler.Async_fifo
+    | "lifo" -> Ok Sim.Scheduler.Async_lifo
+    | s -> (
+      match int_of_string_opt s with
+      | Some seed -> Ok (Sim.Scheduler.Async_random seed)
+      | None -> Error (`Msg "expected sync, fifo, lifo, or an integer seed"))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Sim.Scheduler.name s))
+
+let scheduler_arg =
+  Arg.(
+    value
+    & opt scheduler_conv Sim.Scheduler.Async_fifo
+    & info [ "scheduler" ] ~docv:"SCHED"
+        ~doc:"Delivery discipline: sync, fifo, lifo, or an integer seed for random.")
+
+let build family n seed = Families.build family ~n ~seed
+
+(* {1 graph} *)
+
+let graph_cmd =
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the known graph families and exit.")
+  in
+  let dump_flag = Arg.(value & flag & info [ "dump" ] ~doc:"Print the edge list.") in
+  let run list_families dump family n seed =
+    if list_families then
+      List.iter (fun f -> print_endline (Families.name f)) Families.all
+    else begin
+      let g = build family n seed in
+      Printf.printf "family:   %s\nnodes:    %d\nedges:    %d\ndiameter: %d\n"
+        (Families.name family) (Graph.n g) (Graph.m g) (Netgraph.Traverse.diameter g);
+      Printf.printf "map size: %d bits (full-topology encoding)\n" (Netgraph.Codec.encoded_bits g);
+      if dump then print_string (Graph.to_edge_list_string g)
+    end
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Generate a port-labeled network and print statistics.")
+    Term.(const run $ list_flag $ dump_flag $ family_arg $ n_arg $ seed_arg)
+
+(* {1 wakeup} *)
+
+let wakeup_cmd =
+  let encoding_conv =
+    let parse = function
+      | "paper" -> Ok Oracle_core.Wakeup.Paper
+      | "minimal" -> Ok Oracle_core.Wakeup.Paper_minimal
+      | "gamma" -> Ok Oracle_core.Wakeup.Gamma
+      | s -> Error (`Msg (Printf.sprintf "unknown encoding %S (paper|minimal|gamma)" s))
+    in
+    Arg.conv
+      (parse, fun fmt e -> Format.pp_print_string fmt (Oracle_core.Wakeup.encoding_name e))
+  in
+  let encoding_arg =
+    Arg.(
+      value
+      & opt encoding_conv Oracle_core.Wakeup.Paper
+      & info [ "encoding" ] ~docv:"ENC" ~doc:"Advice encoding: paper, minimal, or gamma.")
+  in
+  let run family n seed source scheduler encoding =
+    let g = build family n seed in
+    let o = Oracle_core.Wakeup.run ~encoding ~scheduler g ~source in
+    let stats = o.Oracle_core.Wakeup.result.Sim.Runner.stats in
+    Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+      (Graph.m g);
+    Printf.printf "oracle bits:  %d  (Theorem 2.1 budget %d)\n" o.Oracle_core.Wakeup.advice_bits
+      (Oracle_core.Bounds.wakeup_advice_upper ~n:(Graph.n g));
+    Printf.printf "messages:     %d  (optimal: %d)\n" stats.Sim.Runner.sent (Graph.n g - 1);
+    Printf.printf "all awake:    %b\n" o.Oracle_core.Wakeup.result.Sim.Runner.all_informed;
+    if not o.Oracle_core.Wakeup.result.Sim.Runner.all_informed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "wakeup" ~doc:"Run the Theorem 2.1 wakeup oracle and scheme.")
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ encoding_arg)
+
+(* {1 broadcast} *)
+
+let broadcast_cmd =
+  let tree_conv =
+    let parse = function
+      | "light" -> Ok ("light", fun g ~root -> Netgraph.Spanning.light g ~root)
+      | "bfs" -> Ok ("bfs", fun g ~root -> Netgraph.Spanning.bfs g ~root)
+      | "dfs" -> Ok ("dfs", fun g ~root -> Netgraph.Spanning.dfs g ~root)
+      | s -> Error (`Msg (Printf.sprintf "unknown tree %S (light|bfs|dfs)" s))
+    in
+    Arg.conv (parse, fun fmt (name, _) -> Format.pp_print_string fmt name)
+  in
+  let tree_arg =
+    Arg.(
+      value
+      & opt tree_conv ("light", fun g ~root -> Netgraph.Spanning.light g ~root)
+      & info [ "tree" ] ~docv:"TREE"
+          ~doc:"Spanning tree: light (Claim 3.1, default), bfs, or dfs.")
+  in
+  let run family n seed source scheduler (tree_name, tree) =
+    let g = build family n seed in
+    let o = Oracle_core.Broadcast.run ~tree ~scheduler g ~source in
+    let stats = o.Oracle_core.Broadcast.result.Sim.Runner.stats in
+    Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+      (Graph.m g);
+    Printf.printf "tree:         %s (contribution %d, Claim 3.1 budget %d)\n" tree_name
+      o.Oracle_core.Broadcast.tree_contribution
+      (4 * Graph.n g);
+    Printf.printf "oracle bits:  %d  (Theorem 3.1 budget %d)\n"
+      o.Oracle_core.Broadcast.advice_bits (8 * Graph.n g);
+    Printf.printf "messages:     %d = %d source + %d hello  (budget < %d)\n"
+      stats.Sim.Runner.sent stats.Sim.Runner.source_sent stats.Sim.Runner.hello_sent
+      (3 * Graph.n g);
+    Printf.printf "all informed: %b\n" o.Oracle_core.Broadcast.result.Sim.Runner.all_informed;
+    if not o.Oracle_core.Broadcast.result.Sim.Runner.all_informed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Run the Theorem 3.1 broadcast oracle and Scheme B.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ tree_arg)
+
+(* {1 separation} *)
+
+let separation_cmd =
+  let ns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 64; 128; 256; 512; 1024 ]
+      & info [ "ns" ] ~docv:"N,N,..." ~doc:"Node counts to sweep.")
+  in
+  let run family ns seed =
+    Printf.printf "%-14s %6s %12s %12s %8s\n" "family" "n" "wakeup bits" "bcast bits" "ratio";
+    List.iter
+      (fun m ->
+        Printf.printf "%-14s %6d %12d %12d %8.2f\n" m.Oracle_core.Separation.family
+          m.Oracle_core.Separation.n m.Oracle_core.Separation.wakeup_bits
+          m.Oracle_core.Separation.broadcast_bits m.Oracle_core.Separation.bits_ratio)
+      (Oracle_core.Separation.sweep family ~ns ~seed)
+  in
+  Cmd.v
+    (Cmd.info "separation" ~doc:"Measure the wakeup/broadcast oracle-size separation.")
+    Term.(const run $ family_arg $ ns_arg $ seed_arg)
+
+(* {1 adversary} *)
+
+let adversary_cmd =
+  let x_arg =
+    Arg.(value & opt int 2 & info [ "x" ] ~docv:"X" ~doc:"Number of special edges |X|.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "sample" ] ~docv:"COUNT"
+          ~doc:"Sample COUNT instances instead of full enumeration (0 = enumerate).")
+  in
+  let strategy_arg =
+    Arg.(
+      value & opt string "sequential"
+      & info [ "strategy" ] ~docv:"STRAT" ~doc:"Probing strategy: sequential or random:SEED.")
+  in
+  let run n x count strategy_name seed =
+    let instances =
+      if count = 0 then Oracle_core.Edge_discovery.enumerate_instances ~n ~x_size:x ~excluded:[]
+      else
+        List.sort_uniq compare
+          (Oracle_core.Edge_discovery.sample_instances ~n ~x_size:x ~excluded:[] ~count
+             (Random.State.make [| seed |]))
+    in
+    let strategy =
+      match String.split_on_char ':' strategy_name with
+      | [ "sequential" ] -> Oracle_core.Edge_discovery.sequential
+      | [ "random"; s ] -> Oracle_core.Edge_discovery.random_strategy ~seed:(int_of_string s)
+      | [ "random" ] -> Oracle_core.Edge_discovery.random_strategy ~seed
+      | _ -> failwith (Printf.sprintf "unknown strategy %S" strategy_name)
+    in
+    let adv = Oracle_core.Edge_discovery.adversary instances in
+    let out = Oracle_core.Edge_discovery.play adv strategy in
+    Printf.printf "instances: %d\nLemma 2.1 bound: %.2f\nprobes used (%s): %d\n"
+      (List.length instances) out.Oracle_core.Edge_discovery.bound
+      strategy.Oracle_core.Edge_discovery.strategy_name
+      out.Oracle_core.Edge_discovery.probes_used;
+    List.iter
+      (fun ((u, v), l) -> Printf.printf "  special {%d,%d} with label %d\n" u v l)
+      out.Oracle_core.Edge_discovery.found
+  in
+  Cmd.v
+    (Cmd.info "adversary" ~doc:"Play a discovery strategy against the Lemma 2.1 adversary.")
+    Term.(const run $ n_arg $ x_arg $ count_arg $ strategy_arg $ seed_arg)
+
+
+(* {1 gossip} *)
+
+let gossip_cmd =
+  let flooding_flag =
+    Arg.(value & flag & info [ "flooding" ] ~doc:"Run the advice-free flooding baseline instead.")
+  in
+  let run family n seed source scheduler flooding =
+    let g = build family n seed in
+    let o =
+      if flooding then Oracle_core.Gossip.run_flooding ~scheduler g ~source
+      else Oracle_core.Gossip.run ~scheduler g ~source
+    in
+    let stats = o.Oracle_core.Gossip.result.Sim.Runner.stats in
+    Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+      (Graph.m g);
+    Printf.printf "oracle bits:  %d\n" o.Oracle_core.Gossip.advice_bits;
+    Printf.printf "messages:     %d (tree gossip optimum: %d)\n" stats.Sim.Runner.sent
+      (2 * (Graph.n g - 1));
+    Printf.printf "bits on wire: %d\n" stats.Sim.Runner.bits_on_wire;
+    Printf.printf "complete:     %b\n" o.Oracle_core.Gossip.complete;
+    if not o.Oracle_core.Gossip.complete then exit 1
+  in
+  Cmd.v
+    (Cmd.info "gossip" ~doc:"All-to-all rumor exchange with tree advice (or flooding).")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ flooding_flag)
+
+(* {1 explore} *)
+
+let explore_cmd =
+  let program_arg =
+    Arg.(
+      value & opt string "dfs"
+      & info [ "program" ] ~docv:"PROG"
+          ~doc:"Exploration program: dfs, rotor, random:SEED, or guided.")
+  in
+  let run family n seed source program_name =
+    let g = build family n seed in
+    let m = Graph.m g in
+    let d = Netgraph.Traverse.diameter g in
+    let no_advice = Bitstring.Bitbuf.create () in
+    let program, advice, budget =
+      match String.split_on_char ':' program_name with
+      | [ "dfs" ] -> (Agent.Explore.dfs, no_advice, None)
+      | [ "rotor" ] -> (Agent.Explore.rotor_router, no_advice, Some ((4 * m * (d + 1)) + (2 * m)))
+      | [ "random"; s ] ->
+        (Agent.Explore.random_walk ~seed:(int_of_string s), no_advice, Some (200 * m * Graph.n g))
+      | [ "random" ] -> (Agent.Explore.random_walk ~seed, no_advice, Some (200 * m * Graph.n g))
+      | [ "guided" ] -> (Agent.Explore.guided, Agent.Explore.route_advice g ~start:source, None)
+      | _ -> failwith (Printf.sprintf "unknown program %S" program_name)
+    in
+    let o = Agent.Walker.run ?max_moves:budget ~advice g ~start:source program in
+    Printf.printf "network:  %s, %d nodes, %d edges, diameter %d\n" (Families.name family)
+      (Graph.n g) m d;
+    Printf.printf "program:  %s (advice %d bits)\n" program.Agent.Walker.program_name
+      (Bitstring.Bitbuf.length advice);
+    Printf.printf "moves:    %d (cover at %s)\n" o.Agent.Walker.moves
+      (match o.Agent.Walker.moves_to_cover with Some c -> string_of_int c | None -> "never");
+    Printf.printf "covered:  %b, halted: %b\n" o.Agent.Walker.covered o.Agent.Walker.halted;
+    if not o.Agent.Walker.covered then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Explore the network with a mobile agent.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ program_arg)
+
+(* {1 radio} *)
+
+let radio_cmd =
+  let protocol_arg =
+    Arg.(
+      value & opt string "decay"
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"Radio protocol: round-robin, decay:SEED, or scheduled.")
+  in
+  let run family n seed source protocol_name =
+    let g = build family n seed in
+    let no_advice _ = Bitstring.Bitbuf.create () in
+    let protocol, advice, advice_bits =
+      match String.split_on_char ':' protocol_name with
+      | [ "round-robin" ] -> (Radio.Protocols.round_robin, no_advice, 0)
+      | [ "decay"; s ] -> (Radio.Protocols.decay ~seed:(int_of_string s), no_advice, 0)
+      | [ "decay" ] -> (Radio.Protocols.decay ~seed, no_advice, 0)
+      | [ "scheduled" ] ->
+        let a = Radio.Protocols.schedule_oracle g ~source in
+        (Radio.Protocols.scheduled, Oracles.Advice.get a, Oracles.Advice.size_bits a)
+      | _ -> failwith (Printf.sprintf "unknown protocol %S" protocol_name)
+    in
+    let r = Radio.Model.run ~advice g ~source protocol in
+    Printf.printf "network:       %s, %d nodes, diameter %d\n" (Families.name family) (Graph.n g)
+      (Netgraph.Traverse.diameter g);
+    Printf.printf "protocol:      %s (advice %d bits)\n" protocol.Radio.Model.protocol_name
+      advice_bits;
+    Printf.printf "rounds:        %d\n" r.Radio.Model.rounds;
+    Printf.printf "transmissions: %d, collisions: %d\n" r.Radio.Model.transmissions
+      r.Radio.Model.collisions;
+    Printf.printf "all informed:  %b\n" r.Radio.Model.all_informed;
+    if not r.Radio.Model.all_informed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "radio" ~doc:"Broadcast in the radio (collision) model.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ protocol_arg)
+
+
+(* {1 mst} *)
+
+let mst_cmd =
+  let advised_flag =
+    Arg.(value & flag & info [ "advised" ] ~doc:"Use the MST-ports oracle instead of running Boruvka.")
+  in
+  let run family n seed advised =
+    let g = build family n seed in
+    let o =
+      if advised then Syncnet.Boruvka.advised_build g else Syncnet.Boruvka.distributed_build g
+    in
+    Printf.printf "network:     %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+      (Graph.m g);
+    Printf.printf "oracle bits: %d\n" o.Syncnet.Boruvka.advice_bits;
+    Printf.printf "messages:    %d over %d synchronous rounds\n"
+      o.Syncnet.Boruvka.result.Syncnet.Model.messages o.Syncnet.Boruvka.result.Syncnet.Model.rounds;
+    Printf.printf "tree weight: %s\n"
+      (match o.Syncnet.Boruvka.edges with
+      | Some es -> string_of_int (Netgraph.Mst.weight g es)
+      | None -> "-");
+    Printf.printf "matches centralized Kruskal: %b\n" o.Syncnet.Boruvka.matches_reference;
+    if not o.Syncnet.Boruvka.matches_reference then exit 1
+  in
+  Cmd.v
+    (Cmd.info "mst" ~doc:"Build the minimum spanning tree (distributed Boruvka or oracle).")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ advised_flag)
+
+
+(* {1 spanner} *)
+
+let spanner_cmd =
+  let stretch_arg =
+    Arg.(value & opt int 3 & info [ "t"; "stretch" ] ~docv:"T" ~doc:"Stretch factor t >= 1.")
+  in
+  let run family n seed stretch =
+    let g = build family n seed in
+    let o = Oracle_core.Spanner.measure g ~stretch in
+    Printf.printf "network:        %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+      (Graph.m g);
+    Printf.printf "stretch target: %d\n" o.Oracle_core.Spanner.stretch;
+    Printf.printf "edges kept:     %d of %d\n" o.Oracle_core.Spanner.edges_kept (Graph.m g);
+    Printf.printf "oracle bits:    %d\n" o.Oracle_core.Spanner.advice_bits;
+    Printf.printf "worst stretch:  %.1f (valid: %b)\n" o.Oracle_core.Spanner.measured_stretch
+      o.Oracle_core.Spanner.valid;
+    if not o.Oracle_core.Spanner.valid then exit 1
+  in
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Build a greedy t-spanner and its port oracle.")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ stretch_arg)
+
+let () =
+  let doc = "oracle-size experiments: wakeup vs broadcast knowledge requirements" in
+  let info = Cmd.info "oraclesize" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            graph_cmd; wakeup_cmd; broadcast_cmd; separation_cmd; adversary_cmd; gossip_cmd;
+            explore_cmd; radio_cmd; mst_cmd; spanner_cmd;
+          ]))

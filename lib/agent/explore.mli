@@ -1,0 +1,40 @@
+(** Exploration programs and their oracles.
+
+    Four points on the knowledge-vs-moves trade-off for visiting every node
+    of an n-node, m-edge network of diameter D (experiment E14):
+
+    {ul
+    {- {!dfs}: label-aware depth-first search, no advice — [2(n-1)] tree
+       moves plus a two-move bounce per probe of an already-visited node
+       (each non-tree edge is probed from both ends): at most
+       [2(n-1) + 4(m-n+1) ≤ 4m] moves; halts at the start node.}
+    {- {!rotor_router}: anonymous and advice-free; the classic
+       Yanovski–Wagner–Bruckstein rotor walk covers every node within
+       [O(mD)] moves but never halts.}
+    {- {!random_walk}: anonymous, advice-free, randomized; expected cover
+       time [O(mn)] in general.}
+    {- {!guided}: replays a port route precomputed by {!route_advice} —
+       an oracle of [O(n log Δ)] bits buys cover in exactly [2(n-1)]
+       moves with certainty and a halt.}} *)
+
+val dfs : Walker.program
+(** Needs distinct labels (uses them as its visited-set keys). *)
+
+val rotor_router : Walker.program
+(** On each visit to a node, leaves through the next port after the one
+    used on the previous visit (starting at port 0).  Never halts; run it
+    under a move budget and read [moves_to_cover]. *)
+
+val random_walk : seed:int -> Walker.program
+
+val guided : Walker.program
+(** Replays the route in its advice (gamma-coded port sequence) and
+    halts. *)
+
+val route_advice : Netgraph.Graph.t -> start:int -> Bitstring.Bitbuf.t
+(** The exploration oracle: a DFS tour of a BFS spanning tree from
+    [start], encoded as the gamma-coded sequence of out-ports.  Length
+    [2(n-1)] ports. *)
+
+val route_moves : Netgraph.Graph.t -> start:int -> int
+(** Number of moves {!guided} will make: [2(n-1)]. *)

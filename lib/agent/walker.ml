@@ -1,0 +1,59 @@
+type view = {
+  degree : int;
+  in_port : int option;
+  label : int;
+}
+
+type decision = Move of int | Halt
+
+type program = {
+  program_name : string;
+  start : advice:Bitstring.Bitbuf.t -> unit -> view -> decision;
+}
+
+type outcome = {
+  moves : int;
+  visited : bool array;
+  covered : bool;
+  halted : bool;
+  moves_to_cover : int option;
+}
+
+let run ?max_moves ~advice g ~start program =
+  let n = Netgraph.Graph.n g in
+  let m = Netgraph.Graph.m g in
+  let max_moves =
+    match max_moves with
+    | Some v -> v
+    | None -> 64 * (m + 1) * (Netgraph.Traverse.diameter g + 1)
+  in
+  let visited = Array.make n false in
+  let unvisited = ref n in
+  let cover_at = ref None in
+  let step = program.start ~advice () in
+  let rec loop node in_port moves =
+    if not visited.(node) then begin
+      visited.(node) <- true;
+      decr unvisited;
+      if !unvisited = 0 then cover_at := Some moves
+    end;
+    if moves >= max_moves then (moves, false)
+    else
+      match step { degree = Netgraph.Graph.degree g node; in_port; label = Netgraph.Graph.label g node } with
+      | Halt -> (moves, true)
+      | Move p ->
+        if p < 0 || p >= Netgraph.Graph.degree g node then
+          invalid_arg
+            (Printf.sprintf "Walker: program %s moves through port %d at degree-%d node"
+               program.program_name p (Netgraph.Graph.degree g node));
+        let next, q = Netgraph.Graph.endpoint g node p in
+        loop next (Some q) (moves + 1)
+  in
+  let moves, halted = loop start None 0 in
+  {
+    moves;
+    visited;
+    covered = Array.for_all (fun b -> b) visited;
+    halted;
+    moves_to_cover = !cover_at;
+  }

@@ -1,0 +1,48 @@
+(** A mobile agent walking a port-labeled network.
+
+    The paper's conclusion proposes oracle size as a difficulty measure for
+    "exploration by mobile agents"; this module is the execution substrate
+    for that extension (experiment E14).  The agent model is the standard
+    one from the exploration literature the paper cites ([2], [7]): at a
+    node the agent sees the node's degree and the port through which it
+    arrived, and may carry internal state and an advice string given to it
+    before the walk starts.  It cannot read node labels (anonymous
+    exploration) unless the program chooses to use them. *)
+
+type view = {
+  degree : int;
+  in_port : int option;  (** [None] at the start node *)
+  label : int;  (** node label, for label-aware programs *)
+}
+
+type decision =
+  | Move of int  (** leave through this port *)
+  | Halt
+
+type program = {
+  program_name : string;
+  start : advice:Bitstring.Bitbuf.t -> unit -> view -> decision;
+      (** [start ~advice ()] instantiates fresh walk state and returns the
+          per-arrival decision function. *)
+}
+
+type outcome = {
+  moves : int;
+  visited : bool array;
+  covered : bool;  (** every node visited *)
+  halted : bool;  (** the program halted (vs. hitting the move budget) *)
+  moves_to_cover : int option;
+      (** move count at which the last unvisited node was first reached *)
+}
+
+val run :
+  ?max_moves:int ->
+  advice:Bitstring.Bitbuf.t ->
+  Netgraph.Graph.t ->
+  start:int ->
+  program ->
+  outcome
+(** Walk the agent from [start] until it halts or spends [max_moves]
+    (default [64 * m * (diameter+1)], enough for every program here).
+    Raises [Invalid_argument] if the program emits an out-of-range
+    port. *)

@@ -1,0 +1,145 @@
+(* Port-list code of Theorem 2.1: doubled-bit width header, then fixed-width
+   ports.  Header: for each bit b of the binary representation of the width,
+   emit bb; terminate with 10. *)
+
+let write_port_list buf ~width ports =
+  if width < 1 then invalid_arg "Codes.write_port_list: width < 1";
+  match ports with
+  | [] -> ()
+  | _ ->
+    List.iter
+      (fun b ->
+        Bitbuf.add_bit buf b;
+        Bitbuf.add_bit buf b)
+      (Binary.to_bools width);
+    Bitbuf.add_bit buf true;
+    Bitbuf.add_bit buf false;
+    List.iter (fun p -> Bitbuf.add_int buf ~width p) ports
+
+let read_port_list r =
+  if Bitbuf.at_end r then []
+  else begin
+    let width_bits = ref [] in
+    let stop = ref false in
+    while not !stop do
+      let b1 = Bitbuf.read_bit r in
+      let b2 = Bitbuf.read_bit r in
+      match b1, b2 with
+      | true, false -> stop := true
+      | true, true -> width_bits := true :: !width_bits
+      | false, false -> width_bits := false :: !width_bits
+      | false, true -> invalid_arg "Codes.read_port_list: malformed width header"
+    done;
+    let width = List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 (List.rev !width_bits) in
+    if width < 1 then invalid_arg "Codes.read_port_list: zero width";
+    let rem = Bitbuf.remaining r in
+    if rem mod width <> 0 then invalid_arg "Codes.read_port_list: payload not a multiple of width";
+    List.init (rem / width) (fun _ -> Bitbuf.read_int r ~width)
+  end
+
+let port_list_length ~width ~count =
+  if count = 0 then 0 else (count * width) + (2 * Binary.bits width) + 2
+
+(* Marked-bit code of Claim 3.1: each payload bit is followed by a flag that
+   is set exactly on the last bit of the value.  2·#₂(w) bits per value. *)
+
+let write_marked buf w =
+  let bs = Binary.to_bools w in
+  let k = List.length bs in
+  List.iteri
+    (fun i b ->
+      Bitbuf.add_bit buf b;
+      Bitbuf.add_bit buf (i = k - 1))
+    bs
+
+let read_marked r =
+  let rec loop acc =
+    let b = Bitbuf.read_bit r in
+    let last = Bitbuf.read_bit r in
+    let acc = (acc lsl 1) lor (if b then 1 else 0) in
+    if last then acc else loop acc
+  in
+  loop 0
+
+let write_marked_list buf ws = List.iter (write_marked buf) ws
+
+let read_marked_list r =
+  let rec loop acc = if Bitbuf.at_end r then List.rev acc else loop (read_marked r :: acc) in
+  loop []
+
+let marked_length ws = 2 * List.fold_left (fun acc w -> acc + Binary.bits w) 0 ws
+
+(* Unary and Elias codes. *)
+
+let write_unary buf n =
+  if n < 0 then invalid_arg "Codes.write_unary: negative";
+  for _ = 1 to n do
+    Bitbuf.add_bit buf false
+  done;
+  Bitbuf.add_bit buf true
+
+let read_unary r =
+  let rec loop n = if Bitbuf.read_bit r then n else loop (n + 1) in
+  loop 0
+
+let write_gamma buf n =
+  if n < 0 then invalid_arg "Codes.write_gamma: negative";
+  let v = n + 1 in
+  let k = Binary.floor_log2 v in
+  for _ = 1 to k do
+    Bitbuf.add_bit buf false
+  done;
+  Bitbuf.add_int buf ~width:(k + 1) v
+
+let read_gamma r =
+  let rec zeros k = if Bitbuf.read_bit r then k else zeros (k + 1) in
+  let k = zeros 0 in
+  let rest = if k = 0 then 0 else Bitbuf.read_int r ~width:k in
+  ((1 lsl k) lor rest) - 1
+
+let gamma_length n = (2 * Binary.floor_log2 (n + 1)) + 1
+
+let write_delta buf n =
+  if n < 0 then invalid_arg "Codes.write_delta: negative";
+  let v = n + 1 in
+  let k = Binary.floor_log2 v in
+  write_gamma buf k;
+  if k > 0 then Bitbuf.add_int buf ~width:k (v land ((1 lsl k) - 1))
+
+let read_delta r =
+  let k = read_gamma r in
+  let rest = if k = 0 then 0 else Bitbuf.read_int r ~width:k in
+  ((1 lsl k) lor rest) - 1
+
+let delta_length n =
+  let k = Binary.floor_log2 (n + 1) in
+  gamma_length k + k
+
+type codec = {
+  codec_name : string;
+  write_list : Bitbuf.t -> int list -> unit;
+  read_list : Bitbuf.reader -> int list;
+}
+
+let list_codec name write read =
+  let write_list buf vs = List.iter (write buf) vs in
+  let read_list r =
+    let rec loop acc = if Bitbuf.at_end r then List.rev acc else loop (read r :: acc) in
+    loop []
+  in
+  { codec_name = name; write_list; read_list }
+
+let paper_doubled ~max_value =
+  if max_value < 0 then invalid_arg "Codes.paper_doubled: negative max_value";
+  let width = max 1 (Binary.ceil_log2 (max_value + 1)) in
+  {
+    codec_name = Printf.sprintf "paper-doubled(w=%d)" width;
+    write_list = (fun buf vs -> write_port_list buf ~width vs);
+    read_list = read_port_list;
+  }
+
+let gamma_codec = list_codec "elias-gamma" write_gamma read_gamma
+let delta_codec = list_codec "elias-delta" write_delta read_delta
+let unary_codec = list_codec "unary" write_unary read_unary
+
+let all_codecs ~max_value = [ paper_doubled ~max_value; gamma_codec; delta_codec; unary_codec ]

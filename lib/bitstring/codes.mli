@@ -1,0 +1,100 @@
+(** Self-delimiting codes used by the oracles.
+
+    Three families:
+
+    {ul
+    {- The paper's Theorem 2.1 code for a list of port numbers: the ports
+       are written with a common fixed width [w], and [w] itself is made
+       self-delimiting by doubling each bit of its binary representation and
+       terminating with the pair [10] (the sequence
+       [β = b₁b₁b₂b₂…b_rb_r10] of the paper).  Total length
+       [c·w + 2·#₂(w) + 2] bits for [c] ports.  The paper appends β after
+       the payload; we emit it first so a one-pass reader suffices — the
+       code, and in particular its length, is unchanged.}
+    {- The Claim 3.1 "marked-bit" code for a list of weights: every value is
+       written as its standard binary representation [#₂(w)] bits, each
+       payload bit followed by a flag bit marking whether it ends the
+       value.  Total length exactly [2·Σ #₂(wᵢ)], which is what gives the
+       [≤ 8n] oracle of Theorem 3.1.}
+    {- Classical Elias gamma/delta and unary codes, used as ablation
+       baselines (experiment E7).}} *)
+
+(** {1 The Theorem 2.1 port-list code} *)
+
+val write_port_list : Bitbuf.t -> width:int -> int list -> unit
+(** [write_port_list buf ~width ports] writes the doubled-bit width header
+    followed by each port in exactly [width] bits.  [width ≥ 1]; every port
+    must fit.  An empty list is written as an empty string (a leaf of the
+    spanning tree receives no advice at all, as in the paper). *)
+
+val read_port_list : Bitbuf.reader -> int list
+(** Decode a string produced by {!write_port_list}, consuming the reader to
+    its end.  An exhausted reader decodes to [[]].
+    Raises [Invalid_argument] if the remaining payload length is not a
+    multiple of the decoded width. *)
+
+val port_list_length : width:int -> count:int -> int
+(** Exact encoded size in bits: [0] when [count = 0], otherwise
+    [count*width + 2*(#₂ width) + 2]. *)
+
+(** {1 The Claim 3.1 marked-bit code} *)
+
+val write_marked : Bitbuf.t -> int -> unit
+(** Append one non-negative integer in marked-bit form: [2·#₂(w)] bits. *)
+
+val read_marked : Bitbuf.reader -> int
+(** Decode one marked-bit integer. *)
+
+val write_marked_list : Bitbuf.t -> int list -> unit
+
+val read_marked_list : Bitbuf.reader -> int list
+(** Decode marked-bit integers until the reader is exhausted. *)
+
+val marked_length : int list -> int
+(** Exact encoded size: [2·Σ #₂(wᵢ)]. *)
+
+(** {1 Elias and unary codes} *)
+
+val write_unary : Bitbuf.t -> int -> unit
+(** [n] zeros followed by a one: [n+1] bits. *)
+
+val read_unary : Bitbuf.reader -> int
+
+val write_gamma : Bitbuf.t -> int -> unit
+(** Elias gamma of [n ≥ 0] (encodes [n+1] internally): [2⌊log(n+1)⌋+1]
+    bits. *)
+
+val read_gamma : Bitbuf.reader -> int
+
+val write_delta : Bitbuf.t -> int -> unit
+(** Elias delta of [n ≥ 0] (encodes [n+1] internally). *)
+
+val read_delta : Bitbuf.reader -> int
+
+val gamma_length : int -> int
+(** Bits used by {!write_gamma}. *)
+
+val delta_length : int -> int
+(** Bits used by {!write_delta}. *)
+
+(** {1 Generic integer-list codecs}
+
+    A uniform interface over the codes above, for the E7 encoding
+    ablation: each codec writes a list of non-negative integers as one
+    self-delimiting string and reads it back by consuming a reader to its
+    end. *)
+
+type codec = {
+  codec_name : string;
+  write_list : Bitbuf.t -> int list -> unit;
+  read_list : Bitbuf.reader -> int list;
+}
+
+val paper_doubled : max_value:int -> codec
+(** The Theorem 2.1 code with [width = max 1 (⌈log₂ (max_value+1)⌉)]. *)
+
+val gamma_codec : codec
+val delta_codec : codec
+val unary_codec : codec
+
+val all_codecs : max_value:int -> codec list

@@ -1,0 +1,79 @@
+module Binary = Bitstring.Binary
+
+let ceil_log2 = Binary.ceil_log2
+let bits2 = Binary.bits
+
+let wakeup_advice_upper ~n =
+  if n < 2 then 0
+  else begin
+    let width = max 1 (ceil_log2 n) in
+    let per_node_overhead = (2 * bits2 width) + 2 in
+    ((n - 1) * width) + ((n - 1) * per_node_overhead)
+  end
+
+let broadcast_advice_upper ~n = 8 * n
+
+let light_tree_contribution_upper ~n = 4 * n
+
+let wakeup_messages ~n = n - 1
+
+let broadcast_messages_upper ~n = 3 * n
+
+(* log₂(x + y) given log₂ x and log₂ y. *)
+let log2_add lx ly =
+  if lx = neg_infinity then ly
+  else if ly = neg_infinity then lx
+  else
+    let hi = Float.max lx ly and lo = Float.min lx ly in
+    hi +. Float.log2 (1.0 +. Float.exp2 (lo -. hi))
+
+let log2_wakeup_instances ~n =
+  let pairs = n * (n - 1) / 2 in
+  Binary.log2_factorial n +. Binary.log2_choose pairs n
+
+let log2_oracle_outputs_exact ~bits ~nodes =
+  let rec loop q acc =
+    if q > bits then acc
+    else
+      let term = float_of_int q +. Binary.log2_choose (q + nodes - 1) (nodes - 1) in
+      loop (q + 1) (log2_add acc term)
+  in
+  loop 0 neg_infinity
+
+(* Equation 3 of the paper: Q ≤ (q+1)·2^q·C(q+2n, 2n).  Within log₂(q+1)
+   bits of the exact sum and O(1) to evaluate. *)
+let log2_oracle_outputs ~bits ~nodes =
+  Float.log2 (float_of_int (bits + 1))
+  +. float_of_int bits
+  +. Binary.log2_choose (bits + nodes) nodes
+
+let edge_discovery_lower_bound ~log2_instances ~x_size =
+  log2_instances -. Binary.log2_factorial x_size
+
+let wakeup_message_lower_bound ~n ~advice_bits =
+  let log2_p = log2_wakeup_instances ~n in
+  let log2_q = log2_oracle_outputs ~bits:advice_bits ~nodes:(2 * n) in
+  edge_discovery_lower_bound ~log2_instances:(log2_p -. log2_q) ~x_size:n
+
+let log2_wakeup_instances_c ~n ~c =
+  let pairs = n * (n - 1) / 2 in
+  if c * n > pairs then invalid_arg "Bounds.log2_wakeup_instances_c: cn > C(n,2)";
+  Binary.log2_factorial (c * n) +. Binary.log2_choose pairs (c * n)
+
+let wakeup_message_lower_bound_c ~n ~c ~advice_bits =
+  let log2_p = log2_wakeup_instances_c ~n ~c in
+  let log2_q = log2_oracle_outputs ~bits:advice_bits ~nodes:((1 + c) * n) in
+  edge_discovery_lower_bound ~log2_instances:(log2_p -. log2_q) ~x_size:(c * n)
+
+let log2_binomial_a_ab ~a ~b = Binary.log2_choose (a * (1 + b)) a
+
+let claim_2_1_holds ~a ~b =
+  log2_binomial_a_ab ~a ~b <= float_of_int a *. Float.log2 (6.0 *. float_of_int b)
+
+let log2_broadcast_instances ~n ~k =
+  let x = n / (4 * k) in
+  let y = 3 * n / (4 * k) in
+  let pairs = n * (n - 1) / 2 in
+  Binary.log2_factorial x +. Binary.log2_choose (pairs - y) x
+
+let broadcast_message_lower_bound ~n ~k = float_of_int (n * (k - 1)) /. 8.0

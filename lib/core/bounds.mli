@@ -1,0 +1,91 @@
+(** Closed-form bounds from the paper, shared by tests and benches.
+
+    Counting quantities that overflow machine integers are computed in
+    log₂-space floats — the proofs themselves only ever compare logarithms
+    of these quantities. *)
+
+(** {1 Upper-bound budgets} *)
+
+val wakeup_advice_upper : n:int -> int
+(** The Theorem 2.1 budget [n·⌈log n⌉ + O(n log log n)]: the exact worst
+    case of our encoding, [Σ_v (c(v)·⌈log n⌉ + 2#₂⌈log n⌉ + 2)] maximised
+    over trees — i.e. [(n-1)·⌈log n⌉ + (n-1)·(2#₂(⌈log n⌉) + 2)]. *)
+
+val broadcast_advice_upper : n:int -> int
+(** Theorem 3.1: [8n]. *)
+
+val light_tree_contribution_upper : n:int -> int
+(** Claim 3.1: [4n]. *)
+
+val wakeup_messages : n:int -> int
+(** The Theorem 2.1 scheme sends exactly [n-1] messages. *)
+
+val broadcast_messages_upper : n:int -> int
+(** Scheme B: at most [2(n-1)] copies of [M] plus [n-1] hellos, [< 3n]. *)
+
+(** {1 Lower-bound counting (Theorem 2.2)} *)
+
+val log2_wakeup_instances : n:int -> float
+(** [log₂ P] where [P = n!·C(C(n,2), n)] is the number of graphs
+    [G_{n,S}] (Equation 2's left side, computed exactly in log space). *)
+
+val log2_oracle_outputs : bits:int -> nodes:int -> float
+(** [log₂ Q] where [Q] bounds the number of distinct advice functions an
+    oracle of size [≤ bits] can produce on [nodes]-node graphs, using the
+    paper's Equation 3 closed form [(q+1)·2^q·C(q+nodes, nodes)] —
+    within [log₂(q+1)] bits of the exact count and O(1) to evaluate. *)
+
+val log2_oracle_outputs_exact : bits:int -> nodes:int -> float
+(** The exact count [log₂ Σ_{q'≤bits} 2^{q'}·C(q'+nodes-1, nodes-1)], by
+    log-space summation — O(bits); used to validate the closed form. *)
+
+val edge_discovery_lower_bound : log2_instances:float -> x_size:int -> float
+(** Lemma 2.1: any scheme solving edge discovery on a uniform family of
+    [2^{log2_instances}] instances with [|X| = x_size] special edges needs
+    at least [log₂(|I|/|X|!)] messages. *)
+
+val wakeup_message_lower_bound : n:int -> advice_bits:int -> float
+(** The Theorem 2.2 pipeline assembled: on (2n)-node graphs [G_{n,S}],
+    an oracle of [advice_bits] total bits leaves a uniform sub-family of
+    [≥ P/Q] instances, so some instance needs
+    [≥ log₂(P/Q) - log₂(n!)] messages.  Returns that bound (may be
+    negative when the advice is generous — then the bound is vacuous). *)
+
+(** {1 The Remark after Theorem 2.2}
+
+    Subdividing [c·n] edges instead of [n] yields graphs with [(1+c)n]
+    nodes and pushes the advice threshold towards the fraction [c/(c+1)]
+    of [N log N] — hence the paper's upper bound [n log n + o(n log n)]
+    is asymptotically optimal, constant included. *)
+
+val log2_wakeup_instances_c : n:int -> c:int -> float
+(** [log₂((cn)!·C(C(n,2), cn))] — the generalized Equation 2.  Requires
+    [c·n ≤ C(n,2)]. *)
+
+val wakeup_message_lower_bound_c : n:int -> c:int -> advice_bits:int -> float
+(** The Theorem 2.2 pipeline on the [(1+c)n]-node family. *)
+
+(** {1 Claim 2.1} *)
+
+val log2_binomial_a_ab : a:int -> b:int -> float
+(** [log₂ C(a(1+b), a)] — the left side of Claim 2.1. *)
+
+val claim_2_1_holds : a:int -> b:int -> bool
+(** Checks [C(a(1+b), a) ≤ (6b)^a] numerically in log space. *)
+
+(** {1 Theorem 3.2 quantities} *)
+
+val log2_broadcast_instances : n:int -> k:int -> float
+(** [log₂(|X|!·P')] with [|X| = n/4k], [|Y| = 3n/4k]:
+    the number of edge-discovery instances in the Claim 3.3 reduction
+    ([P = |X|!·C(C(n,2) - |Y|, |X|)]). *)
+
+val broadcast_message_lower_bound : n:int -> k:int -> float
+(** Claim 3.3's target: [n(k-1)/8]. *)
+
+(** {1 Helpers} *)
+
+val ceil_log2 : int -> int
+val bits2 : int -> int
+(** Re-exports of {!Bitstring.Binary.ceil_log2} and
+    {!Bitstring.Binary.bits} under the paper's names. *)

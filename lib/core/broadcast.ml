@@ -1,0 +1,99 @@
+module Bitbuf = Bitstring.Bitbuf
+module Codes = Bitstring.Codes
+module Graph = Netgraph.Graph
+module Spanning = Netgraph.Spanning
+
+type tree_builder = Graph.t -> root:int -> Spanning.t
+
+type encoding = Marked | Gamma
+
+let encoding_name = function Marked -> "marked" | Gamma -> "gamma"
+
+(* For every tree edge {u,v}, hand w(e) = min(pu, pv) to the endpoint whose
+   port number equals w(e); a pu = pv tie goes to the smaller index. *)
+let weight_assignment g tree =
+  let out = Array.make (Graph.n g) [] in
+  List.iter
+    (fun e ->
+      let w = Graph.edge_weight g e in
+      let x = if e.Graph.pu = w then e.Graph.u else e.Graph.v in
+      out.(x) <- w :: out.(x))
+    (Spanning.edges tree);
+  Array.map List.rev out
+
+let encode_weights encoding ws buf =
+  match encoding with
+  | Marked -> Codes.write_marked_list buf ws
+  | Gamma -> List.iter (Codes.write_gamma buf) ws
+
+let decode_known_ports encoding buf =
+  let r = Bitbuf.reader buf in
+  match encoding with
+  | Marked -> Codes.read_marked_list r
+  | Gamma ->
+    let rec loop acc = if Bitbuf.at_end r then List.rev acc else loop (Codes.read_gamma r :: acc) in
+    loop []
+
+let oracle ?(tree = fun g ~root -> Spanning.light g ~root) ?(encoding = Marked) () =
+  let name = Printf.sprintf "broadcast-thm3.1(%s)" (encoding_name encoding) in
+  Oracles.Oracle.make ~name (fun g ~source ->
+      let t = tree g ~root:source in
+      let weights = weight_assignment g t in
+      Oracles.Advice.make
+        (Array.map
+           (fun ws ->
+             let buf = Bitbuf.create () in
+             encode_weights encoding ws buf;
+             buf)
+           weights))
+
+(* Scheme B.  kx = known incident ports; sx = ports through which M has
+   transited (sent or received); informed = has M. *)
+let scheme ?(encoding = Marked) () static =
+  let module IS = Set.Make (Int) in
+  let kx = ref (IS.of_list (decode_known_ports encoding static.Sim.History.advice)) in
+  let sx = ref IS.empty in
+  let informed = ref static.Sim.History.is_source in
+  let flush () =
+    if !informed then begin
+      let fresh = IS.diff !kx !sx in
+      sx := IS.union !sx fresh;
+      List.map (fun p -> (Sim.Message.Source, p)) (IS.elements fresh)
+    end
+    else []
+  in
+  let on_start () =
+    if static.Sim.History.is_source then flush ()
+    else List.map (fun p -> (Sim.Message.Hello, p)) (IS.elements !kx)
+  in
+  let on_receive msg ~port =
+    match msg with
+    | Sim.Message.Source ->
+      kx := IS.add port !kx;
+      sx := IS.add port !sx;
+      informed := true;
+      flush ()
+    | Sim.Message.Hello ->
+      kx := IS.add port !kx;
+      flush ()
+    | Sim.Message.Control _ -> []
+  in
+  { Sim.Scheme.on_start; on_receive }
+
+type outcome = {
+  result : Sim.Runner.result;
+  advice_bits : int;
+  tree_contribution : int;
+}
+
+let run ?(tree = fun g ~root -> Spanning.light g ~root) ?(encoding = Marked)
+    ?(scheduler = Sim.Scheduler.Async_fifo) g ~source =
+  let t = tree g ~root:source in
+  let tree_contribution = Spanning.contribution g (Spanning.edges t) in
+  let o = oracle ~tree:(fun _ ~root:_ -> t) ~encoding () in
+  let advice = o.Oracles.Oracle.advise g ~source in
+  let advice_bits = Oracles.Advice.size_bits advice in
+  let result =
+    Sim.Runner.run ~scheduler ~advice:(Oracles.Advice.get advice) g ~source (scheme ~encoding ())
+  in
+  { result; advice_bits; tree_contribution }

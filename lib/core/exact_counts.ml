@@ -1,0 +1,22 @@
+module B = Numeric.Bignat
+
+let wakeup_instances ~n =
+  let pairs = n * (n - 1) / 2 in
+  B.mul (B.factorial n) (B.binomial pairs n)
+
+let oracle_outputs ~bits ~nodes =
+  let rec loop q acc =
+    if q > bits then acc
+    else
+      loop (q + 1)
+        (B.add acc (B.mul (B.pow2 q) (B.binomial (q + nodes - 1) (nodes - 1))))
+  in
+  loop 0 B.zero
+
+let edge_discovery_instances ~n ~x_size ~excluded =
+  let pairs = n * (n - 1) / 2 in
+  B.mul (B.factorial x_size) (B.binomial (pairs - excluded) x_size)
+
+let log2_wakeup_instances ~n = B.log2 (wakeup_instances ~n)
+
+let log2_oracle_outputs ~bits ~nodes = B.log2 (oracle_outputs ~bits ~nodes)

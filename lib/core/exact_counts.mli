@@ -1,0 +1,24 @@
+(** Exact (big-integer) evaluation of the counting quantities behind
+    Theorems 2.2 and 3.2 — the ground truth the log-space float pipeline
+    in {!Bounds} is validated against.
+
+    These are exponentially large numbers, so exact evaluation is only
+    practical for moderate parameters; the tests cross-check the float
+    pipeline here and the experiments then trust the floats at scale. *)
+
+val wakeup_instances : n:int -> Numeric.Bignat.t
+(** [P = n! · C(C(n,2), n)]: the number of graphs [G_{n,S}]
+    (Equation 2). *)
+
+val oracle_outputs : bits:int -> nodes:int -> Numeric.Bignat.t
+(** [Q = Σ_{q'≤bits} 2^{q'} · C(q'+nodes-1, nodes-1)]: the exact number of
+    advice functions (the sum Equation 3 upper-bounds). *)
+
+val edge_discovery_instances : n:int -> x_size:int -> excluded:int -> Numeric.Bignat.t
+(** [|X|!·C(C(n,2)-|Y|, |X|)]: the number of edge-discovery instances with
+    [excluded = |Y|]. *)
+
+val log2_wakeup_instances : n:int -> float
+val log2_oracle_outputs : bits:int -> nodes:int -> float
+(** Exact values pushed through {!Numeric.Bignat.log2} — comparable
+    directly with the {!Bounds} floats. *)

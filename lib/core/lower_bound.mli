@@ -1,0 +1,94 @@
+(** The hard-instance families of Theorems 2.2 and 3.2, and executable
+    experiments demonstrating both lower bounds at finite sizes.
+
+    Theorem 2.2 hides [n] subdivided edges inside [K*ₙ]: a (2n)-node graph
+    [G_{n,S}] in which a wakeup scheme must effectively solve edge
+    discovery.  Theorem 3.2 splices [n/k] nearly-complete [k]-cliques into
+    [K*ₙ]: a (2n)-node graph [G_{n,S,C}] in which a broadcast scheme with
+    too little advice must pay [Ω(nk)] messages inside the cliques.
+
+    The quantifier "for every oracle of size [o(·)]" cannot be tested
+    directly; what can be tested — and is what the proofs actually use —
+    is (a) the counting pipeline ([P], [Q], Lemma 2.1, assembled in
+    {!Bounds}), and (b) the behaviour of concrete schemes: schemes with
+    the Theorem 2.1/3.1 advice stay linear, while oracle-starved schemes
+    measurably pay the predicted superlinear price. *)
+
+(** {1 Theorem 2.2 family} *)
+
+val wakeup_hard_graph : n:int -> seed:int -> Netgraph.Graph.t * Netgraph.Graph.edge list
+(** [G_{n,S}] for a uniformly chosen [S] of [n] distinct edges of [K*ₙ]:
+    the (2n)-node graph and the chosen host edges.  Node 0 (label 1) is
+    the source by convention. *)
+
+type wakeup_point = {
+  wp_n : int;  (** host size [n]; the graph has [2n] nodes *)
+  informed_messages : int;  (** Theorem 2.1 scheme with full advice *)
+  informed_bits : int;
+  oblivious_messages : int;  (** flooding: correct but advice-free *)
+  counting_bound : float;
+      (** Theorem 2.2's bound on messages for {e any} scheme whose oracle
+          is capped at [α·(2n)·log₂(2n)] bits, [α = 1/3] *)
+  capped_bits : int;  (** that advice cap *)
+  threshold_bits : int;
+      (** smallest advice budget at which the counting bound stops forcing
+          more than [3·2n] messages — the finite-n Θ(n log n) threshold *)
+  threshold_ratio : float;
+      (** [threshold_bits / (2n·log₂ 2n)]; approaches the paper's [α = ½]
+          from below as [n] grows (slowly — the second-order term of the
+          proof is [Θ(n log log n)]) *)
+}
+
+val wakeup_experiment : n:int -> seed:int -> wakeup_point
+(** One row of experiment E2. *)
+
+val min_advice_for_linear_wakeup : n:int -> budget_factor:float -> int
+(** Smallest total advice (by bisection over the counting pipeline) at
+    which Theorem 2.2's message bound drops to [budget_factor·2n] — the
+    empirical Θ(n log n) threshold of the paper's headline. *)
+
+val wakeup_hard_graph_c :
+  n:int -> c:int -> seed:int -> Netgraph.Graph.t * Netgraph.Graph.edge list
+(** The Remark's generalization: subdivide [c·n] edges of [K*ₙ] —
+    a [(1+c)n]-node graph.  Requires [c·n ≤ C(n,2)]. *)
+
+val min_advice_for_linear_wakeup_c : n:int -> c:int -> budget_factor:float -> int
+(** The advice threshold on the [(1+c)n]-node family; its ratio to
+    [N·log₂ N] (with [N = (1+c)n]) grows towards [c/(c+1)] — the Remark
+    after Theorem 2.2, measured in E2c. *)
+
+(** {1 Theorem 3.2 family} *)
+
+val broadcast_hard_graph :
+  n:int -> k:int -> seed:int -> Netgraph.Graph.t * Netgraph.Graph.edge list * (int * int) list
+(** [G_{n,S,C}] with [|S| = n/k] random host edges and uniform missing
+    pairs [C].  Requires [k ≥ 3] and [k] dividing [n].  The graph has
+    [2n] nodes; node 0 (label 1) is the source. *)
+
+type broadcast_point = {
+  bp_n : int;
+  bp_k : int;
+  advised_messages : int;  (** Scheme B with the Theorem 3.1 oracle *)
+  advised_bits : int;
+  starved_messages : int;  (** flooding: zero advice in the cliques *)
+  clique_bound : float;  (** Claim 3.3's [n(k-1)/8] *)
+  starved_completes : bool;
+}
+
+val broadcast_experiment : n:int -> k:int -> seed:int -> broadcast_point
+(** One row of experiment E5. *)
+
+(** {1 Advice starvation} *)
+
+type starvation_point = {
+  sv_budget : int;  (** advice bits allowed *)
+  sv_messages : int;
+  sv_informed : int;  (** how many of the [2n] nodes got the message *)
+  sv_completed : bool;
+}
+
+val starvation_sweep :
+  Netgraph.Graph.t -> source:int -> budgets:int list -> starvation_point list
+(** Run Scheme B with the Theorem 3.1 oracle truncated to each budget:
+    correctness degrades once the budget falls below the [Θ(n)]
+    requirement — the executable face of Theorem 3.2. *)

@@ -1,0 +1,139 @@
+module Bitbuf = Bitstring.Bitbuf
+module Codes = Bitstring.Codes
+module Graph = Netgraph.Graph
+module IS = Set.Make (Int)
+
+(* Advice layout (empty for rho = 0):
+   gamma rho;
+   deg(v) entries: gamma (label behind port p), in port order;
+   if rho >= 2: gamma count of inner nodes (distance <= rho-1, v included),
+   then per inner node: gamma label, gamma degree, gamma each neighbor
+   label.  Only the layer-1 part steers the scheme; the rest is the honest
+   size of "knowing the topology within radius rho". *)
+
+let oracle ~rho =
+  if rho < 0 then invalid_arg "Neighborhood.oracle: negative radius";
+  Oracles.Oracle.make ~name:(Printf.sprintf "radius-%d-ball" rho) (fun g ~source:_ ->
+      Oracles.Advice.make
+        (Array.init (Graph.n g) (fun v ->
+             let buf = Bitbuf.create () in
+             if rho > 0 then begin
+               Codes.write_gamma buf rho;
+               List.iter
+                 (fun (_, nbr, _) -> Codes.write_gamma buf (Graph.label g nbr))
+                 (Graph.neighbors g v);
+               if rho >= 2 then begin
+                 let dist, _ = Netgraph.Traverse.bfs g ~root:v in
+                 let inner = ref [] in
+                 Array.iteri (fun u d -> if d >= 0 && d <= rho - 1 then inner := u :: !inner) dist;
+                 Codes.write_gamma buf (List.length !inner);
+                 List.iter
+                   (fun u ->
+                     Codes.write_gamma buf (Graph.label g u);
+                     Codes.write_gamma buf (Graph.degree g u);
+                     List.iter
+                       (fun (_, nbr, _) -> Codes.write_gamma buf (Graph.label g nbr))
+                       (Graph.neighbors g u))
+                   !inner
+               end
+             end;
+             buf)))
+
+let decode_port_labels ~degree buf =
+  if Bitbuf.is_empty buf then (0, [])
+  else begin
+    let r = Bitbuf.reader buf in
+    let rho = Codes.read_gamma r in
+    (rho, List.init degree (fun _ -> Codes.read_gamma r))
+  end
+
+(* Token payload: 1 flag bit (0 = probe, 1 = return) then gamma count and
+   gamma visited labels. *)
+let encode_token ~is_return visited =
+  let buf = Bitbuf.create () in
+  Bitbuf.add_bit buf is_return;
+  Codes.write_gamma buf (IS.cardinal visited);
+  IS.iter (fun l -> Codes.write_gamma buf l) visited;
+  buf
+
+let decode_token buf =
+  let r = Bitbuf.reader buf in
+  let is_return = Bitbuf.read_bit r in
+  let count = Codes.read_gamma r in
+  let rec loop acc k = if k = 0 then acc else loop (IS.add (Codes.read_gamma r) acc) (k - 1) in
+  (is_return, loop IS.empty count)
+
+let scheme static =
+  let deg = static.Sim.History.degree in
+  let self = static.Sim.History.id in
+  (* Layer-1 knowledge, if present: label behind each port. *)
+  let port_labels =
+    if Bitbuf.is_empty static.Sim.History.advice then [||]
+    else begin
+      let r = Bitbuf.reader static.Sim.History.advice in
+      let _rho = Codes.read_gamma r in
+      Array.init deg (fun _ -> Codes.read_gamma r)
+    end
+  in
+  let visited_here = ref false in
+  let entry_port = ref None in
+  let next_port = ref 0 in
+  let forward visited =
+    (* Choose the next port to probe; skip known-visited neighbors. *)
+    let rec pick () =
+      if !next_port >= deg then None
+      else begin
+        let p = !next_port in
+        incr next_port;
+        if Array.length port_labels > 0 && IS.mem port_labels.(p) visited then pick ()
+        else Some p
+      end
+    in
+    match pick () with
+    | Some p -> [ (Sim.Message.Control (encode_token ~is_return:false visited), p) ]
+    | None -> (
+      (* Exhausted: return the token whence we got it (the source halts). *)
+      match !entry_port with
+      | Some p -> [ (Sim.Message.Control (encode_token ~is_return:true visited), p) ]
+      | None -> [])
+  in
+  let on_start () =
+    if static.Sim.History.is_source then begin
+      visited_here := true;
+      forward (IS.singleton self)
+    end
+    else []
+  in
+  let on_receive msg ~port =
+    match msg with
+    | Sim.Message.Control payload ->
+      let is_return, visited = decode_token payload in
+      if is_return then forward visited
+      else if !visited_here then
+        (* Bounce a probe of an already-woken node. *)
+        [ (Sim.Message.Control (encode_token ~is_return:true visited), port) ]
+      else begin
+        visited_here := true;
+        entry_port := Some port;
+        forward (IS.add self visited)
+      end
+    | Sim.Message.Source | Sim.Message.Hello -> []
+  in
+  { Sim.Scheme.on_start; on_receive }
+
+type outcome = {
+  result : Sim.Runner.result;
+  advice_bits : int;
+  rho : int;
+}
+
+let run ?(scheduler = Sim.Scheduler.Async_fifo) ~rho g ~source =
+  let o = oracle ~rho in
+  let advice = o.Oracles.Oracle.advise g ~source in
+  let result =
+    Sim.Runner.run ~scheduler
+      ~advice:(Oracles.Advice.get advice)
+      g ~source
+      (Sim.Scheme.check_wakeup scheme)
+  in
+  { result; advice_bits = Oracles.Advice.size_bits advice; rho }

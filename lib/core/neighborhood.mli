@@ -1,0 +1,38 @@
+(** Wakeup from radius-ρ neighborhood knowledge — the traditional
+    "particular item of information" the paper's introduction contrasts
+    with its quantitative oracle measure (the Awerbuch–Goldreich–Peleg–
+    Vainish trade-off [1]: with topology known to radius ρ, wakeup costs
+    Θ(min(m, n^{1+Θ(1)/ρ})) messages).
+
+    The oracle hands every node its ball of radius ρ (ρ = 0: nothing;
+    ρ = 1: the labels behind each port; ρ ≥ 2: additionally the adjacency
+    lists of all nodes within distance ρ-1).  The wakeup algorithm is a
+    token DFS: the token carries the set of visited labels, and a holder
+    that knows its neighbors' labels never probes a visited one.
+
+    Outcome at the two ends of the trade-off, measured in E13:
+    ρ = 0 forces blind probing (Θ(m) messages); ρ = 1 already achieves
+    [2(n-1)] messages — while the advice jumps from 0 to Θ(m log n) bits,
+    and grows steeply with ρ for no further message gain.  Oracle size,
+    not radius, is the right budget — the paper's point. *)
+
+val oracle : rho:int -> Oracles.Oracle.t
+(** The radius-ρ ball oracle.  [rho = 0] assigns empty strings. *)
+
+val decode_port_labels : degree:int -> Bitstring.Bitbuf.t -> int * int list
+(** [(rho, neighbor labels in port order)] — the layer-1 knowledge of a
+    node with the given degree; empty advice decodes to [(0, [])].
+    Exposed for tests. *)
+
+val scheme : Sim.Scheme.factory
+(** Token-DFS wakeup.  Works with the advice of any radius: with ρ ≥ 1 it
+    skips visited neighbors, with ρ = 0 it probes blindly. *)
+
+type outcome = {
+  result : Sim.Runner.result;
+  advice_bits : int;
+  rho : int;
+}
+
+val run :
+  ?scheduler:Sim.Scheduler.t -> rho:int -> Netgraph.Graph.t -> source:int -> outcome

@@ -1,0 +1,27 @@
+(** The headline result as one measurement: on the same network, efficient
+    wakeup needs Θ(n log n) advice bits while efficient broadcast needs
+    only Θ(n) — the ratio grows as Θ(log n). *)
+
+type measurement = {
+  family : string;
+  n : int;  (** actual node count of the built graph *)
+  m : int;
+  wakeup_bits : int;  (** Theorem 2.1 oracle size *)
+  broadcast_bits : int;  (** Theorem 3.1 oracle size *)
+  bits_ratio : float;  (** wakeup / broadcast *)
+  wakeup_messages : int;  (** must be exactly [n-1] *)
+  broadcast_messages : int;  (** must be [< 3n] *)
+  wakeup_ok : bool;
+  broadcast_ok : bool;
+}
+
+val measure : Netgraph.Families.t -> n:int -> seed:int -> measurement
+(** Builds the family member, runs both schemes with their oracles from
+    source 0, and reports sizes and message counts. *)
+
+val sweep : Netgraph.Families.t -> ns:int list -> seed:int -> measurement list
+
+val ratio_growth : measurement list -> float
+(** Log-log slope of [bits_ratio] against [n] — for a Θ(log n) ratio this
+    tends to [0] from above on doubling sweeps while the ratio itself
+    keeps increasing; the benches report both. *)

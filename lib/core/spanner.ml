@@ -1,0 +1,95 @@
+module Bitbuf = Bitstring.Bitbuf
+module Codes = Bitstring.Codes
+module Graph = Netgraph.Graph
+
+(* Bounded-depth BFS inside the current spanner. *)
+let hop_distance_within adj ~limit u v =
+  if u = v then Some 0
+  else begin
+    let dist = Hashtbl.create 32 in
+    Hashtbl.replace dist u 0;
+    let q = Queue.create () in
+    Queue.add u q;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      let dx = Hashtbl.find dist x in
+      if dx < limit then
+        List.iter
+          (fun y ->
+            if not (Hashtbl.mem dist y) then begin
+              Hashtbl.replace dist y (dx + 1);
+              if y = v then found := Some (dx + 1) else Queue.add y q
+            end)
+          adj.(x)
+    done;
+    !found
+  end
+
+let greedy_spanner g ~stretch =
+  if stretch < 1 then invalid_arg "Spanner.greedy_spanner: stretch < 1";
+  let n = Graph.n g in
+  let adj = Array.make n [] in
+  let kept = ref [] in
+  (* Scan in the paper's edge order (weight, then labels) for determinism. *)
+  List.iter
+    (fun e ->
+      match hop_distance_within adj ~limit:stretch e.Graph.u e.Graph.v with
+      | Some _ -> ()  (* endpoints already within t hops: skip the edge *)
+      | None ->
+        kept := e :: !kept;
+        adj.(e.Graph.u) <- e.Graph.v :: adj.(e.Graph.u);
+        adj.(e.Graph.v) <- e.Graph.u :: adj.(e.Graph.v))
+    (List.sort (Netgraph.Mst.edge_order g) (Graph.edges g));
+  List.rev !kept
+
+let spanner_oracle ~stretch =
+  Oracles.Oracle.make ~name:(Printf.sprintf "greedy-%d-spanner" stretch) (fun g ~source:_ ->
+      let ports = Array.make (Graph.n g) [] in
+      List.iter
+        (fun e ->
+          ports.(e.Graph.u) <- e.Graph.pu :: ports.(e.Graph.u);
+          ports.(e.Graph.v) <- e.Graph.pv :: ports.(e.Graph.v))
+        (greedy_spanner g ~stretch);
+      Oracles.Advice.make
+        (Array.map
+           (fun ps ->
+             let buf = Bitbuf.create () in
+             Codes.write_marked_list buf (List.sort compare ps);
+             buf)
+           ports))
+
+type outcome = {
+  stretch : int;
+  edges_kept : int;
+  advice_bits : int;
+  measured_stretch : float;
+  valid : bool;
+}
+
+let measure g ~stretch =
+  let spanner = greedy_spanner g ~stretch in
+  let n = Graph.n g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun e ->
+      adj.(e.Graph.u) <- e.Graph.v :: adj.(e.Graph.u);
+      adj.(e.Graph.v) <- e.Graph.u :: adj.(e.Graph.v))
+    spanner;
+  (* Per-edge stretch bounds all-pairs stretch, so checking every graph
+     edge suffices. *)
+  let worst = ref 0 in
+  List.iter
+    (fun e ->
+      match hop_distance_within adj ~limit:(stretch + n) e.Graph.u e.Graph.v with
+      | Some d -> worst := max !worst d
+      | None -> worst := max_int)
+    (Graph.edges g);
+  let advice = (spanner_oracle ~stretch).Oracles.Oracle.advise g ~source:0 in
+  {
+    stretch;
+    edges_kept = List.length spanner;
+    advice_bits = Oracles.Advice.size_bits advice;
+    measured_stretch = float_of_int !worst;
+    valid = !worst <= stretch;
+  }

@@ -1,0 +1,36 @@
+(** Spanner construction under the oracle-size measure — the other
+    extension the paper's conclusion proposes ("not only concerning
+    information dissemination but also, e.g., spanner construction").
+
+    The task: every node must select a subset of its incident ports such
+    that the selected edges form a connected subgraph whose distances
+    stretch the originals by at most [t].  The oracle computes the classic
+    greedy [t]-spanner (Althöfer et al.: scan edges in increasing weight,
+    keep an edge iff the current spanner's endpoint distance exceeds [t];
+    for [t = 2k-1] the result has [O(n^{1+1/k})] edges) and hands every
+    node its selected ports — advice [2·Σ#₂(port)] bits, zero messages.
+
+    Advice-free, the natural move is keeping {e all} edges (stretch 1, m
+    edges — no communication needed either, but every node must maintain
+    degree-many links); the experiment (E20) reports the edge/advice
+    trade-off across stretch factors. *)
+
+type outcome = {
+  stretch : int;  (** the stretch target [t] *)
+  edges_kept : int;
+  advice_bits : int;
+  measured_stretch : float;  (** max over edges of spanner-dist / 1 *)
+  valid : bool;  (** connected and measured stretch ≤ t *)
+}
+
+val greedy_spanner : Netgraph.Graph.t -> stretch:int -> Netgraph.Graph.edge list
+(** The greedy [t]-spanner edge set (hop distances; all edge "lengths" are
+    1 for the stretch criterion, so the guarantee is purely topological).
+    Raises [Invalid_argument] if [stretch < 1]. *)
+
+val spanner_oracle : stretch:int -> Oracles.Oracle.t
+(** Per-node selected ports, marked-bit coded. *)
+
+val measure : Netgraph.Graph.t -> stretch:int -> outcome
+(** Build, verify (every graph edge's endpoints are within [t] hops in the
+    spanner — which bounds all-pairs stretch by [t]), and account. *)

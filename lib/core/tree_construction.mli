@@ -1,0 +1,27 @@
+(** Spanning-tree construction — one of the tasks Section 1.2 names as
+    solvable "using at most a prescribed number of messages" with an
+    oracle.
+
+    The task: every node must output its parent port and children ports of
+    one common spanning tree rooted at the source.
+
+    - {!flood_build}: advice-free — the source floods a token; each node
+      adopts its first-receipt port as parent, forwards, and sends a
+      claim back so parents learn their children.  At most [2m + (n-1)]
+      messages.  Under the synchronous scheduler the resulting tree is a
+      BFS tree (first receipt = shortest path); under adversarial
+      asynchrony it is some spanning tree.
+    - {!advised_build}: the Θ(n log Δ)-bit tree oracle (the same advice
+      format as {!Gossip}) — zero messages: the tree is already in the
+      advice.  The full trade: m messages ↔ n log Δ bits. *)
+
+type outcome = {
+  result : Sim.Runner.result;
+  advice_bits : int;
+  tree : Netgraph.Spanning.t option;  (** [None] if the outputs were inconsistent *)
+  is_bfs : bool;  (** the tree's depths equal the BFS distances *)
+}
+
+val flood_build : ?scheduler:Sim.Scheduler.t -> Netgraph.Graph.t -> source:int -> outcome
+
+val advised_build : ?scheduler:Sim.Scheduler.t -> Netgraph.Graph.t -> source:int -> outcome

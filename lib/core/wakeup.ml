@@ -1,0 +1,71 @@
+module Bitbuf = Bitstring.Bitbuf
+module Binary = Bitstring.Binary
+module Codes = Bitstring.Codes
+module Graph = Netgraph.Graph
+module Spanning = Netgraph.Spanning
+
+type encoding = Paper | Paper_minimal | Gamma
+
+let encoding_name = function
+  | Paper -> "paper"
+  | Paper_minimal -> "paper-minimal"
+  | Gamma -> "gamma"
+
+type tree_builder = Graph.t -> root:int -> Spanning.t
+
+let encode_ports encoding ~n ports buf =
+  match ports, encoding with
+  | [], _ -> ()
+  | _, Paper -> Codes.write_port_list buf ~width:(max 1 (Binary.ceil_log2 n)) ports
+  | _, Paper_minimal ->
+    let maxp = List.fold_left max 0 ports in
+    Codes.write_port_list buf ~width:(Binary.bits maxp) ports
+  | _, Gamma -> List.iter (Codes.write_gamma buf) ports
+
+let decode_ports encoding buf =
+  let r = Bitbuf.reader buf in
+  match encoding with
+  | Paper | Paper_minimal -> Codes.read_port_list r
+  | Gamma ->
+    let rec loop acc = if Bitbuf.at_end r then List.rev acc else loop (Codes.read_gamma r :: acc) in
+    loop []
+
+let oracle ?(tree = fun g ~root -> Spanning.bfs g ~root) ?(encoding = Paper) () =
+  let name = Printf.sprintf "wakeup-thm2.1(%s)" (encoding_name encoding) in
+  Oracles.Oracle.make ~name (fun g ~source ->
+      let t = tree g ~root:source in
+      let n = Graph.n g in
+      Oracles.Advice.make
+        (Array.init n (fun v ->
+             let buf = Bitbuf.create () in
+             encode_ports encoding ~n (Spanning.children_ports t v) buf;
+             buf)))
+
+let scheme ?(encoding = Paper) () static =
+  let woken = ref false in
+  let wake () =
+    woken := true;
+    List.map (fun p -> (Sim.Message.Source, p)) (decode_ports encoding static.Sim.History.advice)
+  in
+  let on_start () = if static.Sim.History.is_source then wake () else [] in
+  let on_receive msg ~port:_ =
+    match msg with
+    | Sim.Message.Source when not !woken -> wake ()
+    | Sim.Message.Source | Sim.Message.Hello | Sim.Message.Control _ -> []
+  in
+  { Sim.Scheme.on_start; on_receive }
+
+type outcome = { result : Sim.Runner.result; advice_bits : int; tree_ok : bool }
+
+let run ?(tree = fun g ~root -> Spanning.bfs g ~root) ?(encoding = Paper)
+    ?(scheduler = Sim.Scheduler.Async_fifo) g ~source =
+  let t = tree g ~root:source in
+  let tree_ok = Spanning.check g t = Ok () in
+  let o = oracle ~tree:(fun _ ~root:_ -> t) ~encoding () in
+  let advice = o.Oracles.Oracle.advise g ~source in
+  let advice_bits = Oracles.Advice.size_bits advice in
+  let factory = Sim.Scheme.check_wakeup (scheme ~encoding ()) in
+  let result =
+    Sim.Runner.run ~scheduler ~advice:(Oracles.Advice.get advice) g ~source factory
+  in
+  { result; advice_bits; tree_ok }

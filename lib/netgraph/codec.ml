@@ -1,0 +1,54 @@
+module Bitbuf = Bitstring.Bitbuf
+module Binary = Bitstring.Binary
+module Codes = Bitstring.Codes
+
+(* Layout: gamma n; gamma (max degree); gamma label per node; then per node:
+   gamma degree, then per port a neighbor index (fixed width over n) and the
+   reverse port (fixed width over max degree).  Each edge is described twice;
+   decoding cross-checks symmetry via Graph.make. *)
+
+let encode g =
+  let n = Graph.n g in
+  let buf = Bitbuf.create ~capacity:(64 * n) () in
+  let maxdeg = ref 1 in
+  for v = 0 to n - 1 do
+    maxdeg := max !maxdeg (Graph.degree g v)
+  done;
+  Codes.write_gamma buf n;
+  Codes.write_gamma buf !maxdeg;
+  let wn = max 1 (Binary.ceil_log2 n) in
+  let wd = max 1 (Binary.ceil_log2 !maxdeg) in
+  for v = 0 to n - 1 do
+    let l = Graph.label g v in
+    if l < 0 then invalid_arg "Codec.encode: negative label";
+    Codes.write_gamma buf l
+  done;
+  for v = 0 to n - 1 do
+    Codes.write_gamma buf (Graph.degree g v);
+    List.iter
+      (fun (_, nbr, nbr_port) ->
+        Bitbuf.add_int buf ~width:wn nbr;
+        Bitbuf.add_int buf ~width:wd nbr_port)
+      (Graph.neighbors g v)
+  done;
+  buf
+
+let decode r =
+  let n = Codes.read_gamma r in
+  if n < 1 then invalid_arg "Codec.decode: bad node count";
+  let maxdeg = Codes.read_gamma r in
+  let wn = max 1 (Binary.ceil_log2 n) in
+  let wd = max 1 (Binary.ceil_log2 maxdeg) in
+  let labels = Array.init n (fun _ -> Codes.read_gamma r) in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    let deg = Codes.read_gamma r in
+    for p = 0 to deg - 1 do
+      let nbr = Bitbuf.read_int r ~width:wn in
+      let q = Bitbuf.read_int r ~width:wd in
+      if v < nbr then edges := { Graph.u = v; pu = p; v = nbr; pv = q } :: !edges
+    done
+  done;
+  Graph.make ~labels ~n !edges
+
+let encoded_bits g = Bitbuf.length (encode g)

@@ -1,0 +1,15 @@
+(** Serializing whole port-labeled networks to bit strings.
+
+    Used by the "full map" baseline oracle — the traditional notion of
+    giving nodes complete knowledge of the network, against which the
+    paper's O(n)/Θ(n log n) oracles are compared.  The encoding is
+    self-delimiting and exactly invertible. *)
+
+val encode : Graph.t -> Bitstring.Bitbuf.t
+(** Requires all labels to be non-negative. *)
+
+val decode : Bitstring.Bitbuf.reader -> Graph.t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val encoded_bits : Graph.t -> int
+(** Size of {!encode}'s output. *)

@@ -1,0 +1,30 @@
+let edge_key e = (min e.Graph.u e.Graph.v, max e.Graph.u e.Graph.v)
+
+let render ?(highlight = []) ?(root = None) g =
+  let buf = Buffer.create 1024 in
+  let marked = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace marked (edge_key e) ()) highlight;
+  Buffer.add_string buf "graph network {\n  node [shape=circle fontsize=10];\n";
+  for v = 0 to Graph.n g - 1 do
+    let attrs =
+      if root = Some v then " style=filled fillcolor=gold" else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%d:%d\"%s];\n" v v (Graph.label g v) attrs)
+  done;
+  List.iter
+    (fun e ->
+      let style =
+        if Hashtbl.mem marked (edge_key e) then " color=red penwidth=2.0" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [taillabel=\"%d\" headlabel=\"%d\" fontsize=8%s];\n"
+           e.Graph.u e.Graph.v e.Graph.pu e.Graph.pv style))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let graph ?highlight g = render ?highlight ~root:None g
+
+let spanning g tree =
+  render ~highlight:(Spanning.edges tree) ~root:(Some tree.Spanning.root) g

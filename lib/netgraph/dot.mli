@@ -1,0 +1,10 @@
+(** Graphviz export of networks and spanning trees, for inspecting the
+    constructions (subdivided edges, spliced cliques, advised trees). *)
+
+val graph : ?highlight:Graph.edge list -> Graph.t -> string
+(** DOT source for the network: nodes labeled ["idx:label"], edges
+    annotated with their two port numbers; edges in [highlight] are drawn
+    bold red. *)
+
+val spanning : Graph.t -> Spanning.t -> string
+(** DOT source with the tree edges highlighted and the root marked. *)

@@ -1,0 +1,101 @@
+type t =
+  | Path
+  | Cycle
+  | Complete
+  | Grid
+  | Torus
+  | Hypercube
+  | Balanced_binary_tree
+  | Random_tree
+  | Sparse_random
+  | Dense_random
+  | Lollipop
+  | Complete_bipartite
+  | Wheel
+  | Cube_connected_cycles
+  | Random_regular
+
+let name = function
+  | Path -> "path"
+  | Cycle -> "cycle"
+  | Complete -> "complete"
+  | Grid -> "grid"
+  | Torus -> "torus"
+  | Hypercube -> "hypercube"
+  | Balanced_binary_tree -> "binary-tree"
+  | Random_tree -> "random-tree"
+  | Sparse_random -> "sparse-random"
+  | Dense_random -> "dense-random"
+  | Lollipop -> "lollipop"
+  | Complete_bipartite -> "complete-bipartite"
+  | Wheel -> "wheel"
+  | Cube_connected_cycles -> "ccc"
+  | Random_regular -> "random-regular"
+
+let all =
+  [
+    Path;
+    Cycle;
+    Complete;
+    Grid;
+    Torus;
+    Hypercube;
+    Balanced_binary_tree;
+    Random_tree;
+    Sparse_random;
+    Dense_random;
+    Lollipop;
+    Complete_bipartite;
+    Wheel;
+    Cube_connected_cycles;
+    Random_regular;
+  ]
+
+let default_sweep = [ Random_tree; Grid; Hypercube; Sparse_random; Dense_random; Complete ]
+
+let near_square n =
+  let r = int_of_float (sqrt (float_of_int n)) in
+  let r = max 2 r in
+  (r, (n + r - 1) / r)
+
+let build t ~n ~seed =
+  let n = max 4 n in
+  let st = Random.State.make [| seed; n; Hashtbl.hash (name t) |] in
+  match t with
+  | Path -> Gen.path n
+  | Cycle -> Gen.cycle n
+  | Complete -> Gen.complete n
+  | Grid ->
+    let r, c = near_square n in
+    Gen.grid ~rows:r ~cols:c
+  | Torus ->
+    let r, c = near_square n in
+    Gen.torus ~rows:(max 3 r) ~cols:(max 3 c)
+  | Hypercube ->
+    let dim = max 2 (Bitstring.Binary.ceil_log2 n) in
+    Gen.hypercube ~dim
+  | Balanced_binary_tree ->
+    (* Smallest depth reaching ≥ n nodes. *)
+    let rec depth_for d size = if size >= n then d else depth_for (d + 1) ((2 * size) + 1) in
+    Gen.balanced_tree ~arity:2 ~depth:(depth_for 0 1)
+  | Random_tree -> Gen.random_tree ~n st
+  | Sparse_random ->
+    let p = min 1.0 (4.0 /. float_of_int n) in
+    Gen.random_connected ~n ~p st
+  | Dense_random -> Gen.random_connected ~n ~p:0.5 st
+  | Lollipop ->
+    let clique = max 3 (n / 2) in
+    Gen.lollipop ~clique ~tail:(n - clique)
+  | Complete_bipartite ->
+    let a = max 1 (n / 2) in
+    Gen.complete_bipartite a (max 1 (n - a))
+  | Wheel -> Gen.wheel (max 4 n)
+  | Cube_connected_cycles ->
+    (* Smallest d >= 3 with d*2^d >= n. *)
+    let rec fit d = if d * (1 lsl d) >= n || d > 16 then d else fit (d + 1) in
+    Gen.cube_connected_cycles ~dim:(fit 3)
+  | Random_regular ->
+    let n = if n mod 2 = 1 then n + 1 else n in
+    Gen.random_regular ~n ~d:3 st
+
+let of_name s = List.find_opt (fun t -> name t = s) all

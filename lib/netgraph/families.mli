@@ -1,0 +1,35 @@
+(** Named graph families used by the experiment sweeps.
+
+    Each family maps a requested size to a concrete connected graph with at
+    least that flavor of structure; the achieved size may be rounded to the
+    family's natural grid (e.g. powers of two for hypercubes). *)
+
+type t =
+  | Path
+  | Cycle
+  | Complete
+  | Grid  (** near-square 2-D grid *)
+  | Torus
+  | Hypercube
+  | Balanced_binary_tree
+  | Random_tree
+  | Sparse_random  (** random connected, expected average degree ≈ 4 *)
+  | Dense_random  (** random connected, p = 0.5 *)
+  | Lollipop
+  | Complete_bipartite
+  | Wheel
+  | Cube_connected_cycles  (** CCC(d), 3-regular *)
+  | Random_regular  (** connected 3-regular, configuration model *)
+
+val name : t -> string
+
+val build : t -> n:int -> seed:int -> Graph.t
+(** Build a graph of (approximately) [n] nodes.  Deterministic in
+    [(t, n, seed)]. *)
+
+val all : t list
+
+val default_sweep : t list
+(** The families used by the standard experiment tables. *)
+
+val of_name : string -> t option

@@ -1,0 +1,263 @@
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+(* Build a graph from an unordered edge list (pairs of node indices),
+   assigning ports at each node in edge-list order. *)
+let of_pairs ?labels ~n pairs =
+  let next = Array.make n 0 in
+  let edges =
+    List.map
+      (fun (u, v) ->
+        let pu = next.(u) in
+        next.(u) <- pu + 1;
+        let pv = next.(v) in
+        next.(v) <- pv + 1;
+        { Graph.u; pu; v; pv })
+      pairs
+  in
+  Graph.make ?labels ~n edges
+
+let path n =
+  if n < 1 then fail "Gen.path: n = %d" n;
+  of_pairs ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then fail "Gen.cycle: n = %d < 3" n;
+  of_pairs ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star n =
+  if n < 2 then fail "Gen.star: n = %d < 2" n;
+  of_pairs ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let complete n =
+  if n < 2 then fail "Gen.complete: n = %d < 2" n;
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for p = 0 to n - 2 do
+      let j = (i + p + 1) mod n in
+      if i < j then
+        (* Port at j back to i: q with (j + q + 1) mod n = i. *)
+        let q = ((i - j - 1) mod n + n) mod n in
+        edges := { Graph.u = i; pu = p; v = j; pv = q } :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let balanced_tree ~arity ~depth =
+  if arity < 1 then fail "Gen.balanced_tree: arity = %d" arity;
+  if depth < 0 then fail "Gen.balanced_tree: depth = %d" depth;
+  (* Count nodes; build pairs level by level. *)
+  let pairs = ref [] in
+  let next_id = ref 1 in
+  let rec expand node level =
+    if level < depth then
+      for _ = 1 to arity do
+        let child = !next_id in
+        incr next_id;
+        pairs := (node, child) :: !pairs;
+        expand child (level + 1)
+      done
+  in
+  expand 0 0;
+  of_pairs ~n:!next_id (List.rev !pairs)
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then fail "Gen.grid: %dx%d" rows cols;
+  if rows * cols < 1 then fail "Gen.grid: empty";
+  let id r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then pairs := (id r c, id r (c + 1)) :: !pairs;
+      if r + 1 < rows then pairs := (id r c, id (r + 1) c) :: !pairs
+    done
+  done;
+  of_pairs ~n:(rows * cols) (List.rev !pairs)
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then fail "Gen.torus: %dx%d (need ≥3x3)" rows cols;
+  let id r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      pairs := (id r c, id r ((c + 1) mod cols)) :: !pairs;
+      pairs := (id r c, id ((r + 1) mod rows) c) :: !pairs
+    done
+  done;
+  of_pairs ~n:(rows * cols) (List.rev !pairs)
+
+let hypercube ~dim =
+  if dim < 1 then fail "Gen.hypercube: dim = %d" dim;
+  if dim > 24 then fail "Gen.hypercube: dim = %d too large" dim;
+  let n = 1 lsl dim in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for k = 0 to dim - 1 do
+      let v = u lxor (1 lsl k) in
+      if u < v then edges := { Graph.u; pu = k; v; pv = k } :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let shuffle st a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Build with per-node shuffled port order so port numbers are not
+   correlated with construction order. *)
+let of_pairs_shuffled ~n st pairs =
+  let incident = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      incident.(u) <- v :: incident.(u);
+      incident.(v) <- u :: incident.(v))
+    pairs;
+  let lists =
+    Array.map
+      (fun ns ->
+        let a = Array.of_list ns in
+        shuffle st a;
+        Array.to_list a)
+      incident
+  in
+  Graph.of_adjacency lists
+
+let prufer_tree_pairs ~n st =
+  if n = 1 then []
+  else if n = 2 then [ (0, 1) ]
+  else begin
+    let seq = Array.init (n - 2) (fun _ -> Random.State.int st n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+    let pairs = ref [] in
+    (* Standard Prüfer decoding with a simple scan pointer + leaf var. *)
+    let ptr = ref 0 in
+    while deg.(!ptr) <> 1 do
+      incr ptr
+    done;
+    let leaf = ref !ptr in
+    Array.iter
+      (fun v ->
+        pairs := (!leaf, v) :: !pairs;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 && v < !ptr then leaf := v
+        else begin
+          incr ptr;
+          while deg.(!ptr) <> 1 do
+            incr ptr
+          done;
+          leaf := !ptr
+        end)
+      seq;
+    pairs := (!leaf, n - 1) :: !pairs;
+    !pairs
+  end
+
+let random_tree ~n st =
+  if n < 1 then fail "Gen.random_tree: n = %d" n;
+  of_pairs_shuffled ~n st (prufer_tree_pairs ~n st)
+
+let random_connected ~n ~p st =
+  if n < 1 then fail "Gen.random_connected: n = %d" n;
+  if p < 0.0 || p > 1.0 then fail "Gen.random_connected: p = %f" p;
+  let tree = prufer_tree_pairs ~n st in
+  let present = Hashtbl.create (4 * n) in
+  List.iter (fun (u, v) -> Hashtbl.replace present (min u v, max u v) ()) tree;
+  let extra = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if (not (Hashtbl.mem present (u, v))) && Random.State.float st 1.0 < p then
+        extra := (u, v) :: !extra
+    done
+  done;
+  of_pairs_shuffled ~n st (tree @ !extra)
+
+let lollipop ~clique ~tail =
+  if clique < 3 then fail "Gen.lollipop: clique = %d < 3" clique;
+  if tail < 0 then fail "Gen.lollipop: tail = %d" tail;
+  let n = clique + tail in
+  let pairs = ref [] in
+  for u = 0 to clique - 1 do
+    for v = u + 1 to clique - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let prev = if i = 0 then clique - 1 else clique + i - 1 in
+    pairs := (prev, clique + i) :: !pairs
+  done;
+  of_pairs ~n (List.rev !pairs)
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then fail "Gen.complete_bipartite: %d,%d" a b;
+  let pairs = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      pairs := (u, v) :: !pairs
+    done
+  done;
+  of_pairs ~n:(a + b) (List.rev !pairs)
+
+let wheel n =
+  if n < 4 then fail "Gen.wheel: n = %d < 4" n;
+  let rim = n - 1 in
+  let pairs = ref [] in
+  for i = 1 to rim do
+    pairs := (0, i) :: !pairs;
+    pairs := (i, if i = rim then 1 else i + 1) :: !pairs
+  done;
+  of_pairs ~n (List.rev !pairs)
+
+let cube_connected_cycles ~dim =
+  if dim < 3 then fail "Gen.cube_connected_cycles: dim = %d < 3" dim;
+  if dim > 20 then fail "Gen.cube_connected_cycles: dim = %d too large" dim;
+  let corners = 1 lsl dim in
+  let id corner pos = (corner * dim) + pos in
+  let edges = ref [] in
+  for corner = 0 to corners - 1 do
+    for pos = 0 to dim - 1 do
+      let u = id corner pos in
+      (* Port 0: next around the cycle; port 1: previous; port 2: across
+         the hypercube dimension [pos].  Every cycle edge is exactly one
+         node's "next" edge, so each is listed once. *)
+      let next = id corner ((pos + 1) mod dim) in
+      edges := { Graph.u; pu = 0; v = next; pv = 1 } :: !edges;
+      let across = id (corner lxor (1 lsl pos)) pos in
+      if u < across then edges := { Graph.u; pu = 2; v = across; pv = 2 } :: !edges
+    done
+  done;
+  Graph.make ~n:(corners * dim) !edges
+
+let random_regular ~n ~d st =
+  if d < 3 || d >= n then fail "Gen.random_regular: d = %d, n = %d" d n;
+  if n * d mod 2 <> 0 then fail "Gen.random_regular: n*d must be even";
+  (* Configuration model with rejection: pair up stubs, retry on
+     self-loops, parallel edges, or disconnection. *)
+  let max_attempts = 1000 in
+  let rec attempt k =
+    if k > max_attempts then fail "Gen.random_regular: too many rejections";
+    let stubs = Array.init (n * d) (fun i -> i / d) in
+    shuffle st stubs;
+    let pairs = ref [] in
+    let ok = ref true in
+    let seen = Hashtbl.create (n * d) in
+    let i = ref 0 in
+    while !ok && !i < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      if u = v || Hashtbl.mem seen (min u v, max u v) then ok := false
+      else begin
+        Hashtbl.add seen (min u v, max u v) ();
+        pairs := (u, v) :: !pairs
+      end;
+      i := !i + 2
+    done;
+    if not !ok then attempt (k + 1)
+    else begin
+      let g = of_pairs_shuffled ~n st !pairs in
+      if Graph.is_connected g then g else attempt (k + 1)
+    end
+  in
+  attempt 0

@@ -1,0 +1,69 @@
+(** Network generators.
+
+    Every generator returns a connected, validated port-labeled graph.
+    Ports are assigned deterministically so that experiments are
+    reproducible; generators taking randomness use an explicit
+    [Random.State.t]. *)
+
+val path : int -> Graph.t
+(** Path on [n ≥ 1] nodes, [0 - 1 - … - n-1]. *)
+
+val cycle : int -> Graph.t
+(** Cycle on [n ≥ 3] nodes. *)
+
+val star : int -> Graph.t
+(** Star with center node [0] and [n-1] leaves ([n ≥ 2]). *)
+
+val complete : int -> Graph.t
+(** The paper's [K*ₙ]: complete graph on labels [1 … n] with the cyclic
+    port labeling — port [p] at node index [i] leads to node index
+    [(i + p + 1) mod n].
+
+    The paper defines the port at [i] of edge [{i,j}] as
+    [(i - j) mod (n-1)], which collides for the label pair [{1, n}] when
+    [n ≥ 3]; the cyclic rule above is the standard repair, preserves the
+    role of [K*ₙ] in every construction, and is a valid port labeling for
+    all [n ≥ 2]. *)
+
+val balanced_tree : arity:int -> depth:int -> Graph.t
+(** Complete [arity]-ary rooted tree of the given depth (depth 0 is a
+    single node). *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** 2-D grid, row-major node indices. *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** 2-D torus; [rows, cols ≥ 3] so no parallel edges arise. *)
+
+val hypercube : dim:int -> Graph.t
+(** [dim]-dimensional hypercube on [2^dim] nodes; port [k] flips bit
+    [k]. *)
+
+val random_connected : n:int -> p:float -> Random.State.t -> Graph.t
+(** Erdős–Rényi [G(n,p)] patched to connectivity: a uniform random
+    spanning tree's edges are added first, then each remaining pair
+    independently with probability [p].  Ports are assigned in insertion
+    order, shuffled per node. *)
+
+val random_tree : n:int -> Random.State.t -> Graph.t
+(** Uniform random labeled tree (random Prüfer sequence). *)
+
+val lollipop : clique:int -> tail:int -> Graph.t
+(** A clique of size [clique ≥ 3] with a path of [tail] extra nodes
+    attached — a classic worst case for flooding-style baselines. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [K_{a,b}] with [a, b ≥ 1] (and [a + b ≥ 2] nodes). *)
+
+val wheel : int -> Graph.t
+(** Hub node [0] plus a cycle of [n-1 ≥ 3] rim nodes. *)
+
+val cube_connected_cycles : dim:int -> Graph.t
+(** CCC(d): each hypercube corner replaced by a [d]-cycle; 3-regular for
+    [d ≥ 3], [d·2^d] nodes.  Port 0/1 go around the local cycle, port 2
+    along the hypercube dimension. *)
+
+val random_regular : n:int -> d:int -> Random.State.t -> Graph.t
+(** A connected [d]-regular graph via the configuration model with
+    rejection (retries until simple and connected).  Requires [n·d] even,
+    [3 ≤ d < n]. *)

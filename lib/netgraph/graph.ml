@@ -1,0 +1,176 @@
+type edge = { u : int; pu : int; v : int; pv : int }
+
+type t = {
+  size : int;
+  node_labels : int array;
+  (* adj.(u).(p) = (v, q): port p at u leads to v, arriving on v's port q. *)
+  adj : (int * int) array array;
+  label_index : (int, int) Hashtbl.t;
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let make ?labels ~n:size edge_list =
+  if size < 1 then fail "Graph.make: n = %d < 1" size;
+  let node_labels =
+    match labels with
+    | None -> Array.init size (fun i -> i + 1)
+    | Some a ->
+      if Array.length a <> size then fail "Graph.make: %d labels for %d nodes" (Array.length a) size;
+      Array.copy a
+  in
+  let label_index = Hashtbl.create size in
+  Array.iteri
+    (fun i l ->
+      if Hashtbl.mem label_index l then fail "Graph.make: duplicate label %d" l;
+      Hashtbl.add label_index l i)
+    node_labels;
+  let deg = Array.make size 0 in
+  List.iter
+    (fun e ->
+      if e.u < 0 || e.u >= size || e.v < 0 || e.v >= size then fail "Graph.make: node out of range in edge";
+      if e.u = e.v then fail "Graph.make: self-loop at node %d" e.u;
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edge_list;
+  let adj = Array.init size (fun u -> Array.make deg.(u) (-1, -1)) in
+  let place u p v q =
+    if p < 0 || p >= deg.(u) then fail "Graph.make: port %d out of range 0..%d at node %d" p (deg.(u) - 1) u;
+    if adj.(u).(p) <> (-1, -1) then fail "Graph.make: duplicate port %d at node %d" p u;
+    adj.(u).(p) <- (v, q)
+  in
+  List.iter
+    (fun e ->
+      place e.u e.pu e.v e.pv;
+      place e.v e.pv e.u e.pu)
+    edge_list;
+  (* Every port slot must be filled: no gaps in 0..deg-1. *)
+  Array.iteri
+    (fun u row ->
+      Array.iteri (fun p (v, _) -> if v = -1 then fail "Graph.make: port %d at node %d unassigned" p u) row)
+    adj;
+  (* No parallel edges. *)
+  Array.iteri
+    (fun u row ->
+      let seen = Hashtbl.create (Array.length row) in
+      Array.iter
+        (fun (v, _) ->
+          if Hashtbl.mem seen v then fail "Graph.make: parallel edge between %d and %d" u v;
+          Hashtbl.add seen v ())
+        row)
+    adj;
+  { size; node_labels; adj; label_index }
+
+let of_adjacency ?labels lists =
+  let size = Array.length lists in
+  (* Port of v in u's list = position; build edges once per unordered pair. *)
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun u ns -> List.iteri (fun p v -> Hashtbl.replace pos (u, v) p) ns) lists;
+  let edges = ref [] in
+  Array.iteri
+    (fun u ns ->
+      List.iteri
+        (fun p v ->
+          if u < v then
+            match Hashtbl.find_opt pos (v, u) with
+            | None -> fail "Graph.of_adjacency: missing symmetric entry %d -> %d" v u
+            | Some q -> edges := { u; pu = p; v; pv = q } :: !edges)
+        ns)
+    lists;
+  make ?labels ~n:size !edges
+
+let n t = t.size
+
+let m t = Array.fold_left (fun acc row -> acc + Array.length row) 0 t.adj / 2
+
+let degree t u = Array.length t.adj.(u)
+
+let label t u = t.node_labels.(u)
+
+let labels t = Array.copy t.node_labels
+
+let node_of_label t l =
+  match Hashtbl.find_opt t.label_index l with Some i -> i | None -> raise Not_found
+
+let endpoint t u p =
+  if u < 0 || u >= t.size then fail "Graph.endpoint: node %d out of range" u;
+  if p < 0 || p >= Array.length t.adj.(u) then fail "Graph.endpoint: port %d out of range at node %d" p u;
+  t.adj.(u).(p)
+
+let neighbors t u =
+  Array.to_list (Array.mapi (fun p (v, q) -> (p, v, q)) t.adj.(u))
+
+let port_to t u v =
+  let row = t.adj.(u) in
+  let rec loop p = if p >= Array.length row then None else if fst row.(p) = v then Some p else loop (p + 1) in
+  loop 0
+
+let has_edge t u v = port_to t u v <> None
+
+let fold_edges f t acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun u row ->
+      Array.iteri (fun pu (v, pv) -> if u < v then acc := f { u; pu; v; pv } !acc) row)
+    t.adj;
+  !acc
+
+let edges t = List.rev (fold_edges (fun e acc -> e :: acc) t [])
+
+let edge_weight _t e = min e.pu e.pv
+
+let is_connected t =
+  let seen = Array.make t.size false in
+  let rec dfs u =
+    seen.(u) <- true;
+    Array.iter (fun (v, _) -> if not seen.(v) then dfs v) t.adj.(u)
+  in
+  dfs 0;
+  Array.for_all (fun b -> b) seen
+
+let validate t =
+  try
+    if Array.length t.node_labels <> t.size then failwith "label array size mismatch";
+    let seen_labels = Hashtbl.create t.size in
+    Array.iter
+      (fun l ->
+        if Hashtbl.mem seen_labels l then failwith (Printf.sprintf "duplicate label %d" l);
+        Hashtbl.add seen_labels l ())
+      t.node_labels;
+    Array.iteri
+      (fun u row ->
+        let seen_nbr = Hashtbl.create (Array.length row) in
+        Array.iteri
+          (fun p (v, q) ->
+            if v < 0 || v >= t.size then failwith (Printf.sprintf "node %d port %d: bad neighbor" u p);
+            if v = u then failwith (Printf.sprintf "self-loop at %d" u);
+            if Hashtbl.mem seen_nbr v then failwith (Printf.sprintf "parallel edge %d-%d" u v);
+            Hashtbl.add seen_nbr v ();
+            if q < 0 || q >= Array.length t.adj.(v) then
+              failwith (Printf.sprintf "node %d port %d: bad reverse port %d" u p q);
+            if t.adj.(v).(q) <> (u, p) then failwith (Printf.sprintf "asymmetric port map at %d-%d" u v))
+          row)
+      t.adj;
+    Ok ()
+  with Failure msg -> Error msg
+
+let equal a b =
+  a.size = b.size && a.node_labels = b.node_labels
+  && Array.for_all2 (fun ra rb -> ra = rb) a.adj b.adj
+
+let to_edge_list_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "n=%d m=%d\n" t.size (m t));
+  List.iter
+    (fun e -> Buffer.add_string b (Printf.sprintf "%d[%d]--%d[%d]\n" e.u e.pu e.v e.pv))
+    (edges t);
+  Buffer.contents b
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d" t.size (m t);
+  Array.iteri
+    (fun u row ->
+      Format.fprintf fmt "@,%d(lbl %d):" u t.node_labels.(u);
+      Array.iteri (fun p (v, q) -> Format.fprintf fmt " %d->%d[%d]" p v q) row)
+    t.adj;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,19 @@
+let key g e =
+  let lu = Graph.label g e.Graph.u and lv = Graph.label g e.Graph.v in
+  (Graph.edge_weight g e, min lu lv, max lu lv)
+
+let edge_order g a b = compare (key g a) (key g b)
+
+let kruskal g =
+  let edges = List.sort (edge_order g) (Graph.edges g) in
+  let dsu = Dsu.create (Graph.n g) in
+  List.filter (fun e -> Dsu.union dsu e.Graph.u e.Graph.v) edges
+
+let weight g es = List.fold_left (fun acc e -> acc + Graph.edge_weight g e) 0 es
+
+let is_spanning_tree g es =
+  List.length es = Graph.n g - 1
+  &&
+  let dsu = Dsu.create (Graph.n g) in
+  List.iter (fun e -> ignore (Dsu.union dsu e.Graph.u e.Graph.v)) es;
+  Dsu.components dsu = 1

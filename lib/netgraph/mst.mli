@@ -1,0 +1,22 @@
+(** Minimum spanning trees under the paper's edge weights.
+
+    Section 1.2 lists "construction of a minimum spanning tree using at
+    most a prescribed number of messages" among the tasks an oracle can be
+    measured on.  The natural weight in the port-labeled model is the
+    paper's [w(e) = min(port_u(e), port_v(e))]; ties are broken by the
+    endpoint label pair, making the minimum spanning tree {e unique} — so
+    a distributed construction can be checked edge-for-edge against this
+    centralized reference. *)
+
+val edge_order : Graph.t -> Graph.edge -> Graph.edge -> int
+(** The strict total order: by weight, then by smaller endpoint label,
+    then larger. *)
+
+val kruskal : Graph.t -> Graph.edge list
+(** The unique MST under {!edge_order}, as [n-1] edges (Kruskal + DSU). *)
+
+val weight : Graph.t -> Graph.edge list -> int
+(** Total weight of an edge set. *)
+
+val is_spanning_tree : Graph.t -> Graph.edge list -> bool
+(** The edge set has [n-1] edges and connects all nodes. *)

@@ -1,0 +1,217 @@
+type t = {
+  root : int;
+  parent : (int * int) option array;
+  children : (int * int) list array;
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let of_parents g ~root parents =
+  let n = Graph.n g in
+  if Array.length parents <> n then fail "Spanning.of_parents: wrong array size";
+  if parents.(root) <> None then fail "Spanning.of_parents: root has a parent";
+  let parent = Array.make n None in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun v p ->
+      match p with
+      | None -> if v <> root then fail "Spanning.of_parents: node %d has no parent" v
+      | Some u ->
+        (match Graph.port_to g v u with
+        | None -> fail "Spanning.of_parents: edge %d-%d not in graph" v u
+        | Some pv ->
+          parent.(v) <- Some (u, pv);
+          let pu =
+            match Graph.port_to g u v with
+            | Some p -> p
+            | None -> assert false
+          in
+          children.(u) <- (v, pu) :: children.(u)))
+    parents;
+  (* Acyclicity + reachability: walk up from each node with a step bound. *)
+  Array.iteri
+    (fun v _ ->
+      let rec climb u steps =
+        if steps > n then fail "Spanning.of_parents: cycle through node %d" v
+        else
+          match parent.(u) with
+          | None -> if u <> root then fail "Spanning.of_parents: node %d not rooted" v
+          | Some (w, _) -> climb w (steps + 1)
+      in
+      climb v 0)
+    parents;
+  let children = Array.map (fun l -> List.sort (fun (_, a) (_, b) -> compare a b) l) children in
+  { root; parent; children }
+
+let bfs g ~root =
+  let _, parents = Traverse.bfs g ~root in
+  of_parents g ~root parents
+
+let dfs g ~root =
+  let parents = Traverse.dfs_parents g ~root in
+  of_parents g ~root parents
+
+let parents_from_edges g ~root pairs =
+  (* Orient an (acyclic, spanning) edge set towards [root]. *)
+  let n = Graph.n g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    pairs;
+  let parents = Array.make n None in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(root) <- true;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parents.(v) <- Some u;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  if not (Array.for_all (fun b -> b) seen) then fail "Spanning: edge set does not span";
+  parents
+
+let random g ~root st =
+  let edges = Array.of_list (Graph.edges g) in
+  for i = Array.length edges - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = edges.(i) in
+    edges.(i) <- edges.(j);
+    edges.(j) <- tmp
+  done;
+  let dsu = Dsu.create (Graph.n g) in
+  let pairs = ref [] in
+  Array.iter
+    (fun e -> if Dsu.union dsu e.Graph.u e.Graph.v then pairs := (e.Graph.u, e.Graph.v) :: !pairs)
+    edges;
+  of_parents g ~root (parents_from_edges g ~root !pairs)
+
+(* Claim 3.1.  Phases k = 1, 2, …: every component of size < 2^k selects a
+   minimum-weight outgoing edge (w(e) = min of the two ports); selected
+   edges are merged, a cycle-closing selection being skipped (the paper
+   erases one edge per cycle, which is the same tree up to the arbitrary
+   choice). *)
+let light g ~root =
+  let n = Graph.n g in
+  let dsu = Dsu.create n in
+  let pairs = ref [] in
+  let k = ref 1 in
+  while Dsu.components dsu > 1 do
+    let threshold = 1 lsl !k in
+    let small_roots = List.filter (fun r -> Dsu.size dsu r < threshold) (Dsu.roots dsu) in
+    (* Minimum-weight outgoing edge per small component. *)
+    let best = Hashtbl.create 16 in
+    Graph.fold_edges
+      (fun e () ->
+        let ru = Dsu.find dsu e.Graph.u and rv = Dsu.find dsu e.Graph.v in
+        if ru <> rv then begin
+          let w = Graph.edge_weight g e in
+          let consider r =
+            match Hashtbl.find_opt best r with
+            | Some (w', _) when w' <= w -> ()
+            | _ -> Hashtbl.replace best r (w, e)
+          in
+          consider ru;
+          consider rv
+        end)
+      g ();
+    let selected =
+      List.filter_map
+        (fun r ->
+          match Hashtbl.find_opt best r with
+          | Some (_, e) -> Some e
+          | None -> None)
+        small_roots
+    in
+    (* A phase in which no component is small simply advances k; but a
+       small component with no outgoing edge means the graph is
+       disconnected. *)
+    if small_roots <> [] && selected = [] then
+      fail "Spanning.light: disconnected graph";
+    List.iter
+      (fun e ->
+        if Dsu.union dsu e.Graph.u e.Graph.v then pairs := (e.Graph.u, e.Graph.v) :: !pairs)
+      selected;
+    incr k
+  done;
+  of_parents g ~root (parents_from_edges g ~root !pairs)
+
+let size t = Array.length t.parent
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v p ->
+      match p with
+      | None -> ()
+      | Some (u, pv) ->
+        let pu =
+          match t.children.(u) |> List.assoc_opt v with
+          | Some p -> p
+          | None -> -1
+        in
+        let e =
+          if u < v then { Graph.u; pu; v; pv } else { Graph.u = v; pu = pv; v = u; pv = pu }
+        in
+        acc := e :: !acc)
+    t.parent;
+  List.rev !acc
+
+let check g t =
+  try
+    let n = Graph.n g in
+    if Array.length t.parent <> n then failwith "size mismatch";
+    if t.parent.(t.root) <> None then failwith "root has a parent";
+    let count = ref 0 in
+    Array.iteri
+      (fun v p ->
+        match p with
+        | None -> if v <> t.root then failwith "non-root without parent"
+        | Some (u, pv) ->
+          incr count;
+          (match Graph.port_to g v u with
+          | Some p' when p' = pv -> ()
+          | _ -> failwith "parent port does not match graph");
+          (match List.assoc_opt v t.children.(u) with
+          | Some pu ->
+            (match Graph.port_to g u v with
+            | Some p' when p' = pu -> ()
+            | _ -> failwith "child port does not match graph")
+          | None -> failwith "child missing from parent's list"))
+      t.parent;
+    if !count <> n - 1 then failwith "wrong edge count";
+    let listed = Array.fold_left (fun acc l -> acc + List.length l) 0 t.children in
+    if listed <> n - 1 then failwith "children lists inconsistent";
+    (* Reachability from root via children links. *)
+    let seen = Array.make n false in
+    let rec go u =
+      seen.(u) <- true;
+      List.iter (fun (v, _) -> if not seen.(v) then go v else failwith "cycle") t.children.(u)
+    in
+    go t.root;
+    if not (Array.for_all (fun b -> b) seen) then failwith "not spanning";
+    Ok ()
+  with Failure msg -> Error msg
+
+let depth t =
+  let n = size t in
+  let d = Array.make n (-1) in
+  let rec go u depth_u =
+    d.(u) <- depth_u;
+    List.iter (fun (v, _) -> go v (depth_u + 1)) t.children.(u)
+  in
+  go t.root 0;
+  d
+
+let contribution g es =
+  List.fold_left (fun acc e -> acc + Bitstring.Binary.bits (Graph.edge_weight g e)) 0 es
+
+let children_ports t u = List.map snd t.children.(u)

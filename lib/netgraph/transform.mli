@@ -1,0 +1,56 @@
+(** The paper's hard-instance graph surgeries.
+
+    Both lower bounds hide information inside a host graph in a way that
+    is invisible from the port labelings the nodes can see:
+
+    - Theorem 2.2 subdivides [n] chosen edges of [K*ₙ], inserting a degree-2
+      node in the middle of each ({!subdivide} builds the general form,
+      [G_{n,S}]).
+    - Theorem 3.2 replaces chosen edges with [k]-cliques missing one edge,
+      splicing the clique into the host edge ({!substitute_cliques},
+      [G_{n,S,C}]).
+
+    Both operations preserve the port numbers of the host graph at the
+    original endpoints, which is precisely why local advice cannot reveal
+    where the surgery happened. *)
+
+val subdivide : Graph.t -> chosen:Graph.edge list -> Graph.t
+(** [subdivide g ~chosen] inserts one new node in the middle of each chosen
+    edge.  The i-th new node (0-based) receives label [L + i + 1] where [L]
+    is the largest host label (for the paper's [K*ₙ] with labels [1…n] this
+    gives [n+1 … n+|S|]), index [n g + i], port [0] towards the endpoint
+    with the smaller label and port [1] towards the other.  Host ports are
+    unchanged.  Raises [Invalid_argument] if a chosen edge is not in the
+    graph or appears twice. *)
+
+val substitute_cliques :
+  Graph.t -> k:int -> chosen:Graph.edge list -> missing:(int * int) list -> Graph.t
+(** [substitute_cliques g ~k ~chosen ~missing] replaces the i-th chosen
+    edge [{u,v}] (with [label u < label v]) by a clique [Hᵢ] of size
+    [k ≥ 3] minus its internal edge [{aᵢ,bᵢ}] given by
+    [missing = [(a₁,b₁); …]] with [1 ≤ aᵢ < bᵢ ≤ k]; [aᵢ] is attached to
+    [u] re-using the freed clique port and the host port of the former
+    edge at [u], and [bᵢ] to [v] likewise.  Clique node labels follow the
+    paper: [L + (i-1)k + a] for local index [a ∈ 1…k] over the host
+    maximum [L].  Internal clique ports follow the cyclic rule (port [p]
+    at local node [x] leads to local node [(x+p+1) mod k]; the paper's
+    formula [(a-b) mod (k-1)] has collisions and is repaired the same way
+    as in {!Gen.complete}).  Raises [Invalid_argument] on malformed
+    input. *)
+
+val clique_pairs : k:int -> count:int -> Random.State.t -> (int * int) list
+(** [count] uniform pairs [(a, b)] with [1 ≤ a < b ≤ k] — a random element
+    of the paper's set [C]. *)
+
+val choose_edges : Graph.t -> count:int -> Random.State.t -> Graph.edge list
+(** [count] distinct edges sampled uniformly — a random tuple [S]. *)
+
+val permute_labels : Graph.t -> Random.State.t -> Graph.t
+(** Uniformly relabel nodes (adjacency and ports untouched). *)
+
+val permute_ports : Graph.t -> Random.State.t -> Graph.t
+(** Apply an independent uniform permutation to the port numbers of every
+    node (adjacency and labels untouched).  Oracle sizes in the paper
+    depend on the port labeling — the weight [w(e) = min port] is a
+    property of ports, not topology — so this surgery probes that
+    sensitivity (experiment E3b). *)

@@ -1,0 +1,77 @@
+let bfs g ~root =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n None in
+  let q = Queue.create () in
+  dist.(root) <- 0;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (_, v, _) ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- Some u;
+          Queue.add v q
+        end)
+      (Graph.neighbors g u)
+  done;
+  (dist, parent)
+
+let dfs_parents g ~root =
+  let n = Graph.n g in
+  let parent = Array.make n None in
+  let seen = Array.make n false in
+  let rec go u =
+    seen.(u) <- true;
+    List.iter
+      (fun (_, v, _) ->
+        if not seen.(v) then begin
+          parent.(v) <- Some u;
+          go v
+        end)
+      (Graph.neighbors g u)
+  in
+  go root;
+  (* Mark unreachable nodes with no parent (already None). *)
+  parent
+
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let k = ref 0 in
+  for s = 0 to n - 1 do
+    if comp.(s) < 0 then begin
+      let q = Queue.create () in
+      comp.(s) <- !k;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun (_, v, _) ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- !k;
+              Queue.add v q
+            end)
+          (Graph.neighbors g u)
+      done;
+      incr k
+    end
+  done;
+  (comp, !k)
+
+let eccentricity g u =
+  let dist, _ = bfs g ~root:u in
+  Array.fold_left
+    (fun acc d ->
+      if d < 0 then invalid_arg "Traverse.eccentricity: disconnected graph" else max acc d)
+    0 dist
+
+let diameter g =
+  let n = Graph.n g in
+  let rec loop u acc = if u >= n then acc else loop (u + 1) (max acc (eccentricity g u)) in
+  loop 0 0
+
+let distance g u v =
+  let dist, _ = bfs g ~root:u in
+  if dist.(v) < 0 then None else Some dist.(v)

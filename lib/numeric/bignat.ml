@@ -1,0 +1,191 @@
+(* Little-endian limbs in base 2^26; no trailing zero limbs (zero = [||]).
+   26-bit limbs keep limb products within 52 bits, so schoolbook
+   multiplication with int accumulators never overflows on 63-bit ints. *)
+
+let base_bits = 26
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+
+let zero = [||]
+let is_zero t = Array.length t = 0
+
+let normalise a =
+  let len = ref (Array.length a) in
+  while !len > 0 && a.(!len - 1) = 0 do
+    decr len
+  done;
+  if !len = Array.length a then a else Array.sub a 0 !len
+
+let of_int v =
+  if v < 0 then invalid_arg "Bignat.of_int: negative";
+  let rec limbs v = if v = 0 then [] else (v land mask) :: limbs (v lsr base_bits) in
+  Array.of_list (limbs v)
+
+let one = of_int 1
+
+let to_int_opt t =
+  let rec loop i acc =
+    if i < 0 then Some acc
+    else if acc > (max_int - t.(i)) / base then None
+    else loop (i - 1) ((acc * base) + t.(i))
+  in
+  loop (Array.length t - 1) 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec loop i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else loop (i - 1)
+    in
+    loop (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalise r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalise r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (a.(i) * b.(j)) + !carry in
+        r.(i + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry > 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalise r
+  end
+
+let mul_int a v =
+  if v < 0 then invalid_arg "Bignat.mul_int: negative"
+  else mul a (of_int v)
+
+let divmod_int a v =
+  if v <= 0 then invalid_arg "Bignat.divmod_int: non-positive divisor";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / v;
+    rem := cur mod v
+  done;
+  (normalise q, !rem)
+
+let div_exact_int a v =
+  let q, r = divmod_int a v in
+  if r <> 0 then invalid_arg "Bignat.div_exact_int: remainder";
+  q
+
+let pow2 k =
+  if k < 0 then invalid_arg "Bignat.pow2: negative";
+  let r = Array.make ((k / base_bits) + 1) 0 in
+  r.(k / base_bits) <- 1 lsl (k mod base_bits);
+  r
+
+let pow x k =
+  if k < 0 then invalid_arg "Bignat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else go (if k land 1 = 1 then mul acc base else acc) (mul base base) (k lsr 1)
+  in
+  go one x k
+
+let factorial n =
+  if n < 0 then invalid_arg "Bignat.factorial: negative";
+  let rec loop acc i = if i > n then acc else loop (mul_int acc i) (i + 1) in
+  loop one 2
+
+let binomial n k =
+  if k < 0 || k > n then zero
+  else begin
+    let k = min k (n - k) in
+    (* Multiply by (n-k+i) and divide by i at each step: the running value
+       is always C(n-k+i, i), so division is exact. *)
+    let rec loop acc i =
+      if i > k then acc else loop (div_exact_int (mul_int acc (n - k + i)) i) (i + 1)
+    in
+    loop one 1
+  end
+
+let log2 t =
+  let l = Array.length t in
+  if l = 0 then neg_infinity
+  else begin
+    (* Up to three top limbs give 78 significant bits — beyond double
+       precision. *)
+    let top = float_of_int t.(l - 1) in
+    let top2 = if l >= 2 then float_of_int t.(l - 2) /. float_of_int base else 0.0 in
+    let top3 = if l >= 3 then float_of_int t.(l - 3) /. float_of_int (base * base) else 0.0 in
+    Float.log2 (top +. top2 +. top3) +. float_of_int ((l - 1) * base_bits)
+  end
+
+let to_string t =
+  if is_zero t then "0"
+  else begin
+    let digits = Buffer.create 32 in
+    let rec loop v =
+      if not (is_zero v) then begin
+        let q, r = divmod_int v 10 in
+        Buffer.add_char digits (Char.chr (Char.code '0' + r));
+        loop q
+      end
+    in
+    loop t;
+    let s = Buffer.contents digits in
+    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignat.of_string: empty";
+  String.fold_left
+    (fun acc c ->
+      if c < '0' || c > '9' then invalid_arg "Bignat.of_string: bad digit"
+      else add (mul_int acc 10) (of_int (Char.code c - Char.code '0')))
+    zero s
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

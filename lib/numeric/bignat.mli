@@ -1,0 +1,59 @@
+(** Arbitrary-precision natural numbers, dependency-free.
+
+    The counting arguments of Theorems 2.2 and 3.2 multiply factorials and
+    binomials far past 2^63.  The production pipeline ({!Oracle_core.Bounds})
+    works in log₂-space floats; this module provides the exact values so
+    the float pipeline can be cross-validated (and tests can pin small
+    cases exactly).  Base-2²⁶ limbs, schoolbook arithmetic — fine for the
+    sizes the experiments reach. *)
+
+type t
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** Raises [Invalid_argument] on negatives. *)
+
+val to_int_opt : t -> int option
+(** [None] when the value exceeds [max_int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Raises [Invalid_argument] when the result would be negative. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val divmod_int : t -> int -> t * int
+(** Long division by a positive machine integer. *)
+
+val div_exact_int : t -> int -> t
+(** Raises [Invalid_argument] if the division leaves a remainder. *)
+
+val pow2 : int -> t
+
+val pow : t -> int -> t
+(** [pow x k] for [k ≥ 0], by repeated squaring. *)
+
+val factorial : int -> t
+
+val binomial : int -> int -> t
+(** [binomial n k]; [zero] when [k < 0] or [k > n].  Exact multiplicative
+    evaluation. *)
+
+val log2 : t -> float
+(** [log₂] of the value; [neg_infinity] for zero. *)
+
+val to_string : t -> string
+(** Decimal. *)
+
+val of_string : string -> t
+(** Decimal.  Raises [Invalid_argument] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = Bitstring.Bitbuf.t array
+
+let make a = a
+
+let empty ~n = Array.init n (fun _ -> Bitstring.Bitbuf.create ())
+
+let get t v = t.(v)
+
+let n t = Array.length t
+
+let size_bits t = Array.fold_left (fun acc b -> acc + Bitstring.Bitbuf.length b) 0 t
+
+let nonempty_nodes t =
+  Array.fold_left (fun acc b -> if Bitstring.Bitbuf.is_empty b then acc else acc + 1) 0 t
+
+let max_node_bits t = Array.fold_left (fun acc b -> max acc (Bitstring.Bitbuf.length b)) 0 t
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>advice (%d bits total)" (size_bits t);
+  Array.iteri
+    (fun v b ->
+      if not (Bitstring.Bitbuf.is_empty b) then
+        Format.fprintf fmt "@,%d: %a" v Bitstring.Bitbuf.pp b)
+    t;
+  Format.fprintf fmt "@]"

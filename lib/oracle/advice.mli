@@ -1,0 +1,25 @@
+(** Advice assignments: the value [f = O(G)] of an oracle on a network —
+    one binary string per node.  The size of the assignment (total bits) is
+    the paper's oracle-size measure. *)
+
+type t
+
+val make : Bitstring.Bitbuf.t array -> t
+(** One buffer per node index.  The array is not copied. *)
+
+val empty : n:int -> t
+(** Every node gets the empty string. *)
+
+val get : t -> int -> Bitstring.Bitbuf.t
+
+val n : t -> int
+
+val size_bits : t -> int
+(** Total length of all strings — the oracle size on this network. *)
+
+val nonempty_nodes : t -> int
+(** How many nodes received at least one bit. *)
+
+val max_node_bits : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Baseline oracles, representing the traditional "particular items of
+    information" the paper contrasts its quantitative approach with.
+
+    Sizes on an n-node, m-edge network:
+    - {!full_map}: [Θ(n·m log n)] — everyone knows the whole network.
+    - {!source_map}: [Θ(m log n)] — only the source knows the network.
+    - {!neighbor_labels}: [Θ(m log n)] — everyone knows its neighbors'
+      labels in port order (knowledge-of-neighborhood assumption).
+    - {!bfs_children_fixed}: [Θ(n log n)] — BFS-tree children ports, each
+      in fixed width [⌈log n⌉] with a count prefix: the naive form of the
+      Theorem 2.1 oracle.
+    - {!parent_port}: each non-root node learns the port towards its BFS
+      parent (enough for convergecast, not dissemination). *)
+
+val full_map : Oracle.t
+
+val source_map : Oracle.t
+
+val neighbor_labels : Oracle.t
+
+val bfs_children_fixed : Oracle.t
+
+val parent_port : Oracle.t
+
+val all : Oracle.t list
+
+(** {1 Decoders} *)
+
+val decode_map : Bitstring.Bitbuf.t -> Netgraph.Graph.t
+(** Recover the network from a {!full_map} or {!source_map} advice
+    string. *)
+
+val decode_children_fixed : Bitstring.Bitbuf.t -> int list
+(** Recover the port list from a {!bfs_children_fixed} advice string. *)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  advise : Netgraph.Graph.t -> source:int -> Advice.t;
+}
+
+let make ~name advise = { name; advise }
+
+let empty = make ~name:"empty" (fun g ~source:_ -> Advice.empty ~n:(Netgraph.Graph.n g))
+
+let size_on t g ~source = Advice.size_bits (t.advise g ~source)
+
+let advice_fun t g ~source =
+  let advice = t.advise g ~source in
+  fun v -> Advice.get advice v
+
+let union ~name a b =
+  let advise g ~source =
+    let adv_a = a.advise g ~source and adv_b = b.advise g ~source in
+    Advice.make
+      (Array.init (Advice.n adv_a) (fun v ->
+           let buf = Bitstring.Bitbuf.copy (Advice.get adv_a v) in
+           Bitstring.Bitbuf.append buf (Advice.get adv_b v);
+           buf))
+  in
+  { name; advise }
+
+let truncate t ~budget =
+  if budget < 0 then invalid_arg "Oracle.truncate: negative budget";
+  let advise g ~source =
+    let full = t.advise g ~source in
+    let remaining = ref budget in
+    let clipped =
+      Array.init (Advice.n full) (fun v ->
+          let b = Advice.get full v in
+          let len = Bitstring.Bitbuf.length b in
+          let keep = min len !remaining in
+          remaining := !remaining - keep;
+          if keep = len then Bitstring.Bitbuf.copy b
+          else begin
+            let out = Bitstring.Bitbuf.create ~capacity:keep () in
+            for i = 0 to keep - 1 do
+              Bitstring.Bitbuf.add_bit out (Bitstring.Bitbuf.get b i)
+            done;
+            out
+          end)
+    in
+    Advice.make clipped
+  in
+  { name = Printf.sprintf "%s|truncated(%d)" t.name budget; advise }

@@ -1,0 +1,36 @@
+(** Oracles, as defined in Section 1.2.
+
+    An oracle is a function whose arguments are networks and whose value
+    [O(G)] assigns a binary string to every node.  The source is part of
+    the network instance (the status bit distinguishes it), so the advising
+    function receives it explicitly. *)
+
+type t = {
+  name : string;
+  advise : Netgraph.Graph.t -> source:int -> Advice.t;
+}
+
+val make : name:string -> (Netgraph.Graph.t -> source:int -> Advice.t) -> t
+
+val empty : t
+(** Assigns the empty string to everyone — size [0]. *)
+
+val size_on : t -> Netgraph.Graph.t -> source:int -> int
+(** [size_on o g ~source] is the oracle's size on [G]. *)
+
+val advice_fun : t -> Netgraph.Graph.t -> source:int -> int -> Bitstring.Bitbuf.t
+(** The per-node advice lookup in the form {!Sim.Runner.run} expects. *)
+
+val union : name:string -> t -> t -> t
+(** [union ~name a b] concatenates the two oracles' advice per node
+    ([a]'s bits first).  Size is the sum of sizes — the natural way to
+    provision one network for several tasks at once.  Decoders must know
+    where the split is; pair it with self-delimiting codes (every code in
+    {!Bitstring.Codes} is). *)
+
+val truncate : t -> budget:int -> t
+(** [truncate o ~budget] clips the total advice to at most [budget] bits:
+    nodes are served in index order and a node whose string would overflow
+    the remaining budget gets only the prefix that fits.  Used to probe
+    how schemes degrade when the oracle is too small (Theorems 2.2 and
+    3.2 say: badly). *)

@@ -1,0 +1,68 @@
+module Graph = Netgraph.Graph
+
+type protocol = {
+  protocol_name : string;
+  make_node :
+    n_hint:int -> advice:Bitstring.Bitbuf.t -> id:int -> round:int -> informed:bool -> bool;
+}
+
+type result = {
+  rounds : int;
+  transmissions : int;
+  collisions : int;
+  informed : bool array;
+  all_informed : bool;
+}
+
+let run ?max_rounds ~advice g ~source protocol =
+  let n = Graph.n g in
+  let max_rounds =
+    match max_rounds with
+    | Some v -> v
+    | None -> 64 * n * (Netgraph.Traverse.diameter g + 1)
+  in
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let nodes =
+    Array.init n (fun v ->
+        protocol.make_node ~n_hint:n ~advice:(advice v) ~id:(Graph.label g v))
+  in
+  let transmissions = ref 0 in
+  let collisions = ref 0 in
+  let informed_count = ref 1 in
+  let round = ref 0 in
+  while !informed_count < n && !round < max_rounds do
+    incr round;
+    let transmitting = Array.make n false in
+    for v = 0 to n - 1 do
+      if nodes.(v) ~round:!round ~informed:informed.(v) && informed.(v) then begin
+        transmitting.(v) <- true;
+        incr transmissions
+      end
+    done;
+    (* Reception: exactly one transmitting neighbor. *)
+    let newly = ref [] in
+    for v = 0 to n - 1 do
+      if not informed.(v) then begin
+        let senders =
+          List.fold_left
+            (fun acc (_, nbr, _) -> if transmitting.(nbr) then acc + 1 else acc)
+            0 (Graph.neighbors g v)
+        in
+        if senders = 1 then newly := v :: !newly
+        else if senders > 1 then incr collisions
+      end
+    done;
+    List.iter
+      (fun v ->
+        informed.(v) <- true;
+        incr informed_count)
+      !newly
+  done;
+  {
+    rounds = !round;
+    transmissions = !transmissions;
+    collisions = !collisions;
+    informed;
+    all_informed = !informed_count = n;
+  }

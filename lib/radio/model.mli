@@ -1,0 +1,41 @@
+(** Synchronous radio networks.
+
+    The paper's introduction (§1.1) uses broadcasting in radio networks as
+    prime evidence that knowledge drives efficiency: with complete
+    topology knowledge deterministic broadcast takes [O(D + log² n)]
+    rounds, while with only label knowledge [Ω(n log D)] rounds are
+    needed.  This substrate reproduces the regime difference with three
+    classic protocols (see {!Protocols}) under the standard model:
+
+    rounds are synchronous; in each round every {e informed} node either
+    transmits or stays silent; an uninformed node receives a message in a
+    round iff {e exactly one} of its neighbors transmits (simultaneous
+    transmissions collide and are indistinguishable from silence — no
+    collision detection). *)
+
+type protocol = {
+  protocol_name : string;
+  make_node : n_hint:int -> advice:Bitstring.Bitbuf.t -> id:int -> round:int -> informed:bool -> bool;
+      (** [make_node ~n_hint ~advice ~id] instantiates a node's transmit
+          predicate: called once per round with the global round number
+          (1-based) and whether the node is informed; returns whether it
+          transmits.  Uninformed transmissions are ignored by the runner
+          (only informed nodes hold the message). *)
+}
+
+type result = {
+  rounds : int;  (** rounds until everyone was informed (or the cutoff) *)
+  transmissions : int;  (** total (informed) transmissions *)
+  collisions : int;  (** receiver-side collision events *)
+  informed : bool array;
+  all_informed : bool;
+}
+
+val run :
+  ?max_rounds:int ->
+  advice:(int -> Bitstring.Bitbuf.t) ->
+  Netgraph.Graph.t ->
+  source:int ->
+  protocol ->
+  result
+(** Default [max_rounds]: [64 * n * (D+1)] — past every protocol here. *)

@@ -1,0 +1,102 @@
+module Bitbuf = Bitstring.Bitbuf
+module Codes = Bitstring.Codes
+module Graph = Netgraph.Graph
+
+let round_robin =
+  {
+    Model.protocol_name = "round-robin";
+    make_node =
+      (fun ~n_hint ~advice:_ ~id ~round ~informed ->
+        informed && ((round - 1) mod n_hint) + 1 = id);
+  }
+
+let decay ~seed =
+  {
+    Model.protocol_name = Printf.sprintf "decay(%d)" seed;
+    make_node =
+      (fun ~n_hint ~advice:_ ~id ->
+        let st = Random.State.make [| seed; id |] in
+        let phase_len = Bitstring.Binary.ceil_log2 (max 2 n_hint) + 1 in
+        fun ~round ~informed ->
+          informed
+          &&
+          let i = (round - 1) mod phase_len in
+          Random.State.float st 1.0 < Float.exp2 (float_of_int (-i)));
+  }
+
+let schedule_rounds g ~source =
+  let n = Graph.n g in
+  let dist, _ = Netgraph.Traverse.bfs g ~root:source in
+  let max_layer = Array.fold_left max 0 dist in
+  let rounds_of = Array.make n [] in
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let round = ref 0 in
+  for layer = 0 to max_layer - 1 do
+    let frontier = ref [] in
+    Array.iteri (fun v d -> if d = layer then frontier := v :: !frontier) dist;
+    let uncovered = Hashtbl.create 16 in
+    Array.iteri
+      (fun v d -> if d = layer + 1 && not informed.(v) then Hashtbl.replace uncovered v ())
+      dist;
+    while Hashtbl.length uncovered > 0 do
+      (* Greedy: the frontier node covering the most uncovered targets. *)
+      let best = ref None in
+      List.iter
+        (fun u ->
+          let gain =
+            List.fold_left
+              (fun acc (_, nbr, _) -> if Hashtbl.mem uncovered nbr then acc + 1 else acc)
+              0 (Graph.neighbors g u)
+          in
+          match !best with
+          | Some (_, bg) when bg >= gain -> ()
+          | _ -> if gain > 0 then best := Some (u, gain))
+        !frontier;
+      match !best with
+      | None ->
+        (* Unreachable on a connected graph: every uncovered layer-(l+1)
+           node has a layer-l neighbor. *)
+        Hashtbl.reset uncovered
+      | Some (u, _) ->
+        incr round;
+        rounds_of.(u) <- !round :: rounds_of.(u);
+        List.iter
+          (fun (_, nbr, _) ->
+            if Hashtbl.mem uncovered nbr then begin
+              Hashtbl.remove uncovered nbr;
+              informed.(nbr) <- true
+            end)
+          (Graph.neighbors g u)
+    done
+  done;
+  (Array.map List.rev rounds_of, !round)
+
+let schedule_oracle g ~source =
+  let rounds_of, _ = schedule_rounds g ~source in
+  Oracles.Advice.make
+    (Array.map
+       (fun rounds ->
+         let buf = Bitbuf.create () in
+         Codes.write_gamma buf (List.length rounds);
+         List.iter (Codes.write_gamma buf) rounds;
+         buf)
+       rounds_of)
+
+let schedule_length g ~source = snd (schedule_rounds g ~source)
+
+let scheduled =
+  {
+    Model.protocol_name = "scheduled";
+    make_node =
+      (fun ~n_hint:_ ~advice ~id:_ ->
+        let rounds =
+          if Bitbuf.is_empty advice then []
+          else begin
+            let r = Bitbuf.reader advice in
+            let count = Codes.read_gamma r in
+            List.init count (fun _ -> Codes.read_gamma r)
+          end
+        in
+        fun ~round ~informed -> informed && List.mem round rounds);
+  }

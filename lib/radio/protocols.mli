@@ -1,0 +1,28 @@
+(** Radio broadcast protocols at three knowledge levels.
+
+    - {!round_robin}: labels only, deterministic — node with label
+      [((t-1) mod n) + 1] transmits in round [t].  Collision-free by
+      construction; completes within [n·D] rounds.
+    - {!decay}: labels only, randomized (Bar-Yehuda–Goldreich–Itai) — in
+      round [t], an informed node transmits with probability
+      [2^-(t mod (⌈log n⌉+1))].  Expected [O((D + log n)·log n)] rounds.
+    - {!scheduled}: full topology knowledge, compiled into per-node advice
+      by {!schedule_oracle} — one designated transmitter per round,
+      sweeping the BFS layers with a greedy cover, so broadcast is
+      deterministic and collision-free.  The advice size is the price of
+      that knowledge, measured in E15. *)
+
+val round_robin : Model.protocol
+
+val decay : seed:int -> Model.protocol
+
+val scheduled : Model.protocol
+(** Transmits in exactly the rounds gamma-listed in its advice. *)
+
+val schedule_oracle : Netgraph.Graph.t -> source:int -> Oracles.Advice.t
+(** Greedy per-layer single-transmitter schedule.  Guarantees that
+    {!scheduled} informs everyone, in at most [n-1] rounds (often far
+    fewer: one round per greedy cover element). *)
+
+val schedule_length : Netgraph.Graph.t -> source:int -> int
+(** Rounds the schedule uses. *)

@@ -1,0 +1,20 @@
+type static = {
+  advice : Bitstring.Bitbuf.t;
+  is_source : bool;
+  id : int;
+  degree : int;
+}
+
+type t = { static : static; received : (Message.t * int) list }
+
+let initial static = { static; received = [] }
+
+let receive t msg ~port = { t with received = t.received @ [ (msg, port) ] }
+
+let received_count t = List.length t.received
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>(advice=%a, s=%b, id=%d, deg=%d,"
+    Bitstring.Bitbuf.pp t.static.advice t.static.is_source t.static.id t.static.degree;
+  List.iter (fun (m, p) -> Format.fprintf fmt " (%a,%d)" Message.pp m p) t.received;
+  Format.fprintf fmt ")@]"

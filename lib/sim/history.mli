@@ -1,0 +1,27 @@
+(** Node histories, exactly as in the paper.
+
+    A history at node [v] is
+    [(f(v), s(v), id(v), deg(v), (m₁,p₁), …, (m_k,p_k))]: the node's advice
+    string, status bit, label and degree, followed by the messages received
+    so far with their arrival ports. *)
+
+type static = {
+  advice : Bitstring.Bitbuf.t;  (** the oracle string [f(v)] *)
+  is_source : bool;  (** the status bit [s(v)] *)
+  id : int;  (** the node's label *)
+  degree : int;
+}
+
+type t = {
+  static : static;
+  received : (Message.t * int) list;  (** oldest first *)
+}
+
+val initial : static -> t
+
+val receive : t -> Message.t -> port:int -> t
+(** Extend the history with one received message. *)
+
+val received_count : t -> int
+
+val pp : Format.formatter -> t -> unit

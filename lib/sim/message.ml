@@ -1,0 +1,19 @@
+type t = Source | Hello | Control of Bitstring.Bitbuf.t
+
+let size_bits = function
+  | Source -> 1
+  | Hello -> 1
+  | Control payload -> max 1 (Bitstring.Bitbuf.length payload)
+
+let equal a b =
+  match a, b with
+  | Source, Source | Hello, Hello -> true
+  | Control x, Control y -> Bitstring.Bitbuf.equal x y
+  | (Source | Hello | Control _), _ -> false
+
+let pp fmt = function
+  | Source -> Format.pp_print_string fmt "M"
+  | Hello -> Format.pp_print_string fmt "hello"
+  | Control payload -> Format.fprintf fmt "ctl:%a" Bitstring.Bitbuf.pp payload
+
+let is_source = function Source -> true | Hello | Control _ -> false

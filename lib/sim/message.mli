@@ -1,0 +1,21 @@
+(** Messages exchanged by schemes.
+
+    The paper's upper bounds use only bounded-size messages: the source
+    message itself and small control messages ("hello" in Scheme B).  The
+    lower bounds allow arbitrarily long messages, represented here by
+    [Control] payloads.  [size_bits] gives the accounting used for
+    bits-on-wire statistics (the source message proper is charged 1 bit —
+    its content is irrelevant to every result). *)
+
+type t =
+  | Source  (** the source message [M], or any message carrying it *)
+  | Hello  (** Scheme B's control message *)
+  | Control of Bitstring.Bitbuf.t  (** arbitrary control payload *)
+
+val size_bits : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val is_source : t -> bool

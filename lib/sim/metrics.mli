@@ -1,0 +1,26 @@
+(** Shape statistics for experiment tables.
+
+    The paper's claims are asymptotic; the experiment tables report
+    measured quantities against the model functions the theorems name
+    ([n], [n log n], [m], …).  This module computes the ratio statistics
+    and log-log growth slopes those tables print. *)
+
+type ratio_summary = {
+  mean : float;
+  max : float;
+  min : float;
+}
+
+val ratios : xs:float list -> ys:float list -> model:(float -> float) -> ratio_summary
+(** Summary of [y / model x] pointwise.  Raises [Invalid_argument] on
+    length mismatch or empty input. *)
+
+val loglog_slope : xs:float list -> ys:float list -> float
+(** Least-squares slope of [log y] against [log x] — the empirical growth
+    exponent.  Requires at least two distinct positive [x]. *)
+
+val linear_fit : xs:float list -> ys:float list -> float * float
+(** Least-squares [(slope, intercept)] of [y] against [x]. *)
+
+val mean : float list -> float
+val maximum : float list -> float

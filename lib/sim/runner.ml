@@ -1,0 +1,261 @@
+module Graph = Netgraph.Graph
+
+type delivery = {
+  src : int;
+  src_port : int;
+  dst : int;
+  dst_port : int;
+  msg : Message.t;
+  informed_sender : bool;
+  round : int;
+  seq : int;
+}
+
+type stats = {
+  sent : int;
+  source_sent : int;
+  hello_sent : int;
+  control_sent : int;
+  bits_on_wire : int;
+  rounds : int;
+  causal_depth : int;
+}
+
+type result = {
+  stats : stats;
+  informed : bool array;
+  all_informed : bool;
+  quiescent : bool;
+  deliveries : delivery list;
+  per_node_sent : int array;
+}
+
+type in_flight = {
+  f_src : int;
+  f_src_port : int;
+  f_dst : int;
+  f_dst_port : int;
+  f_msg : Message.t;
+  f_informed : bool;
+  f_seq : int;
+  f_sent_round : int;
+  f_depth : int;
+}
+
+let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record_trace = false)
+    ?loss ~advice g ~source factory =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Runner.run: source out of range";
+  let informed = Array.make n false in
+  informed.(source) <- true;
+  let nodes =
+    Array.init n (fun v ->
+        factory
+          {
+            History.advice = advice v;
+            is_source = v = source;
+            id = Graph.label g v;
+            degree = Graph.degree g v;
+          })
+  in
+  let sent = ref 0 in
+  let per_node_sent = Array.make n 0 in
+  let source_sent = ref 0 in
+  let hello_sent = ref 0 in
+  let control_sent = ref 0 in
+  let bits = ref 0 in
+  let seq = ref 0 in
+  let trace = ref [] in
+  let rand =
+    match scheduler with
+    | Scheduler.Async_random seed -> Some (Random.State.make [| seed |])
+    | Scheduler.Synchronous | Scheduler.Async_fifo | Scheduler.Async_lifo -> None
+  in
+  (* In-flight messages.  FIFO/synchronous use a queue-like pair of
+     lists; LIFO a stack; random an array-backed bag with swap-remove so
+     each pop is O(1). *)
+  let pending : in_flight list ref = ref [] in
+  let pending_rev : in_flight list ref = ref [] in
+  let bag = ref [||] in
+  let bag_len = ref 0 in
+  let bag_push ev =
+    if !bag_len = Array.length !bag then begin
+      let grown = Array.make (max 16 (2 * Array.length !bag)) ev in
+      Array.blit !bag 0 grown 0 !bag_len;
+      bag := grown
+    end;
+    !bag.(!bag_len) <- ev;
+    incr bag_len
+  in
+  let push ev =
+    match scheduler with
+    | Scheduler.Async_lifo -> pending := ev :: !pending
+    | Scheduler.Async_random _ -> bag_push ev
+    | Scheduler.Synchronous | Scheduler.Async_fifo -> pending_rev := ev :: !pending_rev
+  in
+  let pop_fifo () =
+    (match !pending with
+    | [] ->
+      pending := List.rev !pending_rev;
+      pending_rev := []
+    | _ :: _ -> ());
+    match !pending with
+    | [] -> None
+    | ev :: rest ->
+      pending := rest;
+      Some ev
+  in
+  let pop_random st =
+    if !bag_len = 0 then None
+    else begin
+      let i = Random.State.int st !bag_len in
+      let ev = !bag.(i) in
+      decr bag_len;
+      !bag.(i) <- !bag.(!bag_len);
+      Some ev
+    end
+  in
+  let max_depth = ref 0 in
+  let loss_state =
+    match loss with
+    | None -> None
+    | Some (p, _) when p <= 0.0 -> None
+    | Some (p, lseed) ->
+      if p >= 1.0 then invalid_arg "Runner.run: loss probability must be < 1";
+      Some (p, Random.State.make [| lseed; 0x1055 |])
+  in
+  let lost () =
+    match loss_state with
+    | None -> false
+    | Some (p, st) -> Random.State.float st 1.0 < p
+  in
+  let emit v round ~depth sends =
+    List.iter
+      (fun (msg, port) ->
+        if port < 0 || port >= Graph.degree g v then
+          invalid_arg
+            (Printf.sprintf "Runner: node %d (degree %d) sends on port %d" v (Graph.degree g v)
+               port);
+        let dst, dst_port = Graph.endpoint g v port in
+        incr sent;
+        per_node_sent.(v) <- per_node_sent.(v) + 1;
+        (match msg with
+        | Message.Source -> incr source_sent
+        | Message.Hello -> incr hello_sent
+        | Message.Control _ -> incr control_sent);
+        bits := !bits + Message.size_bits msg;
+        if not (lost ()) then
+        push
+          {
+            f_src = v;
+            f_src_port = port;
+            f_dst = dst;
+            f_dst_port = dst_port;
+            f_msg = msg;
+            f_informed = informed.(v);
+            f_seq = !seq;
+            f_sent_round = round;
+            f_depth = depth;
+          };
+        incr seq)
+      sends
+  in
+  (* Start-up: the paper's scheme on the empty history, at every node. *)
+  for v = 0 to n - 1 do
+    emit v 0 ~depth:1 (nodes.(v).Scheme.on_start ())
+  done;
+  let deliver ev round =
+    if ev.f_depth > !max_depth then max_depth := ev.f_depth;
+    if ev.f_informed then informed.(ev.f_dst) <- true;
+    if record_trace then
+      trace :=
+        {
+          src = ev.f_src;
+          src_port = ev.f_src_port;
+          dst = ev.f_dst;
+          dst_port = ev.f_dst_port;
+          msg = ev.f_msg;
+          informed_sender = ev.f_informed;
+          round;
+          seq = ev.f_seq;
+        }
+        :: !trace;
+    nodes.(ev.f_dst).Scheme.on_receive ev.f_msg ~port:ev.f_dst_port
+  in
+  let rounds = ref 0 in
+  let cutoff = ref false in
+  (match scheduler with
+  | Scheduler.Synchronous ->
+    (* Round r+1 delivers exactly the messages sent during round r. *)
+    let rec round_loop () =
+      let batch = List.rev !pending_rev in
+      pending_rev := [];
+      match batch with
+      | [] -> ()
+      | _ :: _ ->
+        incr rounds;
+        let responses =
+          List.map
+            (fun ev ->
+              let sends = deliver ev !rounds in
+              (ev.f_dst, ev.f_depth, sends))
+            batch
+        in
+        List.iter (fun (v, depth, sends) -> emit v !rounds ~depth:(depth + 1) sends) responses;
+        if !sent > max_messages then cutoff := true else round_loop ()
+    in
+    round_loop ()
+  | Scheduler.Async_fifo | Scheduler.Async_lifo | Scheduler.Async_random _ ->
+    let pop () =
+      match rand with
+      | Some st -> pop_random st
+      | None -> pop_fifo ()
+    in
+    let rec loop () =
+      match pop () with
+      | None -> ()
+      | Some ev ->
+        incr rounds;
+        let sends = deliver ev !rounds in
+        emit ev.f_dst !rounds ~depth:(ev.f_depth + 1) sends;
+        if !sent > max_messages then cutoff := true else loop ()
+    in
+    loop ());
+  let stats =
+    {
+      sent = !sent;
+      source_sent = !source_sent;
+      hello_sent = !hello_sent;
+      control_sent = !control_sent;
+      bits_on_wire = !bits;
+      rounds = !rounds;
+      causal_depth = !max_depth;
+    }
+  in
+  {
+    stats;
+    informed;
+    all_informed = Array.for_all (fun b -> b) informed;
+    quiescent = not !cutoff;
+    deliveries = List.rev !trace;
+    per_node_sent;
+  }
+
+let run_silent_network_check ~advice g ~source factory =
+  let n = Graph.n g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if v <> source then begin
+      let node =
+        factory
+          {
+            History.advice = advice v;
+            is_source = false;
+            id = Graph.label g v;
+            degree = Graph.degree g v;
+          }
+      in
+      if node.Scheme.on_start () <> [] then ok := false
+    end
+  done;
+  !ok

@@ -1,0 +1,65 @@
+(** Executes a scheme assignment over a network and accounts for every
+    message, reproducing the paper's cost model: message complexity is the
+    total number of messages produced by the scheme. *)
+
+type delivery = {
+  src : int;
+  src_port : int;
+  dst : int;
+  dst_port : int;
+  msg : Message.t;
+  informed_sender : bool;  (** was the sender informed when it sent? *)
+  round : int;  (** synchronous round, or async step index *)
+  seq : int;  (** global send sequence number *)
+}
+
+type stats = {
+  sent : int;  (** total messages produced (the paper's complexity) *)
+  source_sent : int;
+  hello_sent : int;
+  control_sent : int;
+  bits_on_wire : int;
+  rounds : int;  (** rounds under [Synchronous]; steps otherwise *)
+  causal_depth : int;
+      (** longest chain of causally dependent deliveries — the standard
+          asynchronous time complexity (delays normalised to ≤ 1).  Equals
+          [rounds] under the synchronous scheduler. *)
+}
+
+type result = {
+  stats : stats;
+  informed : bool array;
+  all_informed : bool;
+  quiescent : bool;  (** no in-flight messages remained (no cutoff hit) *)
+  deliveries : delivery list;  (** in delivery order; [] unless traced *)
+  per_node_sent : int array;  (** transmissions per node (load profile) *)
+}
+
+val run :
+  ?scheduler:Scheduler.t ->
+  ?max_messages:int ->
+  ?record_trace:bool ->
+  ?loss:float * int ->
+  advice:(int -> Bitstring.Bitbuf.t) ->
+  Netgraph.Graph.t ->
+  source:int ->
+  Scheme.factory ->
+  result
+(** [run ~advice g ~source factory] instantiates [factory] at every node
+    with its advice/status/label/degree, lets the source (and, for
+    broadcast schemes, everyone) transmit, and drives deliveries under the
+    scheduler (default [Async_fifo]) until quiescence or [max_messages]
+    (default [1_000_000]) sends.
+
+    A node becomes {e informed} when it is the source or when it receives a
+    message sent by an informed node (the source message can always ride
+    along, as in the paper).  [all_informed] is the broadcast/wakeup
+    success criterion.
+
+    Raises [Invalid_argument] if a scheme emits an out-of-range port. *)
+
+val run_silent_network_check :
+  advice:(int -> Bitstring.Bitbuf.t) -> Netgraph.Graph.t -> source:int -> Scheme.factory -> bool
+(** [true] when no non-source node transmits on the empty history under the
+    given advice — the executable form of the wakeup restriction, used by
+    tests. *)

@@ -1,0 +1,9 @@
+type t = Synchronous | Async_fifo | Async_lifo | Async_random of int
+
+let name = function
+  | Synchronous -> "sync"
+  | Async_fifo -> "async-fifo"
+  | Async_lifo -> "async-lifo"
+  | Async_random seed -> Printf.sprintf "async-random(%d)" seed
+
+let default_suite = [ Synchronous; Async_fifo; Async_lifo; Async_random 42; Async_random 7 ]

@@ -1,0 +1,20 @@
+(** Delivery disciplines.
+
+    The paper's upper bounds hold under total asynchrony (any delivery
+    order), while its lower bounds already hold in the synchronous model.
+    We execute schemes under several disciplines to exercise both regimes:
+
+    - [Synchronous]: proceeds in rounds; every message sent in round [r] is
+      delivered in round [r+1].
+    - [Async_fifo]: one message at a time, oldest first (global FIFO).
+    - [Async_lifo]: one at a time, newest first — an adversarially bursty
+      order.
+    - [Async_random seed]: one at a time, uniformly among in-flight
+      messages; deterministic in the seed. *)
+
+type t = Synchronous | Async_fifo | Async_lifo | Async_random of int
+
+val name : t -> string
+
+val default_suite : t list
+(** The disciplines the robustness tests run under. *)

@@ -1,0 +1,54 @@
+type send = Message.t * int
+
+type node = {
+  on_start : unit -> send list;
+  on_receive : Message.t -> port:int -> send list;
+}
+
+type factory = History.static -> node
+
+let of_pure f static =
+  let history = ref (History.initial static) in
+  {
+    on_start = (fun () -> f !history);
+    on_receive =
+      (fun msg ~port ->
+        history := History.receive !history msg ~port;
+        f !history);
+  }
+
+let silent _static =
+  { on_start = (fun () -> []); on_receive = (fun _ ~port:_ -> []) }
+
+let check_wakeup factory static =
+  let node = factory static in
+  let on_start () =
+    let sends = node.on_start () in
+    if sends <> [] && not static.History.is_source then
+      failwith
+        (Printf.sprintf "wakeup violation: non-source node %d transmits spontaneously"
+           static.History.id);
+    sends
+  in
+  { node with on_start }
+
+let flooding static =
+  let informed = ref false in
+  let all_ports = List.init static.History.degree (fun p -> p) in
+  let on_start () =
+    if static.History.is_source then begin
+      informed := true;
+      List.map (fun p -> (Message.Source, p)) all_ports
+    end
+    else []
+  in
+  let on_receive msg ~port =
+    match msg with
+    | Message.Source when not !informed ->
+      informed := true;
+      List.filter_map
+        (fun p -> if p = port then None else Some (Message.Source, p))
+        all_ports
+    | Message.Source | Message.Hello | Message.Control _ -> []
+  in
+  { on_start; on_receive }

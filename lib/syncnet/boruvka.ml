@@ -1,0 +1,287 @@
+module Bitbuf = Bitstring.Bitbuf
+module Codes = Bitstring.Codes
+module Graph = Netgraph.Graph
+
+(* Wire format, tag in 3 bits. *)
+type message =
+  | Test of { frag : int; label : int; out_port : int }
+  | Report of (int * int * int) option  (* the subtree's best key, if any *)
+  | Pursue
+  | Connect
+  | New_frag of { frag : int; finished : bool }
+
+let encode msg =
+  let buf = Bitbuf.create () in
+  (match msg with
+  | Test { frag; label; out_port } ->
+    Bitbuf.add_int buf ~width:3 0;
+    Codes.write_gamma buf frag;
+    Codes.write_gamma buf label;
+    Codes.write_gamma buf out_port
+  | Report best ->
+    Bitbuf.add_int buf ~width:3 1;
+    (match best with
+    | None -> Bitbuf.add_bit buf false
+    | Some (w, a, b) ->
+      Bitbuf.add_bit buf true;
+      Codes.write_gamma buf w;
+      Codes.write_gamma buf a;
+      Codes.write_gamma buf b)
+  | Pursue -> Bitbuf.add_int buf ~width:3 2
+  | Connect -> Bitbuf.add_int buf ~width:3 3
+  | New_frag { frag; finished } ->
+    Bitbuf.add_int buf ~width:3 4;
+    Codes.write_gamma buf frag;
+    Bitbuf.add_bit buf finished);
+  buf
+
+let decode buf =
+  let r = Bitbuf.reader buf in
+  match Bitbuf.read_int r ~width:3 with
+  | 0 ->
+    let frag = Codes.read_gamma r in
+    let label = Codes.read_gamma r in
+    let out_port = Codes.read_gamma r in
+    Test { frag; label; out_port }
+  | 1 ->
+    if Bitbuf.read_bit r then begin
+      let w = Codes.read_gamma r in
+      let a = Codes.read_gamma r in
+      let b = Codes.read_gamma r in
+      Report (Some (w, a, b))
+    end
+    else Report None
+  | 2 -> Pursue
+  | 3 -> Connect
+  | 4 ->
+    let frag = Codes.read_gamma r in
+    let finished = Bitbuf.read_bit r in
+    New_frag { frag; finished }
+  | tag -> invalid_arg (Printf.sprintf "Boruvka.decode: bad tag %d" tag)
+
+type via = Self of int | Child of int
+
+let better a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some (ka, _), Some (kb, _) -> if ka <= kb then a else b
+
+(* The protocol node.  [sink] receives a thunk exposing the node's final
+   MST ports. *)
+let protocol_node sink ~n_hint ~advice:_ ~id ~degree =
+  let t_phase = (3 * n_hint) + 10 in
+  let round = ref 0 in
+  let frag = ref id in
+  let parent : int option ref = ref None in
+  let tree = Array.make (max degree 1) false in
+  let finished_flag = ref false in
+  (* Per-phase state. *)
+  let port_frag = Array.make (max degree 1) None in
+  let port_label = Array.make (max degree 1) 0 in
+  let port_outport = Array.make (max degree 1) 0 in
+  let pending = ref 0 in
+  let reported = ref false in
+  let best : ((int * int * int) * via) option ref = ref None in
+  let sent_connect : int option ref = ref None in
+  let got_connect = Array.make (max degree 1) false in
+  (* The fragment identity adopted this phase, once the merge resolves. *)
+  let announced : (int * bool) option ref = ref None in
+  sink id (fun () ->
+      List.filter (fun p -> tree.(p)) (List.init degree (fun p -> p)));
+  let children () =
+    List.filter
+      (fun p -> tree.(p) && Some p <> !parent)
+      (List.init degree (fun p -> p))
+  in
+  let on_round ~inbox =
+    let offset = !round mod t_phase in
+    incr round;
+    if !finished_flag then []
+    else begin
+      let out = ref [] in
+      let send msg port = out := (encode msg, port) :: !out in
+      (* Phase start: reset and test. *)
+      if offset = 0 then begin
+        Array.fill port_frag 0 (Array.length port_frag) None;
+        Array.fill got_connect 0 (Array.length got_connect) false;
+        pending := List.length (children ());
+        reported := false;
+        best := None;
+        sent_connect := None;
+        announced := None;
+        for p = 0 to degree - 1 do
+          if not tree.(p) then send (Test { frag = !frag; label = id; out_port = p }) p
+        done
+      end;
+      (* Deliveries. *)
+      List.iter
+        (fun (port, payload) ->
+          match decode payload with
+          | Test { frag = f; label; out_port } ->
+            port_frag.(port) <- Some f;
+            port_label.(port) <- label;
+            port_outport.(port) <- out_port
+          | Report sub_best ->
+            decr pending;
+            (match sub_best with
+            | Some key -> best := better !best (Some (key, Child port))
+            | None -> ())
+          | Pursue -> (
+            match !best with
+            | Some (_, Self p) ->
+              tree.(p) <- true;
+              sent_connect := Some p;
+              send Connect p
+            | Some (_, Child c) -> send Pursue c
+            | None -> ())
+          | Connect ->
+            tree.(port) <- true;
+            got_connect.(port) <- true;
+            (* A new tree edge appeared after the identity flood may
+               already have passed here: re-forward across it. *)
+            (match !announced with
+            | Some (f, fin) -> send (New_frag { frag = f; finished = fin }) port
+            | None -> ())
+          | New_frag { frag = f; finished } -> (
+            match !announced with
+            | Some (f', _) when f' = f -> ()  (* duplicate along a fresh edge *)
+            | Some _ | None ->
+              announced := Some (f, finished);
+              frag := f;
+              parent := Some port;
+              finished_flag := finished;
+              for p = 0 to degree - 1 do
+                if tree.(p) && p <> port then send (New_frag { frag = f; finished }) p
+              done))
+        inbox;
+      (* Leadership: the core edge is the one over which both endpoints
+         sent Connect; the larger label leads the merged fragment.
+         Evaluated after the whole inbox so every tree mark of this round
+         is visible. *)
+      (match !sent_connect with
+      | Some p when got_connect.(p) && id > port_label.(p) && !announced = None ->
+        announced := Some (id, false);
+        frag := id;
+        parent := None;
+        for q = 0 to degree - 1 do
+          if tree.(q) then send (New_frag { frag = id; finished = false }) q
+        done
+      | Some _ | None -> ());
+      (* Convergecast trigger: tests have all arrived by offset 1. *)
+      if offset >= 1 && (not !reported) && !pending = 0 then begin
+        reported := true;
+        (* Fold the local candidate — the minimum-key outgoing port — into
+           the subtree best.  The key is the global edge order:
+           (min of the two ports, smaller label, larger label). *)
+        for p = 0 to degree - 1 do
+          match port_frag.(p) with
+          | Some f when f <> !frag ->
+            let nl = port_label.(p) in
+            let key = (min p port_outport.(p), min id nl, max id nl) in
+            best := better !best (Some (key, Self p))
+          | Some _ | None -> ()
+        done;
+        match !parent with
+        | Some pp -> send (Report (Option.map fst !best)) pp
+        | None -> (
+          match !best with
+          | None ->
+            (* No outgoing edge anywhere: the fragment spans the graph. *)
+            finished_flag := true;
+            announced := Some (!frag, true);
+            List.iter
+              (fun p -> send (New_frag { frag = !frag; finished = true }) p)
+              (children ())
+          | Some (_, Self p) ->
+            tree.(p) <- true;
+            sent_connect := Some p;
+            send Connect p
+          | Some (_, Child c) -> send Pursue c)
+      end;
+      List.rev !out
+    end
+  in
+  { Model.on_round; finished = (fun () -> !finished_flag) }
+
+type outcome = {
+  result : Model.result;
+  advice_bits : int;
+  edges : Graph.edge list option;
+  matches_reference : bool;
+}
+
+let assemble g ports_of =
+  (* Every node reports its MST-incident ports; cross-check symmetry and
+     materialise the edge list once. *)
+  try
+    let pairs = Hashtbl.create 64 in
+    for v = 0 to Graph.n g - 1 do
+      List.iter
+        (fun p ->
+          let nbr, q = Graph.endpoint g v p in
+          let key = (min v nbr, max v nbr) in
+          let eh = if v < nbr then { Graph.u = v; pu = p; v = nbr; pv = q } else { Graph.u = nbr; pu = q; v; pv = p } in
+          match Hashtbl.find_opt pairs key with
+          | None -> Hashtbl.replace pairs key (eh, 1)
+          | Some (e, c) -> Hashtbl.replace pairs key (e, c + 1))
+        (ports_of v)
+    done;
+    let edges = ref [] in
+    Hashtbl.iter
+      (fun _ (e, count) -> if count = 2 then edges := e :: !edges else raise Exit)
+      pairs;
+    Some !edges
+  with Exit -> None
+
+let same_edge_set a b =
+  let norm es = List.sort compare (List.map (fun e -> (e.Graph.u, e.Graph.v)) es) in
+  norm a = norm b
+
+let finish g ~advice_bits result ports_of =
+  let edges = assemble g ports_of in
+  let matches_reference =
+    match edges with
+    | Some es -> result.Model.all_finished && same_edge_set es (Netgraph.Mst.kruskal g)
+    | None -> false
+  in
+  { result; advice_bits; edges; matches_reference }
+
+let distributed_build ?max_rounds g =
+  let cells : (int, unit -> int list) Hashtbl.t = Hashtbl.create (Graph.n g) in
+  let sink label get = Hashtbl.replace cells label get in
+  let advice _ = Bitbuf.create () in
+  let result = Model.run ?max_rounds ~advice g (protocol_node sink) in
+  let ports_of v =
+    match Hashtbl.find_opt cells (Graph.label g v) with Some get -> get () | None -> []
+  in
+  finish g ~advice_bits:0 result ports_of
+
+let mst_ports_oracle =
+  Oracles.Oracle.make ~name:"mst-ports" (fun g ~source:_ ->
+      let mst = Netgraph.Mst.kruskal g in
+      let ports = Array.make (Graph.n g) [] in
+      List.iter
+        (fun e ->
+          ports.(e.Graph.u) <- e.Graph.pu :: ports.(e.Graph.u);
+          ports.(e.Graph.v) <- e.Graph.pv :: ports.(e.Graph.v))
+        mst;
+      Oracles.Advice.make
+        (Array.map
+           (fun ps ->
+             let buf = Bitbuf.create () in
+             Codes.write_marked_list buf (List.sort compare ps);
+             buf)
+           ports))
+
+let advised_build g =
+  let advice = mst_ports_oracle.Oracles.Oracle.advise g ~source:0 in
+  let cells : (int, int list) Hashtbl.t = Hashtbl.create (Graph.n g) in
+  let node ~n_hint:_ ~advice ~id ~degree:_ =
+    Hashtbl.replace cells id (Codes.read_marked_list (Bitbuf.reader advice));
+    { Model.on_round = (fun ~inbox:_ -> []); finished = (fun () -> true) }
+  in
+  let result = Model.run ~advice:(Oracles.Advice.get advice) g node in
+  let ports_of v =
+    match Hashtbl.find_opt cells (Graph.label g v) with Some ps -> ps | None -> []
+  in
+  finish g ~advice_bits:(Oracles.Advice.size_bits advice) result ports_of

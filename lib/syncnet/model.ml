@@ -1,0 +1,64 @@
+module Graph = Netgraph.Graph
+
+type payload = Bitstring.Bitbuf.t
+
+type node = {
+  on_round : inbox:(int * payload) list -> (payload * int) list;
+  finished : unit -> bool;
+}
+
+type factory = n_hint:int -> advice:payload -> id:int -> degree:int -> node
+
+type result = {
+  rounds : int;
+  messages : int;
+  bits_on_wire : int;
+  all_finished : bool;
+}
+
+let run ?max_rounds ~advice g factory =
+  let n = Graph.n g in
+  let max_rounds =
+    match max_rounds with Some v -> v | None -> 64 * (n + 2) * (n + 2)
+  in
+  let nodes =
+    Array.init n (fun v ->
+        factory ~n_hint:n ~advice:(advice v) ~id:(Graph.label g v) ~degree:(Graph.degree g v))
+  in
+  let messages = ref 0 in
+  let bits = ref 0 in
+  let rounds = ref 0 in
+  let inboxes = Array.make n [] in
+  let next_inboxes = Array.make n [] in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    Array.fill next_inboxes 0 n [];
+    let sent_this_round = ref 0 in
+    for v = 0 to n - 1 do
+      let sends = nodes.(v).on_round ~inbox:(List.rev inboxes.(v)) in
+      List.iter
+        (fun (payload, port) ->
+          if port < 0 || port >= Graph.degree g v then
+            invalid_arg
+              (Printf.sprintf "Syncnet: node %d (degree %d) sends on port %d" v
+                 (Graph.degree g v) port);
+          let dst, dst_port = Graph.endpoint g v port in
+          next_inboxes.(dst) <- (dst_port, payload) :: next_inboxes.(dst);
+          incr messages;
+          incr sent_this_round;
+          bits := !bits + max 1 (Bitstring.Bitbuf.length payload))
+        sends
+    done;
+    Array.blit next_inboxes 0 inboxes 0 n;
+    let everyone_finished =
+      Array.for_all (fun node -> node.finished ()) nodes
+    in
+    if everyone_finished && !sent_this_round = 0 then continue := false
+  done;
+  {
+    rounds = !rounds;
+    messages = !messages;
+    bits_on_wire = !bits;
+    all_finished = Array.for_all (fun node -> node.finished ()) nodes;
+  }

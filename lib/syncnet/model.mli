@@ -1,0 +1,38 @@
+(** Synchronous point-to-point message passing.
+
+    The paper's lower bounds already hold for synchronous communication;
+    this model is the synchronous sibling of {!Sim} used for protocols
+    that genuinely need a common round structure (the distributed MST of
+    {!Boruvka}).  Every node is activated every round with the messages
+    sent to it in the previous round, and can therefore keep a local round
+    counter — the capability that separates this model from the
+    event-driven asynchronous one. *)
+
+type payload = Bitstring.Bitbuf.t
+
+type node = {
+  on_round : inbox:(int * payload) list -> (payload * int) list;
+      (** Called once per round with [(port, payload)] deliveries from the
+          previous round; returns this round's sends as [(payload, port)]. *)
+  finished : unit -> bool;
+      (** Local termination flag; the run stops when everyone is finished
+          and nothing is in flight. *)
+}
+
+type factory = n_hint:int -> advice:payload -> id:int -> degree:int -> node
+
+type result = {
+  rounds : int;
+  messages : int;
+  bits_on_wire : int;
+  all_finished : bool;  (** false when the round budget ran out *)
+}
+
+val run :
+  ?max_rounds:int ->
+  advice:(int -> payload) ->
+  Netgraph.Graph.t ->
+  factory ->
+  result
+(** Default [max_rounds]: [64 * (n + 2)²] — far past the protocols here.
+    Raises [Invalid_argument] if a node emits an out-of-range port. *)

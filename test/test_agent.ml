@@ -1,0 +1,170 @@
+module Graph = Netgraph.Graph
+module Walker = Agent.Walker
+module Explore = Agent.Explore
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let no_advice = Bitstring.Bitbuf.create ()
+
+let sample_graphs =
+  [
+    ("path", Netgraph.Gen.path 12);
+    ("cycle", Netgraph.Gen.cycle 9);
+    ("grid", Netgraph.Gen.grid ~rows:4 ~cols:4);
+    ("complete", Netgraph.Gen.complete 8);
+    ("lollipop", Netgraph.Gen.lollipop ~clique:5 ~tail:4);
+    ("random", Netgraph.Gen.random_connected ~n:30 ~p:0.15 (Random.State.make [| 11 |]));
+  ]
+
+(* {1 DFS} *)
+
+let test_dfs_covers_and_halts () =
+  List.iter
+    (fun (name, g) ->
+      let o = Walker.run ~advice:no_advice g ~start:0 Explore.dfs in
+      check_bool (name ^ " covered") true o.Walker.covered;
+      check_bool (name ^ " halted") true o.Walker.halted;
+      let n = Graph.n g and m = Graph.m g in
+      let bound = (2 * (n - 1)) + (4 * (m - n + 1)) in
+      check_bool
+        (Printf.sprintf "%s: %d <= %d" name o.Walker.moves bound)
+        true (o.Walker.moves <= bound))
+    sample_graphs
+
+let test_dfs_on_tree_is_2n () =
+  let g = Netgraph.Gen.balanced_tree ~arity:2 ~depth:3 in
+  let o = Walker.run ~advice:no_advice g ~start:0 Explore.dfs in
+  check_bool "covered" true o.Walker.covered;
+  check_int "2(n-1) moves on a tree" (2 * (Graph.n g - 1)) o.Walker.moves
+
+let test_dfs_single_node () =
+  let g = Netgraph.Gen.path 1 in
+  let o = Walker.run ~advice:no_advice g ~start:0 Explore.dfs in
+  check_bool "covered" true o.Walker.covered;
+  check_bool "halted" true o.Walker.halted;
+  check_int "no moves" 0 o.Walker.moves
+
+(* {1 Rotor router} *)
+
+let test_rotor_covers_within_bound () =
+  List.iter
+    (fun (name, g) ->
+      let m = Graph.m g in
+      let d = Netgraph.Traverse.diameter g in
+      let budget = (4 * m * (d + 1)) + (2 * m) in
+      let o = Walker.run ~max_moves:budget ~advice:no_advice g ~start:0 Explore.rotor_router in
+      check_bool (name ^ " covered") true o.Walker.covered;
+      match o.Walker.moves_to_cover with
+      | Some c -> check_bool (Printf.sprintf "%s: cover %d within budget" name c) true (c <= budget)
+      | None -> Alcotest.fail (name ^ ": no cover point recorded"))
+    sample_graphs
+
+let test_rotor_never_halts () =
+  let g = Netgraph.Gen.cycle 5 in
+  let o = Walker.run ~max_moves:100 ~advice:no_advice g ~start:0 Explore.rotor_router in
+  check_bool "still walking" false o.Walker.halted;
+  check_int "all budget used" 100 o.Walker.moves
+
+(* {1 Random walk} *)
+
+let test_random_walk_covers () =
+  let g = Netgraph.Gen.grid ~rows:4 ~cols:4 in
+  let o =
+    Walker.run
+      ~max_moves:(100 * Graph.m g * Graph.n g)
+      ~advice:no_advice g ~start:0 (Explore.random_walk ~seed:3)
+  in
+  check_bool "covered" true o.Walker.covered
+
+let test_random_walk_deterministic_in_seed () =
+  let g = Netgraph.Gen.cycle 7 in
+  let run seed =
+    (Walker.run ~max_moves:500 ~advice:no_advice g ~start:0 (Explore.random_walk ~seed))
+      .Walker.moves_to_cover
+  in
+  Alcotest.(check (option int)) "same seed same walk" (run 9) (run 9)
+
+(* {1 Guided} *)
+
+let test_guided_is_optimal () =
+  List.iter
+    (fun (name, g) ->
+      let route = Explore.route_advice g ~start:0 in
+      let o = Walker.run ~advice:route g ~start:0 Explore.guided in
+      check_bool (name ^ " covered") true o.Walker.covered;
+      check_bool (name ^ " halted") true o.Walker.halted;
+      check_int (name ^ " moves") (2 * (Graph.n g - 1)) o.Walker.moves;
+      check_int (name ^ " route length") (Explore.route_moves g ~start:0) o.Walker.moves)
+    sample_graphs
+
+let test_guided_beats_dfs_on_dense () =
+  let g = Netgraph.Gen.complete 16 in
+  let dfs = Walker.run ~advice:no_advice g ~start:0 Explore.dfs in
+  let route = Explore.route_advice g ~start:0 in
+  let guided = Walker.run ~advice:route g ~start:0 Explore.guided in
+  check_bool "oracle pays off" true (guided.Walker.moves * 2 < dfs.Walker.moves)
+
+let test_guided_route_ends_at_start () =
+  (* The tour is closed: replaying it twice is legal and returns home. *)
+  let g = Netgraph.Gen.grid ~rows:3 ~cols:3 in
+  let route = Explore.route_advice g ~start:4 in
+  let o = Walker.run ~advice:route g ~start:4 Explore.guided in
+  check_bool "covered from inner start" true o.Walker.covered
+
+(* {1 Walker mechanics} *)
+
+let test_walker_rejects_bad_port () =
+  let bad =
+    {
+      Walker.program_name = "bad";
+      start = (fun ~advice:_ () _ -> Walker.Move 99);
+    }
+  in
+  let g = Netgraph.Gen.path 3 in
+  match Walker.run ~advice:no_advice g ~start:0 bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected port range error"
+
+let test_walker_budget () =
+  let spin =
+    {
+      Walker.program_name = "spin";
+      start = (fun ~advice:_ () (_ : Walker.view) -> Walker.Move 0);
+    }
+  in
+  let g = Netgraph.Gen.path 2 in
+  let o = Walker.run ~max_moves:10 ~advice:no_advice g ~start:0 spin in
+  check_bool "not halted" false o.Walker.halted;
+  check_int "hit budget" 10 o.Walker.moves
+
+let qcheck_programs_cover =
+  QCheck.Test.make ~name:"dfs and guided cover random graphs" ~count:40
+    QCheck.(pair (int_range 2 40) (int_range 0 999))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = Netgraph.Gen.random_connected ~n ~p:0.2 st in
+      let start = seed mod n in
+      let dfs = Walker.run ~advice:no_advice g ~start Explore.dfs in
+      let route = Explore.route_advice g ~start in
+      let guided = Walker.run ~advice:route g ~start Explore.guided in
+      dfs.Walker.covered && dfs.Walker.halted && guided.Walker.covered
+      && guided.Walker.moves = 2 * (n - 1))
+
+let suite =
+  [
+    Alcotest.test_case "dfs covers and halts" `Quick test_dfs_covers_and_halts;
+    Alcotest.test_case "dfs on a tree" `Quick test_dfs_on_tree_is_2n;
+    Alcotest.test_case "dfs on a single node" `Quick test_dfs_single_node;
+    Alcotest.test_case "rotor covers within O(mD)" `Quick test_rotor_covers_within_bound;
+    Alcotest.test_case "rotor never halts" `Quick test_rotor_never_halts;
+    Alcotest.test_case "random walk covers" `Quick test_random_walk_covers;
+    Alcotest.test_case "random walk deterministic in seed" `Quick
+      test_random_walk_deterministic_in_seed;
+    Alcotest.test_case "guided tour is 2(n-1)" `Quick test_guided_is_optimal;
+    Alcotest.test_case "oracle pays off on dense graphs" `Quick test_guided_beats_dfs_on_dense;
+    Alcotest.test_case "guided from inner start" `Quick test_guided_route_ends_at_start;
+    Alcotest.test_case "bad port rejected" `Quick test_walker_rejects_bad_port;
+    Alcotest.test_case "move budget" `Quick test_walker_budget;
+    QCheck_alcotest.to_alcotest qcheck_programs_cover;
+  ]

@@ -1,0 +1,196 @@
+module B = Numeric.Bignat
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let i v = B.of_int v
+
+let test_of_to_int () =
+  List.iter
+    (fun v -> Alcotest.(check (option int)) (string_of_int v) (Some v) (B.to_int_opt (i v)))
+    [ 0; 1; 67108863; 67108864; 123456789012345; max_int ];
+  check_bool "zero" true (B.is_zero B.zero);
+  check_bool "one not zero" false (B.is_zero B.one);
+  match B.of_int (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative rejected"
+
+let test_compare () =
+  check_int "eq" 0 (B.compare (i 42) (i 42));
+  check_bool "lt" true (B.compare (i 41) (i 42) < 0);
+  check_bool "gt across limbs" true (B.compare (i (1 lsl 40)) (i 5) > 0);
+  check_bool "equal" true (B.equal (i 9) (i 9))
+
+let test_add_sub () =
+  let a = i 123456789 and b = i 987654321 in
+  check_bool "add" true (B.equal (B.add a b) (i 1111111110));
+  check_bool "sub" true (B.equal (B.sub b a) (i 864197532));
+  check_bool "sub to zero" true (B.is_zero (B.sub a a));
+  (* carries across limb boundaries *)
+  let big = B.pow2 100 in
+  check_bool "x + 0" true (B.equal (B.add big B.zero) big);
+  check_bool "(x+1)-1 = x" true (B.equal (B.sub (B.add big B.one) B.one) big);
+  match B.sub a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative result rejected"
+
+let test_mul () =
+  check_bool "small" true (B.equal (B.mul (i 12345) (i 6789)) (i (12345 * 6789)));
+  check_bool "by zero" true (B.is_zero (B.mul (i 5) B.zero));
+  (* (2^100)^2 = 2^200 *)
+  check_bool "powers" true (B.equal (B.mul (B.pow2 100) (B.pow2 100)) (B.pow2 200));
+  check_bool "mul_int" true (B.equal (B.mul_int (i 1000000007) 97) (i 97000000679))
+
+let test_divmod () =
+  let q, r = B.divmod_int (i 1000000007) 97 in
+  check_bool "q" true (B.equal q (i (1000000007 / 97)));
+  check_int "r" (1000000007 mod 97) r;
+  check_bool "exact" true (B.equal (B.div_exact_int (B.mul_int (i 123456) 789) 789) (i 123456));
+  (match B.div_exact_int (i 10) 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inexact division rejected");
+  match B.divmod_int (i 10) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "division by zero rejected"
+
+let test_factorial () =
+  check_bool "0!" true (B.equal (B.factorial 0) B.one);
+  check_bool "5!" true (B.equal (B.factorial 5) (i 120));
+  check_bool "20!" true (B.equal (B.factorial 20) (i 2432902008176640000));
+  check_string "30!" "265252859812191058636308480000000" (B.to_string (B.factorial 30))
+
+let test_binomial () =
+  check_bool "C(5,2)" true (B.equal (B.binomial 5 2) (i 10));
+  check_bool "C(n,0)" true (B.equal (B.binomial 7 0) B.one);
+  check_bool "C(n,n)" true (B.equal (B.binomial 7 7) B.one);
+  check_bool "out of range" true (B.is_zero (B.binomial 5 6));
+  check_bool "negative k" true (B.is_zero (B.binomial 5 (-1)));
+  check_string "C(100,50)" "100891344545564193334812497256"
+    (B.to_string (B.binomial 100 50));
+  (* Pascal identity on a big case. *)
+  check_bool "pascal" true
+    (B.equal (B.binomial 64 20) (B.add (B.binomial 63 19) (B.binomial 63 20)))
+
+let test_strings () =
+  check_string "zero" "0" (B.to_string B.zero);
+  check_string "roundtrip" "123456789012345678901234567890"
+    (B.to_string (B.of_string "123456789012345678901234567890"));
+  match B.of_string "12a3" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad digit rejected"
+
+let test_log2 () =
+  Alcotest.(check (float 1e-9)) "log2 1" 0.0 (B.log2 B.one);
+  Alcotest.(check (float 1e-9)) "log2 2^100" 100.0 (B.log2 (B.pow2 100));
+  Alcotest.(check (float 1e-6)) "log2 1000" (Float.log2 1000.0) (B.log2 (i 1000));
+  check_bool "log2 0" true (B.log2 B.zero = neg_infinity);
+  (* Against the float pipeline. *)
+  Alcotest.(check (float 1e-6))
+    "log2 50!" (Bitstring.Binary.log2_factorial 50) (B.log2 (B.factorial 50))
+
+(* {1 Exact counts vs the Bounds float pipeline} *)
+
+let test_exact_wakeup_instances () =
+  (* n = 4: 4!·C(6,4) = 360 (pinned in test_bounds via floats too). *)
+  check_bool "n=4" true (B.equal (Oracle_core.Exact_counts.wakeup_instances ~n:4) (i 360));
+  List.iter
+    (fun n ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "log2 P at n=%d" n)
+        (Oracle_core.Exact_counts.log2_wakeup_instances ~n)
+        (Oracle_core.Bounds.log2_wakeup_instances ~n))
+    [ 4; 8; 16; 32; 64 ]
+
+let test_exact_oracle_outputs () =
+  (* bits=0: Q = C(nodes-1, nodes-1) = 1. *)
+  check_bool "bits=0" true
+    (B.equal (Oracle_core.Exact_counts.oracle_outputs ~bits:0 ~nodes:6) B.one);
+  (* bits=1, nodes=2: q'=0 gives 1, q'=1 gives 2·C(2,1)=4 -> 5. *)
+  check_bool "bits=1 nodes=2" true
+    (B.equal (Oracle_core.Exact_counts.oracle_outputs ~bits:1 ~nodes:2) (i 5));
+  List.iter
+    (fun (bits, nodes) ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "log2 Q at bits=%d nodes=%d" bits nodes)
+        (Oracle_core.Exact_counts.log2_oracle_outputs ~bits ~nodes)
+        (Oracle_core.Bounds.log2_oracle_outputs_exact ~bits ~nodes))
+    [ (5, 4); (20, 8); (64, 16); (100, 32) ]
+
+let test_exact_edge_discovery_instances () =
+  (* Matches the enumeration in Edge_discovery. *)
+  List.iter
+    (fun (n, x, y_count) ->
+      let excluded =
+        List.filteri (fun i _ -> i < y_count) (Oracle_core.Edge_discovery.all_edges ~n)
+      in
+      let enumerated =
+        List.length (Oracle_core.Edge_discovery.enumerate_instances ~n ~x_size:x ~excluded)
+      in
+      check_bool
+        (Printf.sprintf "n=%d x=%d y=%d" n x y_count)
+        true
+        (B.equal
+           (Oracle_core.Exact_counts.edge_discovery_instances ~n ~x_size:x ~excluded:y_count)
+           (i enumerated)))
+    [ (4, 1, 0); (4, 2, 1); (5, 2, 2); (5, 3, 0) ]
+
+let qcheck_add_mul_commute =
+  QCheck.Test.make ~name:"bignat ring laws on random ints" ~count:200
+    QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
+    (fun (a, b) ->
+      B.equal (B.add (i a) (i b)) (B.add (i b) (i a))
+      && B.equal (B.mul (i a) (i b)) (B.mul (i b) (i a))
+      && B.to_int_opt (B.add (i a) (i b)) = Some (a + b))
+
+let qcheck_divmod =
+  QCheck.Test.make ~name:"divmod reconstructs" ~count:200
+    QCheck.(pair (int_bound 1_000_000_000_000) (int_range 1 100000))
+    (fun (a, d) ->
+      let q, r = B.divmod_int (i a) d in
+      r >= 0 && r < d && B.equal (B.add (B.mul_int q d) (i r)) (i a))
+
+let suite =
+  [
+    Alcotest.test_case "of_int/to_int" `Quick test_of_to_int;
+    Alcotest.test_case "compare" `Quick test_compare;
+    Alcotest.test_case "add/sub" `Quick test_add_sub;
+    Alcotest.test_case "mul" `Quick test_mul;
+    Alcotest.test_case "divmod" `Quick test_divmod;
+    Alcotest.test_case "factorial" `Quick test_factorial;
+    Alcotest.test_case "binomial" `Quick test_binomial;
+    Alcotest.test_case "decimal strings" `Quick test_strings;
+    Alcotest.test_case "log2" `Quick test_log2;
+    Alcotest.test_case "exact P vs float pipeline" `Quick test_exact_wakeup_instances;
+    Alcotest.test_case "exact Q vs float pipeline" `Quick test_exact_oracle_outputs;
+    Alcotest.test_case "exact instance counts vs enumeration" `Quick
+      test_exact_edge_discovery_instances;
+    QCheck_alcotest.to_alcotest qcheck_add_mul_commute;
+    QCheck_alcotest.to_alcotest qcheck_divmod;
+  ]
+
+let test_pow () =
+  check_bool "2^10" true (B.equal (B.pow (i 2) 10) (i 1024));
+  check_bool "x^0" true (B.equal (B.pow (i 12345) 0) B.one);
+  check_bool "0^5" true (B.is_zero (B.pow B.zero 5));
+  check_bool "pow matches pow2" true (B.equal (B.pow (i 2) 77) (B.pow2 77));
+  check_string "3^40" "12157665459056928801" (B.to_string (B.pow (i 3) 40))
+
+let test_claim_2_1_exact () =
+  (* Claim 2.1 verified with exact integers: C(a(1+b), a) <= (6b)^a. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let lhs = B.binomial (a * (1 + b)) a in
+          let rhs = B.pow (i (6 * b)) a in
+          check_bool (Printf.sprintf "a=%d b=%d" a b) true (B.compare lhs rhs <= 0))
+        [ 3; 5; 10; 24 ])
+    [ 10; 25; 60 ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pow" `Quick test_pow;
+      Alcotest.test_case "Claim 2.1, exactly" `Quick test_claim_2_1_exact;
+    ]

@@ -1,0 +1,173 @@
+open Bitstring
+
+let check_bits = Alcotest.(check (list bool))
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  let b = Bitbuf.create () in
+  check_int "length" 0 (Bitbuf.length b);
+  check_bool "is_empty" true (Bitbuf.is_empty b);
+  check_string "to_string" "" (Bitbuf.to_string b)
+
+let test_add_bit () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_bit b true;
+  Bitbuf.add_bit b false;
+  Bitbuf.add_bit b true;
+  check_int "length" 3 (Bitbuf.length b);
+  check_bool "bit 0" true (Bitbuf.get b 0);
+  check_bool "bit 1" false (Bitbuf.get b 1);
+  check_bool "bit 2" true (Bitbuf.get b 2);
+  check_string "render" "101" (Bitbuf.to_string b)
+
+let test_add_bits_order () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_bits b [ true; true; false; true ];
+  check_string "order preserved" "1101" (Bitbuf.to_string b)
+
+let test_growth_across_bytes () =
+  let b = Bitbuf.create ~capacity:1 () in
+  for i = 0 to 99 do
+    Bitbuf.add_bit b (i mod 3 = 0)
+  done;
+  check_int "length" 100 (Bitbuf.length b);
+  for i = 0 to 99 do
+    check_bool (Printf.sprintf "bit %d" i) (i mod 3 = 0) (Bitbuf.get b i)
+  done
+
+let test_add_int_msb_first () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_int b ~width:4 0b1011;
+  check_string "msb first" "1011" (Bitbuf.to_string b)
+
+let test_add_int_leading_zeros () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_int b ~width:6 3;
+  check_string "padded" "000011" (Bitbuf.to_string b)
+
+let test_add_int_zero_width () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_int b ~width:0 0;
+  check_int "nothing written" 0 (Bitbuf.length b)
+
+let test_add_int_overflow () =
+  let b = Bitbuf.create () in
+  Alcotest.check_raises "does not fit" (Invalid_argument "Bitbuf.add_int: value does not fit in width")
+    (fun () -> Bitbuf.add_int b ~width:3 8)
+
+let test_add_int_negative () =
+  let b = Bitbuf.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitbuf.add_int: negative value") (fun () ->
+      Bitbuf.add_int b ~width:3 (-1))
+
+let test_of_string_roundtrip () =
+  let s = "0110100101011" in
+  check_string "roundtrip" s (Bitbuf.to_string (Bitbuf.of_string s))
+
+let test_of_string_bad_char () =
+  Alcotest.check_raises "bad char" (Invalid_argument "Bitbuf.of_string: bad character '2'")
+    (fun () -> ignore (Bitbuf.of_string "0120"))
+
+let test_of_bits_to_bits () =
+  let bits = [ true; false; false; true; true ] in
+  check_bits "roundtrip" bits (Bitbuf.to_bits (Bitbuf.of_bits bits))
+
+let test_append () =
+  let a = Bitbuf.of_string "101" in
+  let b = Bitbuf.of_string "0110" in
+  Bitbuf.append a b;
+  check_string "appended" "1010110" (Bitbuf.to_string a);
+  check_string "source untouched" "0110" (Bitbuf.to_string b)
+
+let test_copy_independent () =
+  let a = Bitbuf.of_string "11" in
+  let b = Bitbuf.copy a in
+  Bitbuf.add_bit b false;
+  check_string "original" "11" (Bitbuf.to_string a);
+  check_string "copy" "110" (Bitbuf.to_string b)
+
+let test_equal () =
+  check_bool "equal" true (Bitbuf.equal (Bitbuf.of_string "1010") (Bitbuf.of_string "1010"));
+  check_bool "length differs" false (Bitbuf.equal (Bitbuf.of_string "101") (Bitbuf.of_string "1010"));
+  check_bool "content differs" false (Bitbuf.equal (Bitbuf.of_string "1010") (Bitbuf.of_string "1011"))
+
+let test_get_out_of_range () =
+  let b = Bitbuf.of_string "10" in
+  Alcotest.check_raises "index 2" (Invalid_argument "Bitbuf.get: index out of range") (fun () ->
+      ignore (Bitbuf.get b 2));
+  Alcotest.check_raises "negative" (Invalid_argument "Bitbuf.get: index out of range") (fun () ->
+      ignore (Bitbuf.get b (-1)))
+
+let test_reader_bits () =
+  let r = Bitbuf.reader (Bitbuf.of_string "101") in
+  check_bool "pos 0" true (Bitbuf.read_bit r);
+  check_bool "pos 1" false (Bitbuf.read_bit r);
+  check_int "remaining" 1 (Bitbuf.remaining r);
+  check_int "pos" 2 (Bitbuf.pos r);
+  check_bool "pos 2" true (Bitbuf.read_bit r);
+  check_bool "at_end" true (Bitbuf.at_end r);
+  Alcotest.check_raises "end" Bitbuf.End_of_bits (fun () -> ignore (Bitbuf.read_bit r))
+
+let test_reader_int () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_int b ~width:7 93;
+  Bitbuf.add_int b ~width:3 5;
+  let r = Bitbuf.reader b in
+  check_int "first" 93 (Bitbuf.read_int r ~width:7);
+  check_int "second" 5 (Bitbuf.read_int r ~width:3);
+  check_bool "exhausted" true (Bitbuf.at_end r)
+
+let test_reader_int_underflow () =
+  let r = Bitbuf.reader (Bitbuf.of_string "10") in
+  Alcotest.check_raises "underflow" Bitbuf.End_of_bits (fun () ->
+      ignore (Bitbuf.read_int r ~width:3))
+
+let qcheck_bits_roundtrip =
+  QCheck.Test.make ~name:"of_bits/to_bits roundtrip" ~count:200
+    QCheck.(small_list bool)
+    (fun bits -> Bitbuf.to_bits (Bitbuf.of_bits bits) = bits)
+
+let qcheck_string_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string roundtrip" ~count:200
+    QCheck.(small_list bool)
+    (fun bits ->
+      let b = Bitbuf.of_bits bits in
+      Bitbuf.equal b (Bitbuf.of_string (Bitbuf.to_string b)))
+
+let qcheck_ints_roundtrip =
+  QCheck.Test.make ~name:"add_int/read_int roundtrip" ~count:200
+    QCheck.(small_list (int_bound 1_000_000))
+    (fun values ->
+      let width = 20 in
+      let b = Bitbuf.create () in
+      List.iter (fun v -> Bitbuf.add_int b ~width v) values;
+      let r = Bitbuf.reader b in
+      List.for_all (fun v -> Bitbuf.read_int r ~width = v) values && Bitbuf.at_end r)
+
+let suite =
+  [
+    Alcotest.test_case "empty buffer" `Quick test_empty;
+    Alcotest.test_case "add_bit/get" `Quick test_add_bit;
+    Alcotest.test_case "add_bits preserves order" `Quick test_add_bits_order;
+    Alcotest.test_case "growth across byte boundaries" `Quick test_growth_across_bytes;
+    Alcotest.test_case "add_int is MSB-first" `Quick test_add_int_msb_first;
+    Alcotest.test_case "add_int pads leading zeros" `Quick test_add_int_leading_zeros;
+    Alcotest.test_case "add_int with width 0" `Quick test_add_int_zero_width;
+    Alcotest.test_case "add_int overflow rejected" `Quick test_add_int_overflow;
+    Alcotest.test_case "add_int negative rejected" `Quick test_add_int_negative;
+    Alcotest.test_case "of_string/to_string roundtrip" `Quick test_of_string_roundtrip;
+    Alcotest.test_case "of_string rejects bad chars" `Quick test_of_string_bad_char;
+    Alcotest.test_case "of_bits/to_bits roundtrip" `Quick test_of_bits_to_bits;
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "get out of range" `Quick test_get_out_of_range;
+    Alcotest.test_case "reader bit cursor" `Quick test_reader_bits;
+    Alcotest.test_case "reader reads ints" `Quick test_reader_int;
+    Alcotest.test_case "reader int underflow" `Quick test_reader_int_underflow;
+    QCheck_alcotest.to_alcotest qcheck_bits_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_string_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_ints_roundtrip;
+  ]

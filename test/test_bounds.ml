@@ -1,0 +1,119 @@
+open Oracle_core
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_upper_bound_budgets () =
+  Alcotest.(check int) "8n" 80 (Bounds.broadcast_advice_upper ~n:10);
+  Alcotest.(check int) "4n" 40 (Bounds.light_tree_contribution_upper ~n:10);
+  Alcotest.(check int) "n-1" 9 (Bounds.wakeup_messages ~n:10);
+  Alcotest.(check int) "3n" 30 (Bounds.broadcast_messages_upper ~n:10);
+  Alcotest.(check int) "degenerate" 0 (Bounds.wakeup_advice_upper ~n:1)
+
+let test_wakeup_advice_upper_shape () =
+  (* The budget is (n-1)(⌈log n⌉ + overhead): slightly superlinear. *)
+  let b n = Bounds.wakeup_advice_upper ~n in
+  check_bool "monotone" true (b 64 < b 128 && b 128 < b 256);
+  check_bool "superlinear" true (float_of_int (b 1024) /. 1024.0 > float_of_int (b 64) /. 64.0);
+  check_bool "within 2 n log n for large n" true
+    (float_of_int (b 4096) <= 2.0 *. 4096.0 *. Float.log2 4096.0)
+
+let test_oracle_outputs_closed_form_vs_exact () =
+  (* Equation 3 dominates the exact sum and stays within log2(bits+1)+1. *)
+  List.iter
+    (fun (bits, nodes) ->
+      let exact = Bounds.log2_oracle_outputs_exact ~bits ~nodes in
+      let closed = Bounds.log2_oracle_outputs ~bits ~nodes in
+      check_bool
+        (Printf.sprintf "bits=%d nodes=%d dominates" bits nodes)
+        true (closed >= exact -. 1e-9);
+      let slack =
+        Float.log2 (float_of_int (bits + 1))
+        +. Float.log2 (float_of_int (bits + nodes) /. float_of_int nodes)
+        +. 1.0
+      in
+      check_bool (Printf.sprintf "bits=%d nodes=%d tight" bits nodes) true
+        (closed -. exact <= slack))
+    [ (0, 4); (10, 8); (100, 16); (500, 64); (2000, 128) ]
+
+let test_wakeup_instances_value () =
+  (* P = n!·C(C(n,2), n); for n = 4: 4!·C(6,4) = 24·15 = 360. *)
+  check_float "n=4" (Float.log2 360.0) (Bounds.log2_wakeup_instances ~n:4)
+
+let test_edge_discovery_bound () =
+  check_float "formula" (10.0 -. Float.log2 6.0)
+    (Bounds.edge_discovery_lower_bound ~log2_instances:10.0 ~x_size:3)
+
+let test_wakeup_lower_bound_monotone_in_bits () =
+  let b bits = Bounds.wakeup_message_lower_bound ~n:256 ~advice_bits:bits in
+  check_bool "decreasing" true (b 0 > b 100 && b 100 > b 1000 && b 1000 > b 5000)
+
+let test_wakeup_lower_bound_zero_advice_is_large () =
+  (* With no advice the bound is essentially log2 C(C(n,2), n) ≈ n log n. *)
+  let n = 256 in
+  let b = Bounds.wakeup_message_lower_bound ~n ~advice_bits:0 in
+  check_bool "superlinear" true (b > float_of_int (4 * 2 * n))
+
+let test_claim_2_1 () =
+  (* The paper: for a > A, b > B, C(a(1+b), a) ≤ (6b)^a.  Verify across a
+     grid (B turns out to be tiny). *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_bool (Printf.sprintf "a=%d b=%d" a b) true (Bounds.claim_2_1_holds ~a ~b))
+        [ 3; 4; 8; 16; 50 ])
+    [ 10; 20; 50; 100; 500 ]
+
+let test_log2_binomial_a_ab () =
+  check_float "C(6,2)" (Float.log2 15.0) (Bounds.log2_binomial_a_ab ~a:2 ~b:2)
+
+let test_broadcast_instances () =
+  (* n=8, k=... need 4k | n; use n=8? x = n/4k must be ≥ 1.  n=16, k=4:
+     x = 1, y = 3, pairs = C(16,2) = 120: P = 1!·C(117,1) = 117. *)
+  check_float "n=16 k=4" (Float.log2 117.0) (Bounds.log2_broadcast_instances ~n:16 ~k:4)
+
+let test_broadcast_message_lower_bound () =
+  check_float "n(k-1)/8" 37.5 (Bounds.broadcast_message_lower_bound ~n:100 ~k:4)
+
+let test_helpers_reexported () =
+  Alcotest.(check int) "ceil_log2" 7 (Bounds.ceil_log2 100);
+  Alcotest.(check int) "bits2" 7 (Bounds.bits2 100)
+
+let suite =
+  [
+    Alcotest.test_case "budget constants" `Quick test_upper_bound_budgets;
+    Alcotest.test_case "wakeup advice budget shape" `Quick test_wakeup_advice_upper_shape;
+    Alcotest.test_case "Equation 3 vs exact count" `Quick test_oracle_outputs_closed_form_vs_exact;
+    Alcotest.test_case "P for n=4" `Quick test_wakeup_instances_value;
+    Alcotest.test_case "Lemma 2.1 formula" `Quick test_edge_discovery_bound;
+    Alcotest.test_case "bound decreases with advice" `Quick test_wakeup_lower_bound_monotone_in_bits;
+    Alcotest.test_case "zero advice forces superlinear" `Quick
+      test_wakeup_lower_bound_zero_advice_is_large;
+    Alcotest.test_case "Claim 2.1 numerically" `Quick test_claim_2_1;
+    Alcotest.test_case "binomial helper" `Quick test_log2_binomial_a_ab;
+    Alcotest.test_case "Theorem 3.2 instance count" `Quick test_broadcast_instances;
+    Alcotest.test_case "n(k-1)/8" `Quick test_broadcast_message_lower_bound;
+    Alcotest.test_case "helper re-exports" `Quick test_helpers_reexported;
+  ]
+
+let test_remark_counting_validation () =
+  (* cn may not exceed the number of host edges. *)
+  match Oracle_core.Bounds.log2_wakeup_instances_c ~n:4 ~c:2 with
+  | exception Invalid_argument _ -> ()
+  | v ->
+    (* C(4,2) = 6 >= 8? no: 2*4 = 8 > 6, must have raised. *)
+    Alcotest.failf "expected rejection, got %f" v
+
+let test_remark_c1_matches_base () =
+  Alcotest.(check (float 1e-9))
+    "c=1 is the original P"
+    (Oracle_core.Bounds.log2_wakeup_instances ~n:32)
+    (Oracle_core.Bounds.log2_wakeup_instances_c ~n:32 ~c:1)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "Remark counting validation" `Quick test_remark_counting_validation;
+      Alcotest.test_case "Remark c=1 base case" `Quick test_remark_c1_matches_base;
+    ]

@@ -1,0 +1,68 @@
+open Netgraph
+
+let test_roundtrip_families () =
+  List.iter
+    (fun (name, g) ->
+      let decoded = Codec.decode (Bitstring.Bitbuf.reader (Codec.encode g)) in
+      Alcotest.(check bool) (name ^ " roundtrips") true (Graph.equal g decoded))
+    [
+      ("path", Gen.path 7);
+      ("single node", Gen.path 1);
+      ("complete", Gen.complete 9);
+      ("grid", Gen.grid ~rows:3 ~cols:4);
+      ("hypercube", Gen.hypercube ~dim:3);
+      ("random", Gen.random_connected ~n:20 ~p:0.3 (Random.State.make [| 8 |]));
+    ]
+
+let test_roundtrip_custom_labels () =
+  let g =
+    Graph.make ~labels:[| 7; 0; 42 |] ~n:3
+      [
+        { Graph.u = 0; pu = 0; v = 1; pv = 0 };
+        { Graph.u = 1; pu = 1; v = 2; pv = 0 };
+      ]
+  in
+  let decoded = Codec.decode (Bitstring.Bitbuf.reader (Codec.encode g)) in
+  Alcotest.(check bool) "labels preserved" true (Graph.equal g decoded)
+
+let test_rejects_negative_labels () =
+  let g = Graph.make ~labels:[| -1; 2 |] ~n:2 [ { Graph.u = 0; pu = 0; v = 1; pv = 0 } ] in
+  match Codec.encode g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative label must be rejected"
+
+let test_encoded_bits () =
+  let g = Gen.complete 8 in
+  Alcotest.(check int)
+    "encoded_bits = length of encode"
+    (Bitstring.Bitbuf.length (Codec.encode g))
+    (Codec.encoded_bits g)
+
+let test_decode_garbage () =
+  match Codec.decode (Bitstring.Bitbuf.reader (Bitstring.Bitbuf.of_string "000000001")) with
+  | exception (Invalid_argument _ | Bitstring.Bitbuf.End_of_bits) -> ()
+  | _ -> Alcotest.fail "garbage must not decode"
+
+let test_size_grows_with_density () =
+  let sparse = Codec.encoded_bits (Gen.path 32) in
+  let dense = Codec.encoded_bits (Gen.complete 32) in
+  Alcotest.(check bool) "denser graph is bigger" true (dense > sparse)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip (random graphs)" ~count:40
+    QCheck.(pair (int_range 1 40) (int_range 0 999))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = if n = 1 then Gen.path 1 else Gen.random_connected ~n ~p:0.25 st in
+      Graph.equal g (Codec.decode (Bitstring.Bitbuf.reader (Codec.encode g))))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip across families" `Quick test_roundtrip_families;
+    Alcotest.test_case "roundtrip with custom labels" `Quick test_roundtrip_custom_labels;
+    Alcotest.test_case "rejects negative labels" `Quick test_rejects_negative_labels;
+    Alcotest.test_case "encoded_bits" `Quick test_encoded_bits;
+    Alcotest.test_case "garbage does not decode" `Quick test_decode_garbage;
+    Alcotest.test_case "size grows with density" `Quick test_size_grows_with_density;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

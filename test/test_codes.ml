@@ -1,0 +1,244 @@
+open Bitstring
+
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+let check_string = Alcotest.(check string)
+
+(* {1 Theorem 2.1 port-list code} *)
+
+let test_port_list_empty () =
+  let b = Bitbuf.create () in
+  Codes.write_port_list b ~width:5 [];
+  check_int "leaf advice is empty" 0 (Bitbuf.length b);
+  check_ints "decodes to []" [] (Codes.read_port_list (Bitbuf.reader b))
+
+let test_port_list_known_encoding () =
+  (* width 3 = binary 11 → doubled 1111, terminator 10; ports 5, 1 in 3
+     bits each. *)
+  let b = Bitbuf.create () in
+  Codes.write_port_list b ~width:3 [ 5; 1 ];
+  check_string "bit-exact" "111110101001" (Bitbuf.to_string b)
+
+let test_port_list_roundtrip () =
+  List.iter
+    (fun (width, ports) ->
+      let b = Bitbuf.create () in
+      Codes.write_port_list b ~width ports;
+      check_ints
+        (Printf.sprintf "w=%d" width)
+        ports
+        (Codes.read_port_list (Bitbuf.reader b)))
+    [ (1, [ 0; 1; 1; 0 ]); (3, [ 7 ]); (10, [ 0; 1023; 512 ]); (4, [ 15; 0; 8; 3; 3 ]) ]
+
+let test_port_list_length_formula () =
+  List.iter
+    (fun (width, count) ->
+      let ports = List.init count (fun i -> i mod (1 lsl width)) in
+      let b = Bitbuf.create () in
+      Codes.write_port_list b ~width ports;
+      check_int
+        (Printf.sprintf "w=%d c=%d" width count)
+        (Codes.port_list_length ~width ~count)
+        (Bitbuf.length b))
+    [ (1, 0); (1, 3); (3, 1); (7, 4); (16, 2) ]
+
+let test_port_list_bad_width () =
+  let b = Bitbuf.create () in
+  Alcotest.check_raises "width 0" (Invalid_argument "Codes.write_port_list: width < 1")
+    (fun () -> Codes.write_port_list b ~width:0 [ 1 ])
+
+let test_port_list_malformed_header () =
+  (* "01" as the very first pair is an invalid header pair. *)
+  Alcotest.check_raises "malformed"
+    (Invalid_argument "Codes.read_port_list: malformed width header") (fun () ->
+      ignore (Codes.read_port_list (Bitbuf.reader (Bitbuf.of_string "0110"))))
+
+let test_port_list_bad_payload () =
+  (* Valid header for width 2 ("1111" doubled "11"=3? no: width 3 is "11".
+     Use width 2: binary "10" → doubled "1100", terminator "10"; then a
+     3-bit payload is not a multiple of 2. *)
+  Alcotest.check_raises "payload"
+    (Invalid_argument "Codes.read_port_list: payload not a multiple of width") (fun () ->
+      ignore (Codes.read_port_list (Bitbuf.reader (Bitbuf.of_string "110010101"))))
+
+(* {1 Marked-bit code} *)
+
+let test_marked_known_encodings () =
+  let enc w =
+    let b = Bitbuf.create () in
+    Codes.write_marked b w;
+    Bitbuf.to_string b
+  in
+  check_string "0" "01" (enc 0);
+  check_string "1" "11" (enc 1);
+  check_string "5" "100011" (enc 5)
+
+let test_marked_roundtrip () =
+  List.iter
+    (fun w ->
+      let b = Bitbuf.create () in
+      Codes.write_marked b w;
+      check_int (string_of_int w) w (Codes.read_marked (Bitbuf.reader b)))
+    [ 0; 1; 2; 3; 4; 17; 255; 256; 99999 ]
+
+let test_marked_list_roundtrip () =
+  let ws = [ 0; 5; 0; 1; 1023; 2 ] in
+  let b = Bitbuf.create () in
+  Codes.write_marked_list b ws;
+  check_ints "list" ws (Codes.read_marked_list (Bitbuf.reader b))
+
+let test_marked_length () =
+  let ws = [ 0; 5; 1023 ] in
+  let b = Bitbuf.create () in
+  Codes.write_marked_list b ws;
+  check_int "2 * sum #2" (Codes.marked_length ws) (Bitbuf.length b);
+  check_int "value" (2 * (1 + 3 + 10)) (Codes.marked_length ws)
+
+(* {1 Unary} *)
+
+let test_unary () =
+  let b = Bitbuf.create () in
+  Codes.write_unary b 0;
+  Codes.write_unary b 3;
+  check_string "encodings" "10001" (Bitbuf.to_string b);
+  let r = Bitbuf.reader b in
+  check_int "0" 0 (Codes.read_unary r);
+  check_int "3" 3 (Codes.read_unary r)
+
+(* {1 Elias gamma/delta} *)
+
+let test_gamma_known () =
+  let enc n =
+    let b = Bitbuf.create () in
+    Codes.write_gamma b n;
+    Bitbuf.to_string b
+  in
+  (* gamma encodes n+1: 1→"1", 2→"010", 3→"011", 4→"00100". *)
+  check_string "0" "1" (enc 0);
+  check_string "1" "010" (enc 1);
+  check_string "2" "011" (enc 2);
+  check_string "3" "00100" (enc 3)
+
+let test_gamma_length () =
+  List.iter
+    (fun n ->
+      let b = Bitbuf.create () in
+      Codes.write_gamma b n;
+      check_int (string_of_int n) (Codes.gamma_length n) (Bitbuf.length b))
+    [ 0; 1; 2; 3; 7; 8; 100; 1023 ]
+
+let test_gamma_roundtrip () =
+  List.iter
+    (fun n ->
+      let b = Bitbuf.create () in
+      Codes.write_gamma b n;
+      check_int (string_of_int n) n (Codes.read_gamma (Bitbuf.reader b)))
+    [ 0; 1; 2; 3; 4; 100; 1 lsl 20 ]
+
+let test_delta_roundtrip_and_length () =
+  List.iter
+    (fun n ->
+      let b = Bitbuf.create () in
+      Codes.write_delta b n;
+      check_int (Printf.sprintf "len %d" n) (Codes.delta_length n) (Bitbuf.length b);
+      check_int (string_of_int n) n (Codes.read_delta (Bitbuf.reader b)))
+    [ 0; 1; 2; 3; 4; 255; 256; 1 lsl 20 ]
+
+let test_delta_shorter_for_large () =
+  Alcotest.(check bool)
+    "delta beats gamma eventually" true
+    (Codes.delta_length 100000 < Codes.gamma_length 100000)
+
+(* {1 Codecs} *)
+
+let qcheck_codec_roundtrip codec max_value =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "codec %s roundtrip" codec.Codes.codec_name)
+    ~count:200
+    QCheck.(small_list (int_bound max_value))
+    (fun values ->
+      let b = Bitbuf.create () in
+      codec.Codes.write_list b values;
+      codec.Codes.read_list (Bitbuf.reader b) = values)
+
+let qcheck_port_list =
+  QCheck.Test.make ~name:"port list roundtrip (random widths)" ~count:200
+    QCheck.(pair (int_range 1 16) (small_list (int_bound 1000)))
+    (fun (width, raw) ->
+      let ports = List.map (fun p -> p land ((1 lsl width) - 1)) raw in
+      let b = Bitbuf.create () in
+      Codes.write_port_list b ~width ports;
+      Codes.read_port_list (Bitbuf.reader b) = ports)
+
+let qcheck_marked =
+  QCheck.Test.make ~name:"marked list roundtrip" ~count:200
+    QCheck.(small_list (int_bound 1_000_000))
+    (fun ws ->
+      let b = Bitbuf.create () in
+      Codes.write_marked_list b ws;
+      Codes.read_marked_list (Bitbuf.reader b) = ws
+      && Bitbuf.length b = Codes.marked_length ws)
+
+let suite =
+  [
+    Alcotest.test_case "port list: empty" `Quick test_port_list_empty;
+    Alcotest.test_case "port list: known encoding" `Quick test_port_list_known_encoding;
+    Alcotest.test_case "port list: roundtrips" `Quick test_port_list_roundtrip;
+    Alcotest.test_case "port list: length formula" `Quick test_port_list_length_formula;
+    Alcotest.test_case "port list: bad width" `Quick test_port_list_bad_width;
+    Alcotest.test_case "port list: malformed header" `Quick test_port_list_malformed_header;
+    Alcotest.test_case "port list: bad payload" `Quick test_port_list_bad_payload;
+    Alcotest.test_case "marked: known encodings" `Quick test_marked_known_encodings;
+    Alcotest.test_case "marked: roundtrip" `Quick test_marked_roundtrip;
+    Alcotest.test_case "marked: list roundtrip" `Quick test_marked_list_roundtrip;
+    Alcotest.test_case "marked: 2-sum length" `Quick test_marked_length;
+    Alcotest.test_case "unary" `Quick test_unary;
+    Alcotest.test_case "gamma: known codewords" `Quick test_gamma_known;
+    Alcotest.test_case "gamma: length formula" `Quick test_gamma_length;
+    Alcotest.test_case "gamma: roundtrip" `Quick test_gamma_roundtrip;
+    Alcotest.test_case "delta: roundtrip and length" `Quick test_delta_roundtrip_and_length;
+    Alcotest.test_case "delta shorter for large values" `Quick test_delta_shorter_for_large;
+    QCheck_alcotest.to_alcotest (qcheck_codec_roundtrip (Codes.paper_doubled ~max_value:1000) 1000);
+    QCheck_alcotest.to_alcotest (qcheck_codec_roundtrip Codes.gamma_codec 100000);
+    QCheck_alcotest.to_alcotest (qcheck_codec_roundtrip Codes.delta_codec 100000);
+    QCheck_alcotest.to_alcotest (qcheck_codec_roundtrip Codes.unary_codec 50);
+    QCheck_alcotest.to_alcotest qcheck_port_list;
+    QCheck_alcotest.to_alcotest qcheck_marked;
+  ]
+
+(* Decoder robustness: random bit strings must decode or raise cleanly —
+   never crash, hang, or return out-of-domain values. *)
+let qcheck_decoder_fuzz =
+  QCheck.Test.make ~name:"decoders never crash on garbage" ~count:300
+    QCheck.(small_list bool)
+    (fun bits ->
+      let buf = Bitbuf.of_bits bits in
+      let try_decode f =
+        match f (Bitbuf.reader buf) with
+        | _ -> true
+        | exception (Invalid_argument _ | Bitbuf.End_of_bits) -> true
+      in
+      try_decode Codes.read_port_list
+      && try_decode Codes.read_marked_list
+      && try_decode (fun r ->
+             let rec loop acc =
+               if Bitbuf.at_end r then acc else loop (Codes.read_gamma r :: acc)
+             in
+             loop [])
+      && try_decode Codes.read_unary)
+
+let qcheck_gamma_values_nonnegative =
+  QCheck.Test.make ~name:"gamma decodes stay non-negative" ~count:300
+    QCheck.(small_list bool)
+    (fun bits ->
+      let r = Bitbuf.reader (Bitbuf.of_bits bits) in
+      match Codes.read_gamma r with
+      | v -> v >= 0
+      | exception (Invalid_argument _ | Bitbuf.End_of_bits) -> true)
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest qcheck_decoder_fuzz;
+      QCheck_alcotest.to_alcotest qcheck_gamma_values_nonnegative;
+    ]

@@ -1,0 +1,42 @@
+open Netgraph
+
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec loop i = i + ln <= lh && (String.sub haystack i ln = needle || loop (i + 1)) in
+  loop 0
+
+let test_graph_export () =
+  let g = Gen.path 3 in
+  let dot = Dot.graph g in
+  check_bool "header" true (contains dot "graph network {");
+  check_bool "node 0" true (contains dot "n0 [label=\"0:1\"]");
+  check_bool "edge" true (contains dot "n0 -- n1");
+  check_bool "ports shown" true (contains dot "taillabel=\"0\"");
+  check_bool "closed" true (contains dot "}")
+
+let test_highlight () =
+  let g = Gen.cycle 4 in
+  let e = List.hd (Graph.edges g) in
+  let dot = Dot.graph ~highlight:[ e ] g in
+  check_bool "red edge" true (contains dot "color=red")
+
+let test_spanning_export () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let tree = Spanning.bfs g ~root:4 in
+  let dot = Dot.spanning g tree in
+  check_bool "root marked" true (contains dot "n4 [label=\"4:5\" style=filled fillcolor=gold]");
+  (* n-1 tree edges are highlighted *)
+  let count_red =
+    List.length
+      (List.filter (fun line -> contains line "color=red") (String.split_on_char '\n' dot))
+  in
+  Alcotest.(check int) "8 tree edges red" 8 count_red
+
+let suite =
+  [
+    Alcotest.test_case "graph export" `Quick test_graph_export;
+    Alcotest.test_case "highlighted edges" `Quick test_highlight;
+    Alcotest.test_case "spanning tree export" `Quick test_spanning_export;
+  ]

@@ -1,0 +1,58 @@
+open Netgraph
+
+let test_all_build_and_validate () =
+  List.iter
+    (fun fam ->
+      let g = Families.build fam ~n:32 ~seed:5 in
+      (match Graph.validate g with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: invalid: %s" (Families.name fam) msg);
+      Alcotest.(check bool) (Families.name fam ^ " connected") true (Graph.is_connected g);
+      Alcotest.(check bool)
+        (Families.name fam ^ " size near request")
+        true
+        (Graph.n g >= 16 && Graph.n g <= 160))
+    Families.all
+
+let test_deterministic () =
+  List.iter
+    (fun fam ->
+      let a = Families.build fam ~n:24 ~seed:7 in
+      let b = Families.build fam ~n:24 ~seed:7 in
+      Alcotest.(check bool) (Families.name fam ^ " deterministic") true (Graph.equal a b))
+    Families.all
+
+let test_seed_changes_random_families () =
+  let a = Families.build Families.Random_tree ~n:40 ~seed:1 in
+  let b = Families.build Families.Random_tree ~n:40 ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" false (Graph.equal a b)
+
+let test_name_of_name () =
+  List.iter
+    (fun fam ->
+      Alcotest.(check bool)
+        (Families.name fam)
+        true
+        (Families.of_name (Families.name fam) = Some fam))
+    Families.all;
+  Alcotest.(check bool) "unknown" true (Families.of_name "nope" = None)
+
+let test_hypercube_rounds_to_power_of_two () =
+  let g = Families.build Families.Hypercube ~n:100 ~seed:0 in
+  Alcotest.(check int) "rounded up" 128 (Graph.n g)
+
+let test_default_sweep_subset () =
+  List.iter
+    (fun fam ->
+      Alcotest.(check bool) (Families.name fam) true (List.mem fam Families.all))
+    Families.default_sweep
+
+let suite =
+  [
+    Alcotest.test_case "all families build and validate" `Quick test_all_build_and_validate;
+    Alcotest.test_case "deterministic in seed" `Quick test_deterministic;
+    Alcotest.test_case "seeds matter for random families" `Quick test_seed_changes_random_families;
+    Alcotest.test_case "name/of_name roundtrip" `Quick test_name_of_name;
+    Alcotest.test_case "hypercube rounds size" `Quick test_hypercube_rounds_to_power_of_two;
+    Alcotest.test_case "default sweep is a subset" `Quick test_default_sweep_subset;
+  ]

@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "oracle-size"
+    [
+      ("bitbuf", Test_bitbuf.suite);
+      ("binary", Test_binary.suite);
+      ("codes", Test_codes.suite);
+      ("graph", Test_graph.suite);
+      ("gen", Test_gen.suite);
+      ("traverse", Test_traverse.suite);
+      ("dsu", Test_dsu.suite);
+      ("spanning", Test_spanning.suite);
+      ("transform", Test_transform.suite);
+      ("codec", Test_codec.suite);
+      ("families", Test_families.suite);
+      ("sim", Test_sim.suite);
+      ("oracle", Test_oracle.suite);
+      ("wakeup", Test_wakeup.suite);
+      ("broadcast", Test_broadcast.suite);
+      ("edge-discovery", Test_edge_discovery.suite);
+      ("bounds", Test_bounds.suite);
+      ("lower-bound", Test_lower_bound.suite);
+      ("separation", Test_separation.suite);
+      ("gossip", Test_gossip.suite);
+      ("neighborhood", Test_neighborhood.suite);
+      ("agent", Test_agent.suite);
+      ("radio", Test_radio.suite);
+      ("bignat", Test_bignat.suite);
+      ("dot", Test_dot.suite);
+      ("election", Test_election.suite);
+      ("tree-construction", Test_tree_construction.suite);
+      ("mst", Test_mst.suite);
+      ("spanner", Test_spanner.suite);
+      ("scale", Test_scale.suite);
+    ]

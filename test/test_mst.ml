@@ -1,0 +1,190 @@
+module Graph = Netgraph.Graph
+module Mst = Netgraph.Mst
+module Families = Netgraph.Families
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Centralized reference} *)
+
+let test_kruskal_is_spanning_tree () =
+  List.iter
+    (fun fam ->
+      let g = Families.build fam ~n:32 ~seed:173 in
+      let mst = Mst.kruskal g in
+      check_bool (Families.name fam) true (Mst.is_spanning_tree g mst))
+    Families.all
+
+let test_kruskal_on_tree_is_identity () =
+  let g = Netgraph.Gen.balanced_tree ~arity:2 ~depth:4 in
+  let mst = Mst.kruskal g in
+  check_int "all edges kept" (Graph.m g) (List.length mst)
+
+let test_kruskal_minimality_vs_random_trees () =
+  (* No spanning tree weighs less than the MST. *)
+  let st = Random.State.make [| 179 |] in
+  let g = Netgraph.Gen.random_connected ~n:24 ~p:0.3 st in
+  let mst_weight = Mst.weight g (Mst.kruskal g) in
+  for _ = 1 to 20 do
+    let t = Netgraph.Spanning.random g ~root:0 st in
+    let w = Mst.weight g (Netgraph.Spanning.edges t) in
+    check_bool (Printf.sprintf "%d >= %d" w mst_weight) true (w >= mst_weight)
+  done
+
+let test_edge_order_total () =
+  let g = Netgraph.Gen.complete 6 in
+  let edges = Graph.edges g in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Mst.edge_order g a b and ba = Mst.edge_order g b a in
+          check_bool "antisymmetric" true (compare ab 0 = compare 0 ba);
+          if ab = 0 then check_bool "equal only reflexively" true (a = b))
+        edges)
+    edges
+
+(* {1 Synchronous model} *)
+
+let test_sync_model_round_delivery () =
+  (* A relay chain: node 0 pings right once; each relay forwards right;
+     rounds = n-1 hops + the final silent round. *)
+  let g = Netgraph.Gen.path 5 in
+  let factory ~n_hint:_ ~advice:_ ~id ~degree =
+    let fired = ref false in
+    let on_round ~inbox =
+      if id = 1 && not !fired then begin
+        fired := true;
+        [ (Bitstring.Bitbuf.of_string "1", 0) ]
+      end
+      else
+        List.filter_map
+          (fun (_, _) ->
+            if degree > 1 && not !fired then begin
+              fired := true;
+              Some (Bitstring.Bitbuf.of_string "1", 1)
+            end
+            else None)
+          inbox
+    in
+    { Syncnet.Model.on_round; finished = (fun () -> true) }
+  in
+  let r = Syncnet.Model.run ~advice:(fun _ -> Bitstring.Bitbuf.create ()) g factory in
+  check_int "messages" 4 r.Syncnet.Model.messages;
+  check_bool "finishes" true r.Syncnet.Model.all_finished
+
+let test_sync_model_rejects_bad_port () =
+  let g = Netgraph.Gen.path 2 in
+  let bad ~n_hint:_ ~advice:_ ~id:_ ~degree:_ =
+    {
+      Syncnet.Model.on_round = (fun ~inbox:_ -> [ (Bitstring.Bitbuf.create (), 9) ]);
+      finished = (fun () -> false);
+    }
+  in
+  match Syncnet.Model.run ~advice:(fun _ -> Bitstring.Bitbuf.create ()) g bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected port error"
+
+let test_sync_model_round_budget () =
+  let g = Netgraph.Gen.path 2 in
+  let chatty ~n_hint:_ ~advice:_ ~id:_ ~degree:_ =
+    {
+      Syncnet.Model.on_round = (fun ~inbox:_ -> [ (Bitstring.Bitbuf.create (), 0) ]);
+      finished = (fun () -> false);
+    }
+  in
+  let r = Syncnet.Model.run ~max_rounds:25 ~advice:(fun _ -> Bitstring.Bitbuf.create ()) g chatty in
+  check_int "budget" 25 r.Syncnet.Model.rounds;
+  check_bool "not finished" false r.Syncnet.Model.all_finished
+
+(* {1 Distributed Borůvka} *)
+
+let test_boruvka_matches_kruskal_families () =
+  List.iter
+    (fun fam ->
+      let g = Families.build fam ~n:24 ~seed:181 in
+      let o = Syncnet.Boruvka.distributed_build g in
+      check_bool (Families.name fam ^ " matches Kruskal") true o.Syncnet.Boruvka.matches_reference;
+      check_int (Families.name fam ^ " no advice") 0 o.Syncnet.Boruvka.advice_bits)
+    Families.all
+
+let test_boruvka_single_node () =
+  let g = Netgraph.Gen.path 1 in
+  let o = Syncnet.Boruvka.distributed_build g in
+  check_bool "trivially done" true o.Syncnet.Boruvka.matches_reference;
+  match o.Syncnet.Boruvka.edges with
+  | Some [] -> ()
+  | Some _ | None -> Alcotest.fail "expected the empty tree"
+
+let test_boruvka_two_nodes () =
+  let g = Netgraph.Gen.path 2 in
+  let o = Syncnet.Boruvka.distributed_build g in
+  check_bool "ok" true o.Syncnet.Boruvka.matches_reference
+
+let test_boruvka_message_complexity () =
+  (* O(m log n): each phase costs O(m) and there are <= lg n + 1 phases. *)
+  let g = Families.build Families.Dense_random ~n:48 ~seed:191 in
+  let o = Syncnet.Boruvka.distributed_build g in
+  check_bool "ok" true o.Syncnet.Boruvka.matches_reference;
+  let m = Graph.m g and n = Graph.n g in
+  let phases = Bitstring.Binary.ceil_log2 n + 2 in
+  check_bool "message bound" true
+    (o.Syncnet.Boruvka.result.Syncnet.Model.messages <= 4 * m * phases)
+
+let test_boruvka_permuted_labels () =
+  (* Leadership depends on labels: any labeling must still produce the
+     (relabeled) unique MST. *)
+  let st = Random.State.make [| 193 |] in
+  let g =
+    Netgraph.Transform.permute_labels
+      (Netgraph.Gen.random_connected ~n:30 ~p:0.2 st)
+      st
+  in
+  let o = Syncnet.Boruvka.distributed_build g in
+  check_bool "ok" true o.Syncnet.Boruvka.matches_reference
+
+let test_advised_build () =
+  List.iter
+    (fun fam ->
+      let g = Families.build fam ~n:24 ~seed:197 in
+      let o = Syncnet.Boruvka.advised_build g in
+      check_bool (Families.name fam ^ " matches") true o.Syncnet.Boruvka.matches_reference;
+      check_int (Families.name fam ^ " zero messages") 0
+        o.Syncnet.Boruvka.result.Syncnet.Model.messages;
+      check_bool (Families.name fam ^ " advice paid") true (o.Syncnet.Boruvka.advice_bits > 0))
+    Families.all
+
+let test_mst_oracle_size_linear_ish () =
+  (* The MST-ports oracle is 2*sum(#2(port)) <= O(n log max-degree). *)
+  let g = Families.build Families.Complete ~n:64 ~seed:0 in
+  let o = Syncnet.Boruvka.advised_build g in
+  check_bool "within 4 n lg n" true
+    (o.Syncnet.Boruvka.advice_bits <= 4 * 64 * Bitstring.Binary.ceil_log2 64)
+
+let qcheck_boruvka =
+  QCheck.Test.make ~name:"distributed Boruvka = Kruskal on random graphs" ~count:25
+    QCheck.(pair (int_range 2 36) (int_range 0 999))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = Netgraph.Gen.random_connected ~n ~p:0.25 st in
+      (Syncnet.Boruvka.distributed_build g).Syncnet.Boruvka.matches_reference)
+
+let suite =
+  [
+    Alcotest.test_case "kruskal spans" `Quick test_kruskal_is_spanning_tree;
+    Alcotest.test_case "kruskal on a tree" `Quick test_kruskal_on_tree_is_identity;
+    Alcotest.test_case "kruskal minimality" `Quick test_kruskal_minimality_vs_random_trees;
+    Alcotest.test_case "edge order is total" `Quick test_edge_order_total;
+    Alcotest.test_case "sync model delivery" `Quick test_sync_model_round_delivery;
+    Alcotest.test_case "sync model port check" `Quick test_sync_model_rejects_bad_port;
+    Alcotest.test_case "sync model round budget" `Quick test_sync_model_round_budget;
+    Alcotest.test_case "Boruvka = Kruskal on families" `Quick
+      test_boruvka_matches_kruskal_families;
+    Alcotest.test_case "Boruvka: single node" `Quick test_boruvka_single_node;
+    Alcotest.test_case "Boruvka: two nodes" `Quick test_boruvka_two_nodes;
+    Alcotest.test_case "Boruvka: O(m log n) messages" `Quick test_boruvka_message_complexity;
+    Alcotest.test_case "Boruvka: permuted labels" `Quick test_boruvka_permuted_labels;
+    Alcotest.test_case "advised build: zero messages" `Quick test_advised_build;
+    Alcotest.test_case "MST oracle size" `Quick test_mst_oracle_size_linear_ish;
+    QCheck_alcotest.to_alcotest qcheck_boruvka;
+  ]

@@ -1,0 +1,184 @@
+module Graph = Netgraph.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let no_advice _ = Bitstring.Bitbuf.create ()
+
+let sample_graphs =
+  [
+    ("path", Netgraph.Gen.path 16);
+    ("grid", Netgraph.Gen.grid ~rows:4 ~cols:5);
+    ("star", Netgraph.Gen.star 12);
+    ("complete", Netgraph.Gen.complete 10);
+    ("random", Netgraph.Gen.random_connected ~n:24 ~p:0.2 (Random.State.make [| 31 |]));
+  ]
+
+let test_round_robin_completes () =
+  List.iter
+    (fun (name, g) ->
+      let r = Radio.Model.run ~advice:no_advice g ~source:0 Radio.Protocols.round_robin in
+      check_bool (name ^ " informed") true r.Radio.Model.all_informed;
+      let bound = Graph.n g * (Netgraph.Traverse.diameter g + 1) in
+      check_bool
+        (Printf.sprintf "%s: %d <= nD bound %d" name r.Radio.Model.rounds bound)
+        true
+        (r.Radio.Model.rounds <= bound))
+    sample_graphs
+
+let test_round_robin_collision_free () =
+  (* One label per round: collisions are impossible. *)
+  List.iter
+    (fun (name, g) ->
+      let r = Radio.Model.run ~advice:no_advice g ~source:0 Radio.Protocols.round_robin in
+      check_int (name ^ " collisions") 0 r.Radio.Model.collisions)
+    sample_graphs
+
+let test_decay_completes () =
+  List.iter
+    (fun (name, g) ->
+      let r = Radio.Model.run ~advice:no_advice g ~source:0 (Radio.Protocols.decay ~seed:5) in
+      check_bool (name ^ " informed") true r.Radio.Model.all_informed)
+    sample_graphs
+
+let test_decay_deterministic_in_seed () =
+  let g = Netgraph.Gen.grid ~rows:5 ~cols:5 in
+  let run seed =
+    (Radio.Model.run ~advice:no_advice g ~source:0 (Radio.Protocols.decay ~seed)).Radio.Model.rounds
+  in
+  check_int "same seed" (run 7) (run 7);
+  check_bool "seeds differ (usually)" true (run 1 <> run 2 || run 1 <> run 3)
+
+let test_scheduled_completes_fast () =
+  List.iter
+    (fun (name, g) ->
+      let advice = Radio.Protocols.schedule_oracle g ~source:0 in
+      let r =
+        Radio.Model.run ~advice:(Oracles.Advice.get advice) g ~source:0 Radio.Protocols.scheduled
+      in
+      check_bool (name ^ " informed") true r.Radio.Model.all_informed;
+      check_int (name ^ " collisions") 0 r.Radio.Model.collisions;
+      check_int
+        (name ^ " rounds = schedule length")
+        (Radio.Protocols.schedule_length g ~source:0)
+        r.Radio.Model.rounds;
+      check_bool (name ^ " within n-1") true (r.Radio.Model.rounds <= Graph.n g - 1))
+    sample_graphs
+
+let test_schedule_beats_round_robin_when_wide () =
+  let g = Netgraph.Gen.grid ~rows:6 ~cols:6 in
+  let rr = Radio.Model.run ~advice:no_advice g ~source:0 Radio.Protocols.round_robin in
+  let advice = Radio.Protocols.schedule_oracle g ~source:0 in
+  let sc =
+    Radio.Model.run ~advice:(Oracles.Advice.get advice) g ~source:0 Radio.Protocols.scheduled
+  in
+  check_bool "knowledge buys time" true (sc.Radio.Model.rounds <= rr.Radio.Model.rounds)
+
+let test_diameter_floor () =
+  (* No protocol can beat D rounds. *)
+  let g = Netgraph.Gen.path 12 in
+  let d = Netgraph.Traverse.diameter g in
+  let advice = Radio.Protocols.schedule_oracle g ~source:0 in
+  let sc =
+    Radio.Model.run ~advice:(Oracles.Advice.get advice) g ~source:0 Radio.Protocols.scheduled
+  in
+  check_bool "at least D" true (sc.Radio.Model.rounds >= d)
+
+let test_collisions_happen () =
+  (* An everyone-always-transmits protocol deadlocks the star: both
+     informed nodes hit the others simultaneously once two are informed.
+     On K_{1,n} from a leaf: leaf informs hub (round 1), then hub+leaf
+     both transmit — every other leaf sees exactly... the hub and the
+     informed leaf are not adjacent to the same leaves except hub; use a
+     triangle plus pendant to force a collision instead. *)
+  let chatty =
+    {
+      Radio.Model.protocol_name = "always";
+      make_node = (fun ~n_hint:_ ~advice:_ ~id:_ ~round:_ ~informed -> informed);
+    }
+  in
+  (* Square 0-1-2-3-0, source 0: round 1: node 0 informs 1 and 3; round 2:
+     nodes 1 and 3 both transmit; node 2 hears both -> collision, forever. *)
+  let g = Netgraph.Gen.cycle 4 in
+  let r = Radio.Model.run ~max_rounds:50 ~advice:no_advice g ~source:0 chatty in
+  check_bool "stuck" false r.Radio.Model.all_informed;
+  check_bool "collisions observed" true (r.Radio.Model.collisions > 0)
+
+let test_uninformed_cannot_transmit () =
+  (* A protocol that claims to transmit always: the runner must ignore
+     uninformed nodes, so only the source transmits in round 1. *)
+  let chatty =
+    {
+      Radio.Model.protocol_name = "always";
+      make_node = (fun ~n_hint:_ ~advice:_ ~id:_ ~round:_ ~informed:_ -> true);
+    }
+  in
+  let g = Netgraph.Gen.path 3 in
+  let r = Radio.Model.run ~max_rounds:1 ~advice:no_advice g ~source:0 chatty in
+  check_int "one transmission" 1 r.Radio.Model.transmissions
+
+let test_schedule_advice_size_reasonable () =
+  let g = Netgraph.Gen.random_connected ~n:64 ~p:0.1 (Random.State.make [| 37 |]) in
+  let advice = Radio.Protocols.schedule_oracle g ~source:0 in
+  check_bool "nonzero" true (Oracles.Advice.size_bits advice > 0);
+  (* Every node gets at least the gamma-coded zero count: size O(n log n). *)
+  check_bool "not absurd" true
+    (Oracles.Advice.size_bits advice
+    <= 4 * Graph.n g * Bitstring.Binary.ceil_log2 (Graph.n g))
+
+let qcheck_protocols =
+  QCheck.Test.make ~name:"all radio protocols inform everyone" ~count:30
+    QCheck.(pair (int_range 2 32) (int_range 0 999))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = Netgraph.Gen.random_connected ~n ~p:0.2 st in
+      let source = seed mod n in
+      let rr = Radio.Model.run ~advice:no_advice g ~source Radio.Protocols.round_robin in
+      let dc = Radio.Model.run ~advice:no_advice g ~source (Radio.Protocols.decay ~seed) in
+      let advice = Radio.Protocols.schedule_oracle g ~source in
+      let sc =
+        Radio.Model.run ~advice:(Oracles.Advice.get advice) g ~source Radio.Protocols.scheduled
+      in
+      rr.Radio.Model.all_informed && dc.Radio.Model.all_informed
+      && sc.Radio.Model.all_informed
+      && sc.Radio.Model.collisions = 0)
+
+let suite =
+  [
+    Alcotest.test_case "round-robin completes within nD" `Quick test_round_robin_completes;
+    Alcotest.test_case "round-robin is collision-free" `Quick test_round_robin_collision_free;
+    Alcotest.test_case "decay completes" `Quick test_decay_completes;
+    Alcotest.test_case "decay deterministic in seed" `Quick test_decay_deterministic_in_seed;
+    Alcotest.test_case "scheduled completes fast" `Quick test_scheduled_completes_fast;
+    Alcotest.test_case "knowledge buys time" `Quick test_schedule_beats_round_robin_when_wide;
+    Alcotest.test_case "diameter floor" `Quick test_diameter_floor;
+    Alcotest.test_case "collisions happen" `Quick test_collisions_happen;
+    Alcotest.test_case "uninformed cannot transmit" `Quick test_uninformed_cannot_transmit;
+    Alcotest.test_case "schedule advice size" `Quick test_schedule_advice_size_reasonable;
+    QCheck_alcotest.to_alcotest qcheck_protocols;
+  ]
+
+let test_scheduled_nonzero_source () =
+  let g = Netgraph.Gen.grid ~rows:5 ~cols:5 in
+  let advice = Radio.Protocols.schedule_oracle g ~source:12 in
+  let r =
+    Radio.Model.run ~advice:(Oracles.Advice.get advice) g ~source:12 Radio.Protocols.scheduled
+  in
+  check_bool "informed from the center" true r.Radio.Model.all_informed;
+  check_int "no collisions" 0 r.Radio.Model.collisions
+
+let test_single_node_radio () =
+  let g = Netgraph.Gen.path 1 in
+  let r =
+    Radio.Model.run ~advice:(fun _ -> Bitstring.Bitbuf.create ()) g ~source:0
+      Radio.Protocols.round_robin
+  in
+  check_bool "trivially informed" true r.Radio.Model.all_informed;
+  check_int "zero rounds" 0 r.Radio.Model.rounds
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "schedule from non-zero source" `Quick test_scheduled_nonzero_source;
+      Alcotest.test_case "single node" `Quick test_single_node_radio;
+    ]

@@ -1,0 +1,67 @@
+(* Larger-scale runs: the same theorem claims at n in the thousands, to
+   catch anything that only breaks past toy sizes (overflow, quadratic
+   blowups, stack depth). *)
+
+open Oracle_core
+module Graph = Netgraph.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let big_sparse n = Netgraph.Gen.random_connected ~n ~p:(4.0 /. float_of_int n) (Random.State.make [| n |])
+
+let test_wakeup_4096 () =
+  let n = 4096 in
+  let g = big_sparse n in
+  let o = Wakeup.run g ~source:0 in
+  check_bool "informed" true o.Wakeup.result.Sim.Runner.all_informed;
+  check_int "n-1 messages" (n - 1) o.Wakeup.result.Sim.Runner.stats.Sim.Runner.sent;
+  check_bool "advice within budget" true (o.Wakeup.advice_bits <= Bounds.wakeup_advice_upper ~n)
+
+let test_broadcast_4096 () =
+  let n = 4096 in
+  let g = big_sparse n in
+  let o = Broadcast.run g ~source:0 in
+  check_bool "informed" true o.Broadcast.result.Sim.Runner.all_informed;
+  check_bool "< 3n messages" true (o.Broadcast.result.Sim.Runner.stats.Sim.Runner.sent < 3 * n);
+  check_bool "<= 8n bits" true (o.Broadcast.advice_bits <= 8 * n);
+  check_bool "contribution <= 4n" true (o.Broadcast.tree_contribution <= 4 * n)
+
+let test_light_tree_deep_path () =
+  (* A 20 000-node path: recursion depths and tree plumbing at scale. *)
+  let n = 20_000 in
+  let g = Netgraph.Gen.path n in
+  let t = Netgraph.Spanning.light g ~root:0 in
+  check_bool "valid" true (Netgraph.Spanning.check g t = Ok ());
+  check_bool "within 4n" true
+    (Netgraph.Spanning.contribution g (Netgraph.Spanning.edges t) <= 4 * n)
+
+let test_gossip_2048 () =
+  let n = 2048 in
+  let g = big_sparse n in
+  let o = Gossip.run g ~source:0 in
+  check_bool "complete" true o.Gossip.complete;
+  check_int "2(n-1)" (2 * (n - 1)) o.Gossip.result.Sim.Runner.stats.Sim.Runner.sent
+
+let test_counting_pipeline_large () =
+  (* The threshold keeps its shape out to n = 2^18 without numeric
+     trouble. *)
+  let q n = Lower_bound.min_advice_for_linear_wakeup ~n ~budget_factor:3.0 in
+  let q17 = q 131072 and q18 = q 262144 in
+  check_bool "superlinear at scale" true (q18 > 2 * q17)
+
+let test_separation_2048 () =
+  let m = Separation.measure Netgraph.Families.Sparse_random ~n:2048 ~seed:227 in
+  check_bool "wakeup ok" true m.Separation.wakeup_ok;
+  check_bool "broadcast ok" true m.Separation.broadcast_ok;
+  check_bool "ratio grown past 7" true (m.Separation.bits_ratio > 7.0)
+
+let suite =
+  [
+    Alcotest.test_case "wakeup at n=4096" `Slow test_wakeup_4096;
+    Alcotest.test_case "broadcast at n=4096" `Slow test_broadcast_4096;
+    Alcotest.test_case "light tree on a 20k path" `Slow test_light_tree_deep_path;
+    Alcotest.test_case "gossip at n=2048" `Slow test_gossip_2048;
+    Alcotest.test_case "counting pipeline at n=2^18" `Slow test_counting_pipeline_large;
+    Alcotest.test_case "separation at n=2048" `Slow test_separation_2048;
+  ]

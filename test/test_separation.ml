@@ -1,0 +1,58 @@
+open Oracle_core
+module Families = Netgraph.Families
+
+let check_bool = Alcotest.(check bool)
+
+let test_measure_all_families () =
+  List.iter
+    (fun fam ->
+      let m = Separation.measure fam ~n:48 ~seed:61 in
+      check_bool (m.Separation.family ^ " wakeup ok") true m.Separation.wakeup_ok;
+      check_bool (m.Separation.family ^ " broadcast ok") true m.Separation.broadcast_ok;
+      check_bool (m.Separation.family ^ " separation visible") true
+        (m.Separation.bits_ratio > 1.0))
+    Families.all
+
+let test_ratio_grows_with_n () =
+  let ms = Separation.sweep Families.Random_tree ~ns:[ 32; 128; 512 ] ~seed:67 in
+  match List.map (fun m -> m.Separation.bits_ratio) ms with
+  | [ r32; r128; r512 ] ->
+    check_bool "32 -> 128" true (r128 > r32);
+    check_bool "128 -> 512" true (r512 > r128)
+  | _ -> Alcotest.fail "wrong sweep length"
+
+let test_broadcast_bits_linear () =
+  (* Theorem 3.1: bits/n bounded by 8 across the sweep. *)
+  let ms = Separation.sweep Families.Sparse_random ~ns:[ 64; 256; 1024 ] ~seed:71 in
+  List.iter
+    (fun m ->
+      check_bool
+        (Printf.sprintf "n=%d: %d <= 8n" m.Separation.n m.Separation.broadcast_bits)
+        true
+        (m.Separation.broadcast_bits <= 8 * m.Separation.n))
+    ms
+
+let test_wakeup_bits_nlogn () =
+  (* Theorem 2.1: bits within (1+o(1)) n log n; check against the explicit
+     finite-n budget. *)
+  let ms = Separation.sweep Families.Grid ~ns:[ 64; 256; 1024 ] ~seed:73 in
+  List.iter
+    (fun m ->
+      check_bool
+        (Printf.sprintf "n=%d within budget" m.Separation.n)
+        true
+        (m.Separation.wakeup_bits <= Bounds.wakeup_advice_upper ~n:m.Separation.n))
+    ms
+
+let test_ratio_growth_positive () =
+  let ms = Separation.sweep Families.Random_tree ~ns:[ 32; 64; 128; 256 ] ~seed:79 in
+  check_bool "growth slope positive" true (Separation.ratio_growth ms > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "measure on all families" `Quick test_measure_all_families;
+    Alcotest.test_case "ratio grows with n" `Quick test_ratio_grows_with_n;
+    Alcotest.test_case "broadcast bits stay linear" `Quick test_broadcast_bits_linear;
+    Alcotest.test_case "wakeup bits stay within n log n budget" `Quick test_wakeup_bits_nlogn;
+    Alcotest.test_case "ratio growth slope positive" `Quick test_ratio_growth_positive;
+  ]

@@ -1,0 +1,86 @@
+open Oracle_core
+module Graph = Netgraph.Graph
+module Families = Netgraph.Families
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_stretch_1_keeps_everything () =
+  let g = Netgraph.Gen.complete 8 in
+  check_int "all edges" (Graph.m g) (List.length (Spanner.greedy_spanner g ~stretch:1))
+
+let test_spanner_on_tree_is_tree () =
+  let g = Netgraph.Gen.balanced_tree ~arity:2 ~depth:4 in
+  check_int "tree unchanged" (Graph.m g) (List.length (Spanner.greedy_spanner g ~stretch:3))
+
+let test_valid_on_all_families () =
+  List.iter
+    (fun fam ->
+      let g = Families.build fam ~n:32 ~seed:199 in
+      List.iter
+        (fun stretch ->
+          let o = Spanner.measure g ~stretch in
+          check_bool (Printf.sprintf "%s t=%d" (Families.name fam) stretch) true
+            o.Spanner.valid)
+        [ 1; 2; 3; 5 ])
+    Families.all
+
+let test_edges_decrease_with_stretch () =
+  let g = Netgraph.Gen.complete 24 in
+  let edges stretch = (Spanner.measure g ~stretch).Spanner.edges_kept in
+  check_bool "monotone" true (edges 1 >= edges 3 && edges 3 >= edges 5);
+  (* A 3-spanner of K_n is far sparser than K_n. *)
+  check_bool "sparse" true (edges 3 < Graph.m g / 2);
+  (* Any connected spanner keeps at least a spanning tree. *)
+  check_bool "at least n-1" true (edges 5 >= Graph.n g - 1)
+
+let test_spanner_size_bound () =
+  (* Greedy (2k-1)-spanner has < n^(1+1/k) + n edges; check k = 2 (t = 3)
+     loosely on dense graphs. *)
+  let g = Families.build Families.Dense_random ~n:64 ~seed:211 in
+  let o = Spanner.measure g ~stretch:3 in
+  let bound = int_of_float (64.0 ** 1.5) + 64 in
+  check_bool (Printf.sprintf "%d <= %d" o.Spanner.edges_kept bound) true
+    (o.Spanner.edges_kept <= bound)
+
+let test_oracle_decodes () =
+  let g = Netgraph.Gen.grid ~rows:4 ~cols:4 in
+  let advice = (Spanner.spanner_oracle ~stretch:3).Oracles.Oracle.advise g ~source:0 in
+  let spanner = Spanner.greedy_spanner g ~stretch:3 in
+  let expected = Array.make 16 [] in
+  List.iter
+    (fun e ->
+      expected.(e.Graph.u) <- e.Graph.pu :: expected.(e.Graph.u);
+      expected.(e.Graph.v) <- e.Graph.pv :: expected.(e.Graph.v))
+    spanner;
+  for v = 0 to 15 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "node %d" v)
+      (List.sort compare expected.(v))
+      (Bitstring.Codes.read_marked_list (Bitstring.Bitbuf.reader (Oracles.Advice.get advice v)))
+  done
+
+let test_invalid_stretch () =
+  match Spanner.greedy_spanner (Netgraph.Gen.path 3) ~stretch:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stretch 0 rejected"
+
+let qcheck_spanner_valid =
+  QCheck.Test.make ~name:"greedy spanner meets its stretch on random graphs" ~count:30
+    QCheck.(triple (int_range 2 32) (int_range 0 999) (int_range 1 5))
+    (fun (n, seed, stretch) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = Netgraph.Gen.random_connected ~n ~p:0.3 st in
+      (Spanner.measure g ~stretch).Spanner.valid)
+
+let suite =
+  [
+    Alcotest.test_case "stretch 1 keeps all edges" `Quick test_stretch_1_keeps_everything;
+    Alcotest.test_case "tree is its own spanner" `Quick test_spanner_on_tree_is_tree;
+    Alcotest.test_case "valid on all families" `Quick test_valid_on_all_families;
+    Alcotest.test_case "edges decrease with stretch" `Quick test_edges_decrease_with_stretch;
+    Alcotest.test_case "size bound for t=3" `Quick test_spanner_size_bound;
+    Alcotest.test_case "oracle decodes to the spanner" `Quick test_oracle_decodes;
+    Alcotest.test_case "invalid stretch" `Quick test_invalid_stretch;
+    QCheck_alcotest.to_alcotest qcheck_spanner_valid;
+  ]

@@ -1,0 +1,147 @@
+open Netgraph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let assert_tree name g t =
+  match Spanning.check g t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: bad tree: %s" name msg
+
+let sample_graphs =
+  [
+    ("path", Gen.path 10);
+    ("cycle", Gen.cycle 9);
+    ("complete", Gen.complete 8);
+    ("grid", Gen.grid ~rows:4 ~cols:5);
+    ("hypercube", Gen.hypercube ~dim:4);
+    ("lollipop", Gen.lollipop ~clique:5 ~tail:5);
+    ("random", Gen.random_connected ~n:25 ~p:0.2 (Random.State.make [| 5 |]));
+  ]
+
+let test_bfs_trees () =
+  List.iter (fun (name, g) -> assert_tree name g (Spanning.bfs g ~root:0)) sample_graphs
+
+let test_dfs_trees () =
+  List.iter (fun (name, g) -> assert_tree name g (Spanning.dfs g ~root:0)) sample_graphs
+
+let test_random_trees () =
+  let st = Random.State.make [| 9 |] in
+  List.iter (fun (name, g) -> assert_tree name g (Spanning.random g ~root:0 st)) sample_graphs
+
+let test_light_trees () =
+  List.iter (fun (name, g) -> assert_tree name g (Spanning.light g ~root:0)) sample_graphs
+
+let test_edges_count () =
+  List.iter
+    (fun (name, g) ->
+      let t = Spanning.bfs g ~root:0 in
+      check_int (name ^ " edge count") (Graph.n g - 1) (List.length (Spanning.edges t)))
+    sample_graphs
+
+let test_nontrivial_root () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let t = Spanning.light g ~root:4 in
+  assert_tree "root 4" g t;
+  check_int "root" 4 t.Spanning.root;
+  Alcotest.(check bool) "root has no parent" true (t.Spanning.parent.(4) = None)
+
+let test_depth () =
+  let g = Gen.path 5 in
+  let t = Spanning.bfs g ~root:0 in
+  Alcotest.(check (array int)) "depths" [| 0; 1; 2; 3; 4 |] (Spanning.depth t)
+
+let test_children_ports_sorted () =
+  let g = Gen.complete 6 in
+  let t = Spanning.bfs g ~root:0 in
+  let ports = Spanning.children_ports t 0 in
+  check_bool "sorted" true (List.sort compare ports = ports);
+  check_int "root has all children" 5 (List.length ports)
+
+let test_of_parents_rejects_cycle () =
+  let g = Gen.cycle 4 in
+  (* 0→1→2→3→0 is a cycle, not a tree. *)
+  let parents = [| Some 3; Some 0; Some 1; Some 2 |] in
+  (match Spanning.of_parents g ~root:0 parents with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  (* root can't have a parent *)
+  match Spanning.of_parents g ~root:1 [| None; Some 0; Some 1; Some 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection: non-rooted"
+
+let test_of_parents_rejects_non_edge () =
+  let g = Gen.path 4 in
+  (* 0-2 is not an edge of the path. *)
+  match Spanning.of_parents g ~root:0 [| None; Some 0; Some 0; Some 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_contribution_small () =
+  (* Path ports: interior nodes have ports 0 (to the left) and 1 (to the
+     right); each edge has weight min = 0 except none... check directly. *)
+  let g = Gen.path 4 in
+  let t = Spanning.bfs g ~root:0 in
+  let contribution = Spanning.contribution g (Spanning.edges t) in
+  (* Every edge weight is 0 (each edge is port 0 at its right endpoint or
+     left endpoint): #2(0) = 1 per edge. *)
+  check_int "three edges, weight-0" 3 contribution
+
+let test_light_contribution_bound () =
+  (* Claim 3.1: the light tree's contribution is at most 4n, on every
+     family. *)
+  List.iter
+    (fun (name, g) ->
+      let t = Spanning.light g ~root:0 in
+      let c = Spanning.contribution g (Spanning.edges t) in
+      check_bool
+        (Printf.sprintf "%s: %d <= 4*%d" name c (Graph.n g))
+        true
+        (c <= 4 * Graph.n g))
+    sample_graphs
+
+let test_light_beats_naive_on_complete () =
+  (* On K*_n a BFS tree's contribution grows like n log n while the light
+     tree stays linear; at n = 64 the gap must already be visible. *)
+  let g = Gen.complete 64 in
+  let light = Spanning.contribution g (Spanning.edges (Spanning.light g ~root:0)) in
+  let bfs = Spanning.contribution g (Spanning.edges (Spanning.bfs g ~root:0)) in
+  check_bool "light within 4n" true (light <= 4 * 64);
+  check_bool "light strictly better" true (light < bfs)
+
+let qcheck_light_tree =
+  QCheck.Test.make ~name:"light tree: valid and within 4n (random graphs)" ~count:50
+    QCheck.(pair (int_range 2 50) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = Gen.random_connected ~n ~p:0.3 st in
+      let t = Spanning.light g ~root:0 in
+      Spanning.check g t = Ok ()
+      && Spanning.contribution g (Spanning.edges t) <= 4 * n)
+
+let qcheck_random_spanning =
+  QCheck.Test.make ~name:"random spanning tree is valid" ~count:50
+    QCheck.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = Gen.random_connected ~n ~p:0.25 st in
+      Spanning.check g (Spanning.random g ~root:(n / 2) st) = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "bfs trees valid" `Quick test_bfs_trees;
+    Alcotest.test_case "dfs trees valid" `Quick test_dfs_trees;
+    Alcotest.test_case "random trees valid" `Quick test_random_trees;
+    Alcotest.test_case "light trees valid" `Quick test_light_trees;
+    Alcotest.test_case "n-1 edges" `Quick test_edges_count;
+    Alcotest.test_case "non-zero root" `Quick test_nontrivial_root;
+    Alcotest.test_case "depth" `Quick test_depth;
+    Alcotest.test_case "children ports sorted" `Quick test_children_ports_sorted;
+    Alcotest.test_case "of_parents rejects cycles" `Quick test_of_parents_rejects_cycle;
+    Alcotest.test_case "of_parents rejects non-edges" `Quick test_of_parents_rejects_non_edge;
+    Alcotest.test_case "contribution on a path" `Quick test_contribution_small;
+    Alcotest.test_case "Claim 3.1: light tree within 4n" `Quick test_light_contribution_bound;
+    Alcotest.test_case "light beats BFS on K*_n" `Quick test_light_beats_naive_on_complete;
+    QCheck_alcotest.to_alcotest qcheck_light_tree;
+    QCheck_alcotest.to_alcotest qcheck_random_spanning;
+  ]

@@ -1,0 +1,244 @@
+open Netgraph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let assert_valid name g =
+  match Graph.validate g with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: invalid: %s" name msg
+
+(* {1 Subdivision (Theorem 2.2's G_{n,S})} *)
+
+let test_subdivide_counts () =
+  let host = Gen.complete 6 in
+  let st = Random.State.make [| 1 |] in
+  let chosen = Transform.choose_edges host ~count:4 st in
+  let g = Transform.subdivide host ~chosen in
+  assert_valid "subdivided" g;
+  check_int "nodes" 10 (Graph.n g);
+  check_int "edges" (Graph.m host + 4) (Graph.m g);
+  check_bool "connected" true (Graph.is_connected g)
+
+let test_subdivide_middle_nodes () =
+  let host = Gen.complete 5 in
+  let chosen = [ List.hd (Graph.edges host) ] in
+  let g = Transform.subdivide host ~chosen in
+  let w = Graph.n host in
+  check_int "degree 2" 2 (Graph.degree g w);
+  check_int "fresh label" 6 (Graph.label g w);
+  (* Port 0 at the middle node goes to the smaller-labeled endpoint. *)
+  let e = List.hd chosen in
+  let smaller = if Graph.label host e.Graph.u < Graph.label host e.Graph.v then e.Graph.u else e.Graph.v in
+  let to0, _ = Graph.endpoint g w 0 in
+  check_int "port 0 to smaller label" smaller to0
+
+let test_subdivide_preserves_host_ports () =
+  let host = Gen.complete 5 in
+  let e = List.hd (Graph.edges host) in
+  let g = Transform.subdivide host ~chosen:[ e ] in
+  let w = Graph.n host in
+  (* The endpoints still use their original port numbers, now towards w. *)
+  let via_u, _ = Graph.endpoint g e.Graph.u e.Graph.pu in
+  let via_v, _ = Graph.endpoint g e.Graph.v e.Graph.pv in
+  check_int "u port now to middle" w via_u;
+  check_int "v port now to middle" w via_v;
+  (* Degrees of host nodes unchanged. *)
+  for v = 0 to Graph.n host - 1 do
+    check_int (Printf.sprintf "degree %d" v) (Graph.degree host v) (Graph.degree g v)
+  done
+
+let test_subdivide_rejects_bad_edges () =
+  let host = Gen.path 4 in
+  let fake = { Graph.u = 0; pu = 0; v = 3; pv = 0 } in
+  (match Transform.subdivide host ~chosen:[ fake ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection: non-edge");
+  let e = List.hd (Graph.edges host) in
+  match Transform.subdivide host ~chosen:[ e; e ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection: duplicate"
+
+(* {1 Clique substitution (Theorem 3.2's G_{n,S,C})} *)
+
+let make_gnsc n k seed =
+  let st = Random.State.make [| seed |] in
+  let host = Gen.complete n in
+  let count = n / k in
+  let chosen = Transform.choose_edges host ~count st in
+  let missing = Transform.clique_pairs ~k ~count st in
+  (host, chosen, missing, Transform.substitute_cliques host ~k ~chosen ~missing)
+
+let test_substitute_counts () =
+  let n, k = (12, 4) in
+  let host, chosen, _, g = make_gnsc n k 3 in
+  assert_valid "G_{n,S,C}" g;
+  check_int "2n nodes" (2 * n) (Graph.n g);
+  check_bool "connected" true (Graph.is_connected g);
+  let expected_m =
+    Graph.m host - List.length chosen
+    + (List.length chosen * ((k * (k - 1) / 2) - 1))
+    + (2 * List.length chosen)
+  in
+  check_int "edges" expected_m (Graph.m g)
+
+let test_substitute_clique_degrees () =
+  (* Every clique node has degree exactly k-1 (paper's observation). *)
+  let n, k = (12, 4) in
+  let _, _, _, g = make_gnsc n k 4 in
+  for v = n to (2 * n) - 1 do
+    check_int (Printf.sprintf "clique node %d" v) (k - 1) (Graph.degree g v)
+  done
+
+let test_substitute_labels () =
+  let n, k = (8, 4) in
+  let _, _, _, g = make_gnsc n k 5 in
+  for v = 0 to (2 * n) - 1 do
+    check_int (Printf.sprintf "label %d" v) (v + 1) (Graph.label g v)
+  done
+
+let test_substitute_host_ports_preserved () =
+  let n, k = (8, 4) in
+  let host, chosen, _, g = make_gnsc n k 6 in
+  (* Host degrees unchanged; the port that carried the replaced edge now
+     leads into the attached clique. *)
+  for v = 0 to n - 1 do
+    check_int (Printf.sprintf "degree %d" v) (Graph.degree host v) (Graph.degree g v)
+  done;
+  List.iter
+    (fun e ->
+      let via_u, _ = Graph.endpoint g e.Graph.u e.Graph.pu in
+      let via_v, _ = Graph.endpoint g e.Graph.v e.Graph.pv in
+      check_bool "u leads into clique" true (via_u >= n);
+      check_bool "v leads into clique" true (via_v >= n))
+    chosen
+
+let test_substitute_missing_edge_absent () =
+  let n, k = (8, 4) in
+  let _, chosen, missing, g = make_gnsc n k 7 in
+  List.iteri
+    (fun i (a, b) ->
+      let na = n + (i * k) + (a - 1) and nb = n + (i * k) + (b - 1) in
+      check_bool
+        (Printf.sprintf "clique %d misses (%d,%d)" i a b)
+        false (Graph.has_edge g na nb))
+    missing;
+  ignore chosen
+
+let test_substitute_rejects_bad_input () =
+  let host = Gen.complete 8 in
+  let st = Random.State.make [| 1 |] in
+  let chosen = Transform.choose_edges host ~count:2 st in
+  (match Transform.substitute_cliques host ~k:2 ~chosen ~missing:[ (1, 2); (1, 2) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k < 3 must be rejected");
+  (match Transform.substitute_cliques host ~k:4 ~chosen ~missing:[ (1, 2) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch must be rejected");
+  match Transform.substitute_cliques host ~k:4 ~chosen ~missing:[ (2, 2); (1, 3) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "a = b must be rejected"
+
+(* {1 Helpers} *)
+
+let test_clique_pairs () =
+  let st = Random.State.make [| 2 |] in
+  let pairs = Transform.clique_pairs ~k:5 ~count:100 st in
+  check_int "count" 100 (List.length pairs);
+  List.iter
+    (fun (a, b) -> check_bool "valid pair" true (1 <= a && a < b && b <= 5))
+    pairs
+
+let test_choose_edges () =
+  let g = Gen.complete 7 in
+  let st = Random.State.make [| 3 |] in
+  let chosen = Transform.choose_edges g ~count:10 st in
+  check_int "count" 10 (List.length chosen);
+  let keys = List.map (fun e -> (e.Graph.u, e.Graph.v)) chosen in
+  check_int "distinct" 10 (List.length (List.sort_uniq compare keys));
+  match Transform.choose_edges g ~count:1000 st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "too many edges must be rejected"
+
+let test_permute_labels () =
+  let g = Gen.grid ~rows:3 ~cols:3 in
+  let st = Random.State.make [| 4 |] in
+  let g2 = Transform.permute_labels g st in
+  assert_valid "permuted" g2;
+  check_int "same n" (Graph.n g) (Graph.n g2);
+  check_int "same m" (Graph.m g) (Graph.m g2);
+  Alcotest.(check (list int))
+    "labels are a permutation"
+    (List.sort compare (Array.to_list (Graph.labels g)))
+    (List.sort compare (Array.to_list (Graph.labels g2)));
+  (* adjacency structure untouched *)
+  check_bool "same structure" true
+    (Graph.to_edge_list_string g = Graph.to_edge_list_string g2)
+
+let qcheck_subdivide =
+  QCheck.Test.make ~name:"subdivision always yields a valid connected graph" ~count:40
+    QCheck.(pair (int_range 4 20) (int_range 0 999))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let host = Gen.complete n in
+      let count = min n (Graph.m host) in
+      let chosen = Transform.choose_edges host ~count st in
+      let g = Transform.subdivide host ~chosen in
+      Graph.validate g = Ok () && Graph.is_connected g && Graph.n g = n + count)
+
+let suite =
+  [
+    Alcotest.test_case "subdivide: counts" `Quick test_subdivide_counts;
+    Alcotest.test_case "subdivide: middle nodes" `Quick test_subdivide_middle_nodes;
+    Alcotest.test_case "subdivide: host ports preserved" `Quick
+      test_subdivide_preserves_host_ports;
+    Alcotest.test_case "subdivide: rejects bad edges" `Quick test_subdivide_rejects_bad_edges;
+    Alcotest.test_case "cliques: counts" `Quick test_substitute_counts;
+    Alcotest.test_case "cliques: degree k-1" `Quick test_substitute_clique_degrees;
+    Alcotest.test_case "cliques: labels" `Quick test_substitute_labels;
+    Alcotest.test_case "cliques: host ports preserved" `Quick
+      test_substitute_host_ports_preserved;
+    Alcotest.test_case "cliques: missing edge absent" `Quick test_substitute_missing_edge_absent;
+    Alcotest.test_case "cliques: rejects bad input" `Quick test_substitute_rejects_bad_input;
+    Alcotest.test_case "clique_pairs" `Quick test_clique_pairs;
+    Alcotest.test_case "choose_edges" `Quick test_choose_edges;
+    Alcotest.test_case "permute_labels" `Quick test_permute_labels;
+    QCheck_alcotest.to_alcotest qcheck_subdivide;
+  ]
+
+let test_permute_ports () =
+  let g = Gen.complete 8 in
+  let st = Random.State.make [| 43 |] in
+  let g2 = Transform.permute_ports g st in
+  assert_valid "permuted ports" g2;
+  check_int "same n" (Graph.n g) (Graph.n g2);
+  check_int "same m" (Graph.m g) (Graph.m g2);
+  (* Same adjacency relation, generally different ports. *)
+  List.iter
+    (fun e -> check_bool "edge kept" true (Graph.has_edge g2 e.Graph.u e.Graph.v))
+    (Graph.edges g);
+  check_bool "ports actually changed" false (Graph.equal g g2);
+  (* Degrees unchanged. *)
+  for v = 0 to Graph.n g - 1 do
+    check_int (Printf.sprintf "degree %d" v) (Graph.degree g v) (Graph.degree g2 v)
+  done
+
+let qcheck_permute_ports =
+  QCheck.Test.make ~name:"port permutation preserves structure" ~count:40
+    QCheck.(pair (int_range 2 30) (int_range 0 999))
+    (fun (n, seed) ->
+      let st = Random.State.make [| n; seed |] in
+      let g = Gen.random_connected ~n ~p:0.3 st in
+      let g2 = Transform.permute_ports g st in
+      Graph.validate g2 = Ok ()
+      && Graph.is_connected g2
+      && List.for_all
+           (fun e -> Graph.has_edge g2 e.Graph.u e.Graph.v)
+           (Graph.edges g))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "permute_ports" `Quick test_permute_ports;
+      QCheck_alcotest.to_alcotest qcheck_permute_ports;
+    ]
