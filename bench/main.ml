@@ -1,7 +1,9 @@
 (* Experiment harness: one table per experiment in DESIGN.md §4.
 
-   Usage: main.exe [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|micro|all]...
-   With no argument, runs every table (micro included). *)
+   Usage: main.exe [--trace-out=FILE] [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|smoke|micro|all]...
+   With no argument, runs every table (micro included).  The [smoke]
+   experiment writes a JSON Lines telemetry trace to FILE (default
+   smoke.jsonl); [dune build @smoke] produces it as a build artifact. *)
 
 open Oracle_core
 module Graph = Netgraph.Graph
@@ -866,6 +868,30 @@ let e20 () =
     ~aligns:[ Table.L; R; R; R; R; R; R; L ]
     rows
 
+(* {1 Smoke — one small run that emits a JSONL telemetry artifact} *)
+
+let trace_out = ref "smoke.jsonl"
+
+let smoke () =
+  let g = Families.build Families.Sparse_random ~n:32 ~seed in
+  let file = Obs.Jsonl.file_sink !trace_out in
+  let ring = Obs.Ring.create ~capacity:64 in
+  let o =
+    Fun.protect
+      ~finally:(fun () -> Obs.Sink.close file)
+      (fun () -> Wakeup.run ~sinks:[ file; Obs.Ring.sink ring ] g ~source:0)
+  in
+  let stats = o.Wakeup.result.Sim.Runner.stats in
+  let events = Obs.Jsonl.read_file !trace_out in
+  let replayed = Obs.Replay.replay ~n:(Graph.n g) events in
+  Printf.printf
+    "smoke: wakeup on sparse-random n=%d — %d msgs, %d advice bits; trace %s (%d events,\n\
+    \  ring kept last %d); replay agrees: %b\n"
+    (Graph.n g) stats.Sim.Runner.sent o.Wakeup.advice_bits !trace_out (List.length events)
+    (Obs.Ring.length ring)
+    (replayed.Obs.Replay.all_informed = o.Wakeup.result.Sim.Runner.all_informed
+    && replayed.Obs.Replay.summary.Obs.Counting.sent = stats.Sim.Runner.sent)
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -936,13 +962,24 @@ let experiments =
     ("e19b", e19b);
     ("e20", e20);
     ("e3b", e3b);
+    ("smoke", smoke);
     ("micro", micro);
   ]
 
 let () =
+  let prefix = "--trace-out=" in
+  let args =
+    List.filter
+      (fun a ->
+        if String.starts_with ~prefix a then (
+          trace_out := String.sub a (String.length prefix) (String.length a - String.length prefix);
+          false)
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] && args <> [ "all" ] -> args
+    match args with
+    | args when args <> [] && args <> [ "all" ] -> args
     | _ -> List.map fst experiments
   in
   List.iter

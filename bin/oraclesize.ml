@@ -51,6 +51,32 @@ let scheduler_arg =
     & info [ "scheduler" ] ~docv:"SCHED"
         ~doc:"Delivery discipline: sync, fifo, lifo, or an integer seed for random.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's telemetry trace to $(docv) as JSON Lines, one event per line \
+           (see DESIGN.md, section 'Telemetry').  Use $(b,-) for standard output.")
+
+(* The JSONL sink for [--trace-out], if any; the caller's run function
+   receives it open and we close (flush) it afterwards. *)
+let with_trace_sinks trace_out f =
+  match trace_out with
+  | None -> f []
+  | Some "-" ->
+    let sink = Obs.Jsonl.channel_sink stdout in
+    Fun.protect ~finally:(fun () -> Obs.Sink.close sink) (fun () -> f [ sink ])
+  | Some file ->
+    let sink =
+      try Obs.Jsonl.file_sink file
+      with Sys_error msg ->
+        Printf.eprintf "oraclesize: cannot open trace file: %s\n" msg;
+        exit 2
+    in
+    Fun.protect ~finally:(fun () -> Obs.Sink.close sink) (fun () -> f [ sink ])
+
 let build family n seed = Families.build family ~n ~seed
 
 (* {1 graph} *)
@@ -94,9 +120,12 @@ let wakeup_cmd =
       & opt encoding_conv Oracle_core.Wakeup.Paper
       & info [ "encoding" ] ~docv:"ENC" ~doc:"Advice encoding: paper, minimal, or gamma.")
   in
-  let run family n seed source scheduler encoding =
+  let run family n seed source scheduler encoding trace_out =
     let g = build family n seed in
-    let o = Oracle_core.Wakeup.run ~encoding ~scheduler g ~source in
+    let o =
+      with_trace_sinks trace_out (fun sinks ->
+          Oracle_core.Wakeup.run ~encoding ~scheduler ~sinks g ~source)
+    in
     let stats = o.Oracle_core.Wakeup.result.Sim.Runner.stats in
     Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
       (Graph.m g);
@@ -109,7 +138,8 @@ let wakeup_cmd =
   Cmd.v
     (Cmd.info "wakeup" ~doc:"Run the Theorem 2.1 wakeup oracle and scheme.")
     Term.(
-      const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ encoding_arg)
+      const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ encoding_arg
+      $ trace_out_arg)
 
 (* {1 broadcast} *)
 
@@ -130,9 +160,12 @@ let broadcast_cmd =
       & info [ "tree" ] ~docv:"TREE"
           ~doc:"Spanning tree: light (Claim 3.1, default), bfs, or dfs.")
   in
-  let run family n seed source scheduler (tree_name, tree) =
+  let run family n seed source scheduler (tree_name, tree) trace_out =
     let g = build family n seed in
-    let o = Oracle_core.Broadcast.run ~tree ~scheduler g ~source in
+    let o =
+      with_trace_sinks trace_out (fun sinks ->
+          Oracle_core.Broadcast.run ~tree ~scheduler ~sinks g ~source)
+    in
     let stats = o.Oracle_core.Broadcast.result.Sim.Runner.stats in
     Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
       (Graph.m g);
@@ -149,7 +182,9 @@ let broadcast_cmd =
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Run the Theorem 3.1 broadcast oracle and Scheme B.")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ tree_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ tree_arg
+      $ trace_out_arg)
 
 (* {1 separation} *)
 
@@ -226,11 +261,12 @@ let gossip_cmd =
   let flooding_flag =
     Arg.(value & flag & info [ "flooding" ] ~doc:"Run the advice-free flooding baseline instead.")
   in
-  let run family n seed source scheduler flooding =
+  let run family n seed source scheduler flooding trace_out =
     let g = build family n seed in
     let o =
-      if flooding then Oracle_core.Gossip.run_flooding ~scheduler g ~source
-      else Oracle_core.Gossip.run ~scheduler g ~source
+      with_trace_sinks trace_out (fun sinks ->
+          if flooding then Oracle_core.Gossip.run_flooding ~scheduler ~sinks g ~source
+          else Oracle_core.Gossip.run ~scheduler ~sinks g ~source)
     in
     let stats = o.Oracle_core.Gossip.result.Sim.Runner.stats in
     Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
@@ -244,7 +280,9 @@ let gossip_cmd =
   in
   Cmd.v
     (Cmd.info "gossip" ~doc:"All-to-all rumor exchange with tree advice (or flooding).")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ flooding_flag)
+    Term.(
+      const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ flooding_flag
+      $ trace_out_arg)
 
 (* {1 explore} *)
 

@@ -87,13 +87,17 @@ type outcome = {
 }
 
 let run ?(tree = fun g ~root -> Spanning.light g ~root) ?(encoding = Marked)
-    ?(scheduler = Sim.Scheduler.Async_fifo) g ~source =
+    ?(scheduler = Sim.Scheduler.Async_fifo) ?(sinks = []) ?registry g ~source =
   let t = tree g ~root:source in
   let tree_contribution = Spanning.contribution g (Spanning.edges t) in
   let o = oracle ~tree:(fun _ ~root:_ -> t) ~encoding () in
   let advice = o.Oracles.Oracle.advise g ~source in
   let advice_bits = Oracles.Advice.size_bits advice in
   let result =
-    Sim.Runner.run ~scheduler ~advice:(Oracles.Advice.get advice) g ~source (scheme ~encoding ())
+    Sim.Runner.run ~scheduler ~sinks
+      ~advice:(Oracles.Advice.get advice)
+      g ~source (scheme ~encoding ())
   in
+  Obs.Registry.note ?registry
+    (Sim.Runner.telemetry ~protocol:"broadcast" ~scheduler ~advice_bits result);
   { result; advice_bits; tree_contribution }

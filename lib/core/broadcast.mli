@@ -43,9 +43,15 @@ val run :
   ?tree:tree_builder ->
   ?encoding:encoding ->
   ?scheduler:Sim.Scheduler.t ->
+  ?sinks:Obs.Sink.t list ->
+  ?registry:Obs.Registry.t ->
   Netgraph.Graph.t ->
   source:int ->
   outcome
+(** Build the oracle, run Scheme B, return the result together with the
+    oracle size.  Telemetry events stream into [sinks] (see
+    {!Sim.Runner.run}); one protocol record named ["broadcast"] is noted
+    into [registry] (default: {!Obs.Registry.default}). *)
 
 val decode_known_ports : encoding -> Bitstring.Bitbuf.t -> int list
 (** The advice decoder (exposed for tests): the ports Scheme B starts out

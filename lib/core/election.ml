@@ -86,11 +86,14 @@ let marked_scheme sink static =
   in
   { Sim.Scheme.on_start; on_receive }
 
-let collect ?max_messages g scheduler ~advice ~advice_bits make_scheme =
+let collect ?max_messages ?(sinks = []) ?registry ~protocol g scheduler ~advice ~advice_bits
+    make_scheme =
   let n = Graph.n g in
   let cells : (int * (unit -> role)) list ref = ref [] in
   let sink label get = cells := (label, get) :: !cells in
-  let result = Sim.Runner.run ?max_messages ~scheduler ~advice g ~source:0 (make_scheme sink) in
+  let result =
+    Sim.Runner.run ?max_messages ~scheduler ~sinks ~advice g ~source:0 (make_scheme sink)
+  in
   let roles =
     Array.init n (fun v ->
         match List.assoc_opt (Graph.label g v) !cells with
@@ -108,17 +111,34 @@ let collect ?max_messages g scheduler ~advice ~advice_bits make_scheme =
     !best
   in
   let ok = leader = Some max_label_node in
+  (* Decisions are protocol-level facts the runner cannot see; stamp them
+     with the final sequence number and round of the run they conclude. *)
+  if sinks <> [] then
+    Array.iteri
+      (fun v r ->
+        let ev =
+          {
+            Obs.Event.seq = result.Sim.Runner.stats.Sim.Runner.sent;
+            round = result.Sim.Runner.stats.Sim.Runner.rounds;
+            kind = Obs.Event.Decide (v, role_name r);
+          }
+        in
+        List.iter (fun s -> Obs.Sink.emit s ev) sinks)
+      roles;
+  Obs.Registry.note ?registry
+    (Sim.Runner.telemetry ~protocol ~scheduler ~completed:ok ~advice_bits result);
   { result; advice_bits; roles; leader; ok }
 
-let max_finding ?(scheduler = Sim.Scheduler.Async_fifo) g =
+let max_finding ?(scheduler = Sim.Scheduler.Async_fifo) ?(sinks = []) ?registry g =
   let advice _ = Bitbuf.create () in
   (* Max-label flooding can legitimately need Theta(n*m) messages. *)
   let max_messages = 20 * Graph.n g * Graph.m g in
-  collect ~max_messages g scheduler ~advice ~advice_bits:0 max_finding_scheme
+  collect ~max_messages ~sinks ?registry ~protocol:"election-max-finding" g scheduler ~advice
+    ~advice_bits:0 max_finding_scheme
 
-let with_marked_leader ?(scheduler = Sim.Scheduler.Async_fifo) g =
+let with_marked_leader ?(scheduler = Sim.Scheduler.Async_fifo) ?(sinks = []) ?registry g =
   let advice = marked_leader_oracle.Oracles.Oracle.advise g ~source:0 in
-  collect g scheduler
+  collect ~sinks ?registry ~protocol:"election-marked" g scheduler
     ~advice:(Oracles.Advice.get advice)
     ~advice_bits:(Oracles.Advice.size_bits advice)
     marked_scheme

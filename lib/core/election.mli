@@ -30,11 +30,25 @@ type outcome = {
   ok : bool;  (** exactly one leader, and it has the maximum label *)
 }
 
-val max_finding : ?scheduler:Sim.Scheduler.t -> Netgraph.Graph.t -> outcome
-(** Advice-free flooding election. *)
+val max_finding :
+  ?scheduler:Sim.Scheduler.t ->
+  ?sinks:Obs.Sink.t list ->
+  ?registry:Obs.Registry.t ->
+  Netgraph.Graph.t ->
+  outcome
+(** Advice-free flooding election.  Telemetry streams into [sinks]; after
+    quiescence one {!Obs.Event.Decide} per node reports its final role,
+    and a protocol record named ["election-max-finding"] is noted into
+    [registry] (default: {!Obs.Registry.default}). *)
 
-val with_marked_leader : ?scheduler:Sim.Scheduler.t -> Netgraph.Graph.t -> outcome
-(** Election from the 1-bit oracle. *)
+val with_marked_leader :
+  ?scheduler:Sim.Scheduler.t ->
+  ?sinks:Obs.Sink.t list ->
+  ?registry:Obs.Registry.t ->
+  Netgraph.Graph.t ->
+  outcome
+(** Election from the 1-bit oracle.  Telemetry as in {!max_finding}, with
+    the protocol record named ["election-marked"]. *)
 
 val marked_leader_oracle : Oracles.Oracle.t
 (** The oracle itself: the string ["1"] to the maximum-label node, empty

@@ -104,11 +104,14 @@ let flooding_scheme sink static =
   in
   { Sim.Scheme.on_start; on_receive }
 
-let collect ?max_messages g scheduler ~advice ~advice_bits ~source make_scheme =
+let collect ?max_messages ?(sinks = []) ?registry ~protocol g scheduler ~advice ~advice_bits
+    ~source make_scheme =
   let n = Graph.n g in
   let cells : (int, IS.t ref) Hashtbl.t = Hashtbl.create n in
   let sink label rumors = Hashtbl.replace cells label rumors in
-  let result = Sim.Runner.run ?max_messages ~scheduler ~advice g ~source (make_scheme sink) in
+  let result =
+    Sim.Runner.run ?max_messages ~scheduler ~sinks ~advice g ~source (make_scheme sink)
+  in
   let learned =
     Array.init n (fun v ->
         match Hashtbl.find_opt cells (Graph.label g v) with
@@ -116,19 +119,22 @@ let collect ?max_messages g scheduler ~advice ~advice_bits ~source make_scheme =
         | None -> [])
   in
   let complete = Array.for_all (fun l -> List.length l = n) learned in
+  Obs.Registry.note ?registry
+    (Sim.Runner.telemetry ~protocol ~scheduler ~completed:complete ~advice_bits result);
   { result; advice_bits; learned; complete }
 
-let run ?(tree = fun g ~root -> Spanning.bfs g ~root) ?(scheduler = Sim.Scheduler.Async_fifo) g
-    ~source =
+let run ?(tree = fun g ~root -> Spanning.bfs g ~root) ?(scheduler = Sim.Scheduler.Async_fifo)
+    ?(sinks = []) ?registry g ~source =
   let o = oracle ~tree () in
   let advice = o.Oracles.Oracle.advise g ~source in
-  collect g scheduler
+  collect ~sinks ?registry ~protocol:"gossip-tree" g scheduler
     ~advice:(Oracles.Advice.get advice)
     ~advice_bits:(Oracles.Advice.size_bits advice)
     ~source tree_scheme
 
-let run_flooding ?(scheduler = Sim.Scheduler.Async_fifo) g ~source =
+let run_flooding ?(scheduler = Sim.Scheduler.Async_fifo) ?(sinks = []) ?registry g ~source =
   let advice _ = Bitbuf.create () in
   (* Flooding gossip legitimately needs Θ(n·m) messages. *)
   let max_messages = 40 * Netgraph.Graph.n g * Netgraph.Graph.m g in
-  collect ~max_messages g scheduler ~advice ~advice_bits:0 ~source flooding_scheme
+  collect ~max_messages ~sinks ?registry ~protocol:"gossip-flooding" g scheduler ~advice
+    ~advice_bits:0 ~source flooding_scheme

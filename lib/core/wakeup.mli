@@ -41,11 +41,15 @@ val run :
   ?tree:tree_builder ->
   ?encoding:encoding ->
   ?scheduler:Sim.Scheduler.t ->
+  ?sinks:Obs.Sink.t list ->
+  ?registry:Obs.Registry.t ->
   Netgraph.Graph.t ->
   source:int ->
   outcome
 (** Build the oracle, run the scheme, return the result together with the
-    oracle size. *)
+    oracle size.  Telemetry events stream into [sinks] (see
+    {!Sim.Runner.run}); one protocol record named ["wakeup"] is noted into
+    [registry] (default: {!Obs.Registry.default}). *)
 
 val decode_ports : encoding -> Bitstring.Bitbuf.t -> int list
 (** The advice decoder (exposed for tests). *)

@@ -1,0 +1,90 @@
+type summary = {
+  sent : int;
+  delivered : int;
+  source_sent : int;
+  hello_sent : int;
+  control_sent : int;
+  bits_on_wire : int;
+  rounds : int;
+  causal_depth : int;
+  wakes : int;
+  decides : int;
+  advice_bits : int;
+}
+
+type t = {
+  mutable c_sent : int;
+  mutable c_delivered : int;
+  mutable c_source : int;
+  mutable c_hello : int;
+  mutable c_control : int;
+  mutable c_bits : int;
+  mutable c_rounds : int;
+  mutable c_depth : int;
+  mutable c_wakes : int;
+  mutable c_decides : int;
+  mutable c_advice : int;
+}
+
+let create () =
+  {
+    c_sent = 0;
+    c_delivered = 0;
+    c_source = 0;
+    c_hello = 0;
+    c_control = 0;
+    c_bits = 0;
+    c_rounds = 0;
+    c_depth = 0;
+    c_wakes = 0;
+    c_decides = 0;
+    c_advice = 0;
+  }
+
+let observe t (ev : Event.t) =
+  if ev.Event.round > t.c_rounds then t.c_rounds <- ev.Event.round;
+  match ev.Event.kind with
+  | Event.Send l ->
+    t.c_sent <- t.c_sent + 1;
+    (match l.Event.cls with
+    | Event.Source -> t.c_source <- t.c_source + 1
+    | Event.Hello -> t.c_hello <- t.c_hello + 1
+    | Event.Control -> t.c_control <- t.c_control + 1);
+    t.c_bits <- t.c_bits + l.Event.bits
+  | Event.Deliver l ->
+    t.c_delivered <- t.c_delivered + 1;
+    if l.Event.depth > t.c_depth then t.c_depth <- l.Event.depth
+  | Event.Wake _ -> t.c_wakes <- t.c_wakes + 1
+  | Event.Decide _ -> t.c_decides <- t.c_decides + 1
+  | Event.Advice_read (_, bits) -> t.c_advice <- t.c_advice + bits
+
+let sink t = Sink.make (observe t)
+
+let summary t =
+  {
+    sent = t.c_sent;
+    delivered = t.c_delivered;
+    source_sent = t.c_source;
+    hello_sent = t.c_hello;
+    control_sent = t.c_control;
+    bits_on_wire = t.c_bits;
+    rounds = t.c_rounds;
+    causal_depth = t.c_depth;
+    wakes = t.c_wakes;
+    decides = t.c_decides;
+    advice_bits = t.c_advice;
+  }
+
+let sent t = t.c_sent
+
+let of_events events =
+  let t = create () in
+  List.iter (observe t) events;
+  summary t
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<h>sent=%d (source=%d hello=%d control=%d) delivered=%d bits=%d rounds=%d depth=%d \
+     wakes=%d decides=%d advice=%db@]"
+    s.sent s.source_sent s.hello_sent s.control_sent s.delivered s.bits_on_wire s.rounds
+    s.causal_depth s.wakes s.decides s.advice_bits

@@ -1,0 +1,52 @@
+(** The counting sink: folds an event stream into the run statistics.
+
+    This is the telemetry-side definition of every counter in
+    {!Sim.Runner.stats}; the runner derives its statistics from exactly
+    this fold, so an external counting sink attached to the same run is
+    guaranteed to reproduce the legacy numbers (the tests assert it).
+    The contract for each field is spelled out in [DESIGN.md]
+    §"Telemetry: the metrics contract". *)
+
+type summary = {
+  sent : int;  (** number of [Send] events — the paper's message complexity *)
+  delivered : int;
+      (** number of [Deliver] events; [sent - delivered] messages were
+          still in flight (or lost) when the stream ended *)
+  source_sent : int;  (** [Send] events of class [Source] *)
+  hello_sent : int;  (** [Send] events of class [Hello] *)
+  control_sent : int;  (** [Send] events of class [Control] *)
+  bits_on_wire : int;  (** sum of [bits] over [Send] events *)
+  rounds : int;  (** largest [round] stamp seen (0 on an empty stream) *)
+  causal_depth : int;
+      (** largest [depth] over [Deliver] events (0 if none) — the longest
+          chain of causally dependent deliveries *)
+  wakes : int;  (** number of [Wake] events, source included *)
+  decides : int;  (** number of [Decide] events *)
+  advice_bits : int;
+      (** sum of [bits] over [Advice_read] events — the oracle size
+          actually handed out on this run *)
+}
+(** An immutable snapshot of the counters. *)
+
+type t
+(** Mutable counting state. *)
+
+val create : unit -> t
+
+val observe : t -> Event.t -> unit
+(** Fold one event into the counters. *)
+
+val sink : t -> Sink.t
+(** [observe] packaged as a {!Sink.t} (closing it is a no-op). *)
+
+val summary : t -> summary
+(** Snapshot the current counters. *)
+
+val sent : t -> int
+(** The live [Send]-event count (the runner's cutoff check reads this on
+    the hot path). *)
+
+val of_events : Event.t list -> summary
+(** Fold a recorded stream, e.g. one read back by {!Jsonl.read_file}. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,40 @@
+let header = "seq,round,ev,src,src_port,dst,dst_port,cls,bits,informed,depth,node,tag"
+
+let columns = 13
+
+let quote tag =
+  let b = Buffer.create (String.length tag + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+    tag;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let encode (ev : Event.t) =
+  let common = Printf.sprintf "%d,%d,%s" ev.Event.seq ev.Event.round (Event.kind_name ev.Event.kind) in
+  match ev.Event.kind with
+  | Event.Send l | Event.Deliver l ->
+    Printf.sprintf "%s,%d,%d,%d,%d,%s,%d,%b,%d,," common l.Event.src l.Event.src_port l.Event.dst
+      l.Event.dst_port
+      (Event.msg_class_name l.Event.cls)
+      l.Event.bits l.Event.informed l.Event.depth
+  | Event.Wake node -> Printf.sprintf "%s,,,,,,,,,%d," common node
+  | Event.Decide (node, tag) -> Printf.sprintf "%s,,,,,,,,,%d,%s" common node (quote tag)
+  | Event.Advice_read (node, bits) -> Printf.sprintf "%s,,,,,,%d,,,%d," common bits node
+
+let write oc ev =
+  output_string oc (encode ev);
+  output_char oc '\n'
+
+let channel_sink oc =
+  output_string oc header;
+  output_char oc '\n';
+  Sink.make ~close:(fun () -> flush oc) (write oc)
+
+let file_sink path =
+  let oc = open_out path in
+  output_string oc header;
+  output_char oc '\n';
+  Sink.make ~close:(fun () -> close_out oc) (write oc)

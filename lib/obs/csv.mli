@@ -1,0 +1,23 @@
+(** CSV export of telemetry events (import is {!Jsonl}'s job).
+
+    One row per event over a fixed header; fields that do not apply to an
+    event kind are left empty.  Numbers are plain decimal, booleans are
+    [true]/[false], and the [tag] column is double-quoted with embedded
+    quotes doubled, per RFC 4180. *)
+
+val header : string
+(** [seq,round,ev,src,src_port,dst,dst_port,cls,bits,informed,depth,node,tag] *)
+
+val columns : int
+(** Number of columns in {!header} (and in every data row). *)
+
+val encode : Event.t -> string
+(** One data row, no trailing newline. *)
+
+val channel_sink : out_channel -> Sink.t
+(** Write the header, then one row per event.  Closing flushes but does
+    not close the channel. *)
+
+val file_sink : string -> Sink.t
+(** Open (truncate) [file], write the header and one row per event;
+    closing the sink closes the file. *)

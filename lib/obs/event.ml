@@ -1,0 +1,52 @@
+type msg_class = Source | Hello | Control
+
+let msg_class_name = function Source -> "source" | Hello -> "hello" | Control -> "control"
+
+let msg_class_of_name = function
+  | "source" -> Some Source
+  | "hello" -> Some Hello
+  | "control" -> Some Control
+  | _ -> None
+
+type link = {
+  src : int;
+  src_port : int;
+  dst : int;
+  dst_port : int;
+  cls : msg_class;
+  bits : int;
+  informed : bool;
+  depth : int;
+}
+
+type kind =
+  | Send of link
+  | Deliver of link
+  | Wake of int
+  | Decide of int * string
+  | Advice_read of int * int
+
+type t = { seq : int; round : int; kind : kind }
+
+let kind_name = function
+  | Send _ -> "send"
+  | Deliver _ -> "deliver"
+  | Wake _ -> "wake"
+  | Decide _ -> "decide"
+  | Advice_read _ -> "advice"
+
+let equal a b = a = b
+
+let pp_link fmt l =
+  Format.fprintf fmt "%d:%d->%d:%d %s %db%s d%d" l.src l.src_port l.dst l.dst_port
+    (msg_class_name l.cls) l.bits
+    (if l.informed then " informed" else "")
+    l.depth
+
+let pp fmt t =
+  Format.fprintf fmt "#%d r%d %s " t.seq t.round (kind_name t.kind);
+  match t.kind with
+  | Send l | Deliver l -> pp_link fmt l
+  | Wake v -> Format.fprintf fmt "node %d" v
+  | Decide (v, tag) -> Format.fprintf fmt "node %d %S" v tag
+  | Advice_read (v, bits) -> Format.fprintf fmt "node %d %db" v bits

@@ -1,0 +1,83 @@
+(** The typed telemetry event model.
+
+    Every observable fact produced by a simulation run is one value of
+    {!t}: a message being sent or delivered, a node waking up (becoming
+    informed), a node committing to a protocol-level decision, or a node's
+    advice string being read at start-up.  The simulation runner
+    ({!Sim.Runner.run}) emits these events into {!Sink.t} values; the
+    counting sink ({!Counting}) folds them back into the exact legacy
+    statistics, and the exporters ({!Jsonl}, {!Csv}) serialise them.
+
+    The precise meaning of every derived counter is written down in
+    [DESIGN.md], section "Telemetry: the metrics contract"; this module is
+    its machine-readable half. *)
+
+type msg_class = Source | Hello | Control
+(** The three wire-message classes of {!Sim.Message.t}, with payloads
+    abstracted away: telemetry carries the class and the accounted bit
+    size, never the payload itself. *)
+
+val msg_class_name : msg_class -> string
+(** ["source"], ["hello"] or ["control"] — the names used by the JSONL and
+    CSV exporters. *)
+
+val msg_class_of_name : string -> msg_class option
+(** Inverse of {!msg_class_name}. *)
+
+type link = {
+  src : int;  (** sending node index *)
+  src_port : int;  (** port the message leaves through at [src] *)
+  dst : int;  (** receiving node index *)
+  dst_port : int;  (** port the message arrives on at [dst] *)
+  cls : msg_class;  (** message class *)
+  bits : int;  (** accounted size, as by {!Sim.Message.size_bits} *)
+  informed : bool;  (** was the sender informed when it sent? *)
+  depth : int;
+      (** causal depth of the message: 1 for start-up sends, one more than
+          the triggering delivery otherwise.  The maximum over delivered
+          messages is the run's [causal_depth]. *)
+}
+(** One message crossing one port-labeled edge.  A [Send] and the
+    [Deliver] it triggers (if the message is not lost) carry identical
+    [link] payloads and the same {!t.seq} stamp. *)
+
+type kind =
+  | Send of link  (** a node handed a message to the network *)
+  | Deliver of link  (** the network handed a message to its destination *)
+  | Wake of int
+      (** node became informed: it is the source (stamped at round 0) or
+          it received a message from an informed sender for the first
+          time *)
+  | Decide of int * string
+      (** protocol-level commitment by a node, tagged with a
+          protocol-chosen label (e.g. ["leader"]); emitted by protocol
+          wrappers after quiescence, never by the runner itself *)
+  | Advice_read of int * int
+      (** [(node, bits)]: the node's advice string of [bits] bits was
+          handed to its scheme at start-up.  Summing [bits] recovers the
+          oracle size on this network. *)
+
+type t = {
+  seq : int;
+      (** message sequence number: strictly increasing across [Send]
+          events (0, 1, 2, …), equal on a [Deliver] to the [seq] of its
+          [Send].  A [Wake] carries the [seq] of the delivery that woke
+          the node (0 for the source's initial wake); [Advice_read] events
+          are stamped 0, and [Decide] events carry the final sequence
+          number of the run they conclude. *)
+  round : int;
+      (** synchronous round, or asynchronous step index, at emission;
+          non-decreasing along the event stream.  Start-up events are
+          stamped with round 0. *)
+  kind : kind;
+}
+(** A stamped telemetry event. *)
+
+val kind_name : kind -> string
+(** ["send"], ["deliver"], ["wake"], ["decide"] or ["advice"]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (used by the exporter round-trip tests). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human rendering, e.g. [#12 r3 send 0:1->4:0 source 1b informed d2]. *)

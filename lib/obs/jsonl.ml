@@ -1,0 +1,237 @@
+(* Hand-rolled on purpose: the environment ships no JSON library, and the
+   emitted objects are flat with int/bool/string values only. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let encode (ev : Event.t) =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "{\"seq\":%d,\"round\":%d,\"ev\":%S" ev.Event.seq ev.Event.round
+    (Event.kind_name ev.Event.kind);
+  (match ev.Event.kind with
+  | Event.Send l | Event.Deliver l ->
+    Printf.bprintf b
+      ",\"src\":%d,\"src_port\":%d,\"dst\":%d,\"dst_port\":%d,\"cls\":%S,\"bits\":%d,\"informed\":%b,\"depth\":%d"
+      l.Event.src l.Event.src_port l.Event.dst l.Event.dst_port
+      (Event.msg_class_name l.Event.cls)
+      l.Event.bits l.Event.informed l.Event.depth
+  | Event.Wake node -> Printf.bprintf b ",\"node\":%d" node
+  | Event.Decide (node, tag) -> Printf.bprintf b ",\"node\":%d,\"tag\":\"%s\"" node (escape tag)
+  | Event.Advice_read (node, bits) -> Printf.bprintf b ",\"node\":%d,\"bits\":%d" node bits);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* {1 Decoding} *)
+
+type value = Int of int | Bool of bool | Str of string
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* A cursor over the line being parsed. *)
+type cursor = { s : string; mutable i : int }
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && (c.s.[c.i] = ' ' || c.s.[c.i] = '\t' || c.s.[c.i] = '\n' || c.s.[c.i] = '\r')
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | Some x -> bad "expected %C at position %d, found %C" ch c.i x
+  | None -> bad "expected %C, found end of line" ch
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    if c.i >= String.length c.s then bad "unterminated string";
+    let ch = c.s.[c.i] in
+    c.i <- c.i + 1;
+    match ch with
+    | '"' -> Buffer.contents b
+    | '\\' ->
+      (if c.i >= String.length c.s then bad "unterminated escape";
+       let e = c.s.[c.i] in
+       c.i <- c.i + 1;
+       match e with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'n' -> Buffer.add_char b '\n'
+       | 'r' -> Buffer.add_char b '\r'
+       | 't' -> Buffer.add_char b '\t'
+       | 'u' ->
+         if c.i + 4 > String.length c.s then bad "truncated \\u escape";
+         let hex = String.sub c.s c.i 4 in
+         c.i <- c.i + 4;
+         let code =
+           match int_of_string_opt ("0x" ^ hex) with
+           | Some v -> v
+           | None -> bad "bad \\u escape %S" hex
+         in
+         if code > 0xff then bad "\\u escape %S outside the latin-1 range" hex
+         else Buffer.add_char b (Char.chr code)
+       | e -> bad "unknown escape \\%C" e);
+      loop ()
+    | ch -> Buffer.add_char b ch; loop ()
+  in
+  loop ()
+
+let parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some '"' -> Str (parse_string c)
+  | Some 't' when c.i + 4 <= String.length c.s && String.sub c.s c.i 4 = "true" ->
+    c.i <- c.i + 4;
+    Bool true
+  | Some 'f' when c.i + 5 <= String.length c.s && String.sub c.s c.i 5 = "false" ->
+    c.i <- c.i + 5;
+    Bool false
+  | Some ('-' | '0' .. '9') ->
+    let start = c.i in
+    if peek c = Some '-' then c.i <- c.i + 1;
+    while (match peek c with Some '0' .. '9' -> true | _ -> false) do
+      c.i <- c.i + 1
+    done;
+    let digits = String.sub c.s start (c.i - start) in
+    (match int_of_string_opt digits with
+    | Some v -> Int v
+    | None -> bad "bad integer %S" digits)
+  | Some ch -> bad "unexpected %C at position %d" ch c.i
+  | None -> bad "unexpected end of line"
+
+let parse_object line =
+  let c = { s = line; i = 0 } in
+  expect c '{';
+  skip_ws c;
+  let fields = ref [] in
+  (if peek c = Some '}' then c.i <- c.i + 1
+   else
+     let rec members () =
+       skip_ws c;
+       let key = parse_string c in
+       expect c ':';
+       let v = parse_value c in
+       fields := (key, v) :: !fields;
+       skip_ws c;
+       match peek c with
+       | Some ',' ->
+         c.i <- c.i + 1;
+         members ()
+       | Some '}' -> c.i <- c.i + 1
+       | Some ch -> bad "expected ',' or '}', found %C" ch
+       | None -> bad "unterminated object"
+     in
+     members ());
+  skip_ws c;
+  if c.i <> String.length c.s then bad "trailing garbage after object";
+  List.rev !fields
+
+let find_int fields key =
+  match List.assoc_opt key fields with
+  | Some (Int v) -> v
+  | Some _ -> bad "field %S is not an integer" key
+  | None -> bad "missing field %S" key
+
+let find_bool fields key =
+  match List.assoc_opt key fields with
+  | Some (Bool v) -> v
+  | Some _ -> bad "field %S is not a boolean" key
+  | None -> bad "missing field %S" key
+
+let find_str fields key =
+  match List.assoc_opt key fields with
+  | Some (Str v) -> v
+  | Some _ -> bad "field %S is not a string" key
+  | None -> bad "missing field %S" key
+
+let link_of_fields fields =
+  {
+    Event.src = find_int fields "src";
+    src_port = find_int fields "src_port";
+    dst = find_int fields "dst";
+    dst_port = find_int fields "dst_port";
+    cls =
+      (let name = find_str fields "cls" in
+       match Event.msg_class_of_name name with
+       | Some c -> c
+       | None -> bad "unknown message class %S" name);
+    bits = find_int fields "bits";
+    informed = find_bool fields "informed";
+    depth = find_int fields "depth";
+  }
+
+let decode line =
+  match
+    let fields = parse_object line in
+    let kind =
+      match find_str fields "ev" with
+      | "send" -> Event.Send (link_of_fields fields)
+      | "deliver" -> Event.Deliver (link_of_fields fields)
+      | "wake" -> Event.Wake (find_int fields "node")
+      | "decide" -> Event.Decide (find_int fields "node", find_str fields "tag")
+      | "advice" -> Event.Advice_read (find_int fields "node", find_int fields "bits")
+      | ev -> bad "unknown event kind %S" ev
+    in
+    { Event.seq = find_int fields "seq"; round = find_int fields "round"; kind }
+  with
+  | ev -> Ok ev
+  | exception Bad msg -> Error msg
+
+let decode_exn line =
+  match decode line with
+  | Ok ev -> ev
+  | Error msg -> failwith (Printf.sprintf "Obs.Jsonl.decode: %s in %S" msg line)
+
+let channel_sink oc =
+  Sink.make
+    ~close:(fun () -> flush oc)
+    (fun ev ->
+      output_string oc (encode ev);
+      output_char oc '\n')
+
+let file_sink path =
+  let oc = open_out path in
+  Sink.make
+    ~close:(fun () -> close_out oc)
+    (fun ev ->
+      output_string oc (encode ev);
+      output_char oc '\n')
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop acc lineno =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> loop acc (lineno + 1)
+        | line -> (
+          match decode line with
+          | Ok ev -> loop (ev :: acc) (lineno + 1)
+          | Error msg ->
+            failwith (Printf.sprintf "Obs.Jsonl.read_file: %s:%d: %s" path lineno msg))
+      in
+      loop [] 1)

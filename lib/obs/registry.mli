@@ -1,0 +1,51 @@
+(** Per-protocol counter registry.
+
+    Each instrumented protocol run (wakeup, broadcast, election, gossip,
+    …) deposits one {!record} here, so heterogeneous schemes report
+    message class, bits on wire and advice-bit usage through one uniform
+    shape.  The default registry is process-global — protocol wrappers in
+    [lib/core] note into it automatically — and harnesses can snapshot or
+    clear it between experiments, or keep private registries. *)
+
+type record = {
+  protocol : string;  (** e.g. ["wakeup"], ["broadcast"], ["gossip-tree"] *)
+  scheduler : string;  (** {!Sim.Scheduler.name} of the discipline used *)
+  n : int;  (** number of nodes in the network *)
+  messages : int;  (** total messages sent *)
+  source_msgs : int;  (** messages of class [Source] *)
+  hello_msgs : int;  (** messages of class [Hello] *)
+  control_msgs : int;  (** messages of class [Control] *)
+  bits_on_wire : int;  (** total accounted message bits *)
+  rounds : int;  (** rounds (synchronous) or steps (asynchronous) *)
+  causal_depth : int;  (** longest causal delivery chain *)
+  advice_bits : int;  (** oracle size used by the run *)
+  completed : bool;
+      (** the protocol's own success criterion: [all_informed] for
+          wakeup/broadcast, rumor completeness for gossip, unique correct
+          leader for election *)
+}
+(** One protocol run, summarised uniformly. *)
+
+type t
+(** A registry: an ordered log of {!record}s. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-global registry the [lib/core] wrappers note into. *)
+
+val note : ?registry:t -> record -> unit
+(** Append a record (to {!default} unless [registry] is given). *)
+
+val records : t -> record list
+(** All records, oldest first. *)
+
+val by_protocol : t -> string -> record list
+(** The records whose [protocol] field matches, oldest first. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit
+(** One-line rendering, suitable for logs. *)

@@ -1,0 +1,39 @@
+type outcome = {
+  summary : Counting.summary;
+  informed : bool array;
+  all_informed : bool;
+  in_flight : int;
+  decisions : (int * string) list;
+}
+
+let replay ~n events =
+  let informed = Array.make n false in
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Obs.Replay.replay: node %d outside 0..%d" v (n - 1))
+  in
+  let counts = Counting.create () in
+  let decisions = ref [] in
+  List.iter
+    (fun ev ->
+      Counting.observe counts ev;
+      match ev.Event.kind with
+      | Event.Wake v ->
+        check v;
+        informed.(v) <- true
+      | Event.Decide (v, tag) ->
+        check v;
+        decisions := (v, tag) :: !decisions
+      | Event.Send l | Event.Deliver l ->
+        check l.Event.src;
+        check l.Event.dst
+      | Event.Advice_read (v, _) -> check v)
+    events;
+  let summary = Counting.summary counts in
+  {
+    summary;
+    informed;
+    all_informed = Array.for_all (fun b -> b) informed;
+    in_flight = summary.Counting.sent - summary.Counting.delivered;
+    decisions = List.rev !decisions;
+  }

@@ -1,0 +1,39 @@
+type t = {
+  capacity : int;
+  mutable slots : Event.t array;  (* empty until the first push *)
+  mutable start : int;  (* index of the oldest retained event *)
+  mutable len : int;
+  mutable seen : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Obs.Ring.create: capacity must be positive";
+  { capacity; slots = [||]; start = 0; len = 0; seen = 0 }
+
+let push t ev =
+  if Array.length t.slots = 0 then t.slots <- Array.make t.capacity ev;
+  if t.len < t.capacity then begin
+    t.slots.((t.start + t.len) mod t.capacity) <- ev;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.slots.(t.start) <- ev;
+    t.start <- (t.start + 1) mod t.capacity
+  end;
+  t.seen <- t.seen + 1
+
+let sink t = Sink.make (push t)
+
+let contents t = List.init t.len (fun i -> t.slots.((t.start + i) mod t.capacity))
+
+let length t = t.len
+
+let seen t = t.seen
+
+let dropped t = t.seen - t.len
+
+let clear t =
+  t.slots <- [||];
+  t.start <- 0;
+  t.len <- 0;
+  t.seen <- 0

@@ -1,0 +1,33 @@
+(** Bounded in-memory trace: keeps the last [capacity] events.
+
+    Full traces of large runs are long — a broadcast on [n] nodes emits
+    several events per message — so an unbounded list ({!Sink.collect})
+    does not scale.  The ring keeps memory bounded: once full, each new
+    event overwrites the oldest retained one, and {!dropped} reports how
+    many were discarded. *)
+
+type t
+
+val create : capacity:int -> t
+(** A ring retaining at most [capacity] events.
+    Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val sink : t -> Sink.t
+(** Feed the ring (closing it is a no-op; the contents stay readable). *)
+
+val push : t -> Event.t -> unit
+
+val contents : t -> Event.t list
+(** The retained events, oldest first. *)
+
+val length : t -> int
+(** Number of retained events ([<= capacity]). *)
+
+val seen : t -> int
+(** Total number of events ever pushed. *)
+
+val dropped : t -> int
+(** [seen t - length t]: how many events were overwritten. *)
+
+val clear : t -> unit
+(** Empty the ring and reset the counters. *)

@@ -1,0 +1,24 @@
+type t = { mutable closed : bool; on_event : Event.t -> unit; on_close : unit -> unit }
+
+let make ?(close = fun () -> ()) on_event = { closed = false; on_event; on_close = close }
+
+let emit t ev = if not t.closed then t.on_event ev
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.on_close ()
+  end
+
+let null = make (fun _ -> ())
+
+let tee sinks =
+  make
+    ~close:(fun () -> List.iter close sinks)
+    (fun ev -> List.iter (fun s -> emit s ev) sinks)
+
+let filter p s = make ~close:(fun () -> close s) (fun ev -> if p ev then emit s ev)
+
+let collect () =
+  let events = ref [] in
+  (make (fun ev -> events := ev :: !events), fun () -> List.rev !events)

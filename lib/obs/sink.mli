@@ -1,0 +1,37 @@
+(** Pluggable telemetry consumers.
+
+    A sink is where {!Event.t} values go: a counter ({!Counting}), a
+    bounded in-memory trace ({!Ring}), a JSONL or CSV file ({!Jsonl},
+    {!Csv}), or any user function.  Emitters (the simulation runner,
+    protocol wrappers) call {!emit} per event; the party that created a
+    sink is responsible for calling {!close} on it once no more events
+    will arrive — emitters never close sinks they were handed. *)
+
+type t
+(** A telemetry consumer. *)
+
+val make : ?close:(unit -> unit) -> (Event.t -> unit) -> t
+(** [make f] is a sink calling [f] on every event.  [close] (default: a
+    no-op) runs at most once, when {!close} is called. *)
+
+val emit : t -> Event.t -> unit
+(** Feed one event.  Emitting on a closed sink is a no-op. *)
+
+val close : t -> unit
+(** Flush and release the sink's resources.  Idempotent. *)
+
+val null : t
+(** Discards everything. *)
+
+val tee : t list -> t
+(** A sink duplicating every event to each sink in the list, in order.
+    Closing the tee closes the underlying sinks. *)
+
+val filter : (Event.t -> bool) -> t -> t
+(** [filter p s] forwards to [s] only the events satisfying [p].  Closing
+    the filter closes [s]. *)
+
+val collect : unit -> t * (unit -> Event.t list)
+(** An unbounded in-memory sink and a function returning everything
+    collected so far, oldest first.  For tests and small runs; use
+    {!Ring} when the trace must stay bounded. *)

@@ -23,4 +23,7 @@ val linear_fit : xs:float list -> ys:float list -> float * float
 (** Least-squares [(slope, intercept)] of [y] against [x]. *)
 
 val mean : float list -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on the empty list. *)
+
 val maximum : float list -> float
+(** Largest element.  Raises [Invalid_argument] on the empty list. *)

@@ -42,29 +42,68 @@ type in_flight = {
   f_depth : int;
 }
 
+let msg_class = function
+  | Message.Source -> Obs.Event.Source
+  | Message.Hello -> Obs.Event.Hello
+  | Message.Control _ -> Obs.Event.Control
+
+let telemetry ~protocol ~scheduler ?completed ~advice_bits r =
+  {
+    Obs.Registry.protocol;
+    scheduler = Scheduler.name scheduler;
+    n = Array.length r.informed;
+    messages = r.stats.sent;
+    source_msgs = r.stats.source_sent;
+    hello_msgs = r.stats.hello_sent;
+    control_msgs = r.stats.control_sent;
+    bits_on_wire = r.stats.bits_on_wire;
+    rounds = r.stats.rounds;
+    causal_depth = r.stats.causal_depth;
+    advice_bits;
+    completed = (match completed with Some c -> c | None -> r.all_informed);
+  }
+
 let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record_trace = false)
-    ?loss ~advice g ~source factory =
+    ?(sinks = []) ?loss ~advice g ~source factory =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Runner.run: source out of range";
   let informed = Array.make n false in
+  (* All counters are derived from the telemetry event stream: the runner
+     folds every event through its own counting sink and fans it out to the
+     caller's sinks, so an external [Obs.Counting] attached via [sinks] is
+     the same fold over the same stream as [result.stats]. *)
+  let counts = Obs.Counting.create () in
+  let observe =
+    match sinks with
+    | [] -> fun ev -> Obs.Counting.observe counts ev
+    | sinks ->
+      fun ev ->
+        Obs.Counting.observe counts ev;
+        List.iter (fun s -> Obs.Sink.emit s ev) sinks
+  in
+  let seq = ref 0 in
+  let advices = Array.init n advice in
+  for v = 0 to n - 1 do
+    observe
+      {
+        Obs.Event.seq = 0;
+        round = 0;
+        kind = Obs.Event.Advice_read (v, Bitstring.Bitbuf.length advices.(v));
+      }
+  done;
   informed.(source) <- true;
+  observe { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Wake source };
   let nodes =
     Array.init n (fun v ->
         factory
           {
-            History.advice = advice v;
+            History.advice = advices.(v);
             is_source = v = source;
             id = Graph.label g v;
             degree = Graph.degree g v;
           })
   in
-  let sent = ref 0 in
   let per_node_sent = Array.make n 0 in
-  let source_sent = ref 0 in
-  let hello_sent = ref 0 in
-  let control_sent = ref 0 in
-  let bits = ref 0 in
-  let seq = ref 0 in
   let trace = ref [] in
   let rand =
     match scheduler with
@@ -115,7 +154,6 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
       Some ev
     end
   in
-  let max_depth = ref 0 in
   let loss_state =
     match loss with
     | None -> None
@@ -137,13 +175,24 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
             (Printf.sprintf "Runner: node %d (degree %d) sends on port %d" v (Graph.degree g v)
                port);
         let dst, dst_port = Graph.endpoint g v port in
-        incr sent;
         per_node_sent.(v) <- per_node_sent.(v) + 1;
-        (match msg with
-        | Message.Source -> incr source_sent
-        | Message.Hello -> incr hello_sent
-        | Message.Control _ -> incr control_sent);
-        bits := !bits + Message.size_bits msg;
+        observe
+          {
+            Obs.Event.seq = !seq;
+            round;
+            kind =
+              Obs.Event.Send
+                {
+                  Obs.Event.src = v;
+                  src_port = port;
+                  dst;
+                  dst_port;
+                  cls = msg_class msg;
+                  bits = Message.size_bits msg;
+                  informed = informed.(v);
+                  depth;
+                };
+          };
         if not (lost ()) then
         push
           {
@@ -165,8 +214,27 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
     emit v 0 ~depth:1 (nodes.(v).Scheme.on_start ())
   done;
   let deliver ev round =
-    if ev.f_depth > !max_depth then max_depth := ev.f_depth;
-    if ev.f_informed then informed.(ev.f_dst) <- true;
+    observe
+      {
+        Obs.Event.seq = ev.f_seq;
+        round;
+        kind =
+          Obs.Event.Deliver
+            {
+              Obs.Event.src = ev.f_src;
+              src_port = ev.f_src_port;
+              dst = ev.f_dst;
+              dst_port = ev.f_dst_port;
+              cls = msg_class ev.f_msg;
+              bits = Message.size_bits ev.f_msg;
+              informed = ev.f_informed;
+              depth = ev.f_depth;
+            };
+      };
+    if ev.f_informed && not informed.(ev.f_dst) then begin
+      informed.(ev.f_dst) <- true;
+      observe { Obs.Event.seq = ev.f_seq; round; kind = Obs.Event.Wake ev.f_dst }
+    end;
     if record_trace then
       trace :=
         {
@@ -202,7 +270,7 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
             batch
         in
         List.iter (fun (v, depth, sends) -> emit v !rounds ~depth:(depth + 1) sends) responses;
-        if !sent > max_messages then cutoff := true else round_loop ()
+        if Obs.Counting.sent counts > max_messages then cutoff := true else round_loop ()
     in
     round_loop ()
   | Scheduler.Async_fifo | Scheduler.Async_lifo | Scheduler.Async_random _ ->
@@ -218,18 +286,19 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
         incr rounds;
         let sends = deliver ev !rounds in
         emit ev.f_dst !rounds ~depth:(ev.f_depth + 1) sends;
-        if !sent > max_messages then cutoff := true else loop ()
+        if Obs.Counting.sent counts > max_messages then cutoff := true else loop ()
     in
     loop ());
+  let c = Obs.Counting.summary counts in
   let stats =
     {
-      sent = !sent;
-      source_sent = !source_sent;
-      hello_sent = !hello_sent;
-      control_sent = !control_sent;
-      bits_on_wire = !bits;
-      rounds = !rounds;
-      causal_depth = !max_depth;
+      sent = c.Obs.Counting.sent;
+      source_sent = c.Obs.Counting.source_sent;
+      hello_sent = c.Obs.Counting.hello_sent;
+      control_sent = c.Obs.Counting.control_sent;
+      bits_on_wire = c.Obs.Counting.bits_on_wire;
+      rounds = c.Obs.Counting.rounds;
+      causal_depth = c.Obs.Counting.causal_depth;
     }
   in
   {

@@ -1,35 +1,49 @@
 (** Executes a scheme assignment over a network and accounts for every
     message, reproducing the paper's cost model: message complexity is the
-    total number of messages produced by the scheme. *)
+    total number of messages produced by the scheme.
+
+    The runner is also the telemetry source of the whole stack: every
+    observable fact of a run is emitted as a typed {!Obs.Event.t} into the
+    sinks passed via [?sinks], and the statistics below are {e defined} as
+    the {!Obs.Counting} fold of that stream (the runner folds its own copy,
+    so attaching an external counting sink reproduces [stats] exactly).
+    The field-by-field metrics contract lives in [DESIGN.md] §"Telemetry:
+    the metrics contract". *)
 
 type delivery = {
-  src : int;
-  src_port : int;
-  dst : int;
-  dst_port : int;
-  msg : Message.t;
+  src : int;  (** sending node index *)
+  src_port : int;  (** port the message left through *)
+  dst : int;  (** receiving node index *)
+  dst_port : int;  (** port the message arrived on *)
+  msg : Message.t;  (** the payload itself (telemetry only keeps its class/size) *)
   informed_sender : bool;  (** was the sender informed when it sent? *)
   round : int;  (** synchronous round, or async step index *)
   seq : int;  (** global send sequence number *)
 }
+(** One delivered message, payload included — the in-memory trace record
+    behind [?record_trace].  The telemetry stream carries the same
+    information (minus the payload bits themselves) as
+    {!Obs.Event.Deliver} events with the same [seq]/[round] stamps. *)
 
 type stats = {
   sent : int;  (** total messages produced (the paper's complexity) *)
-  source_sent : int;
-  hello_sent : int;
-  control_sent : int;
-  bits_on_wire : int;
+  source_sent : int;  (** messages of class {!Message.Source} *)
+  hello_sent : int;  (** messages of class {!Message.Hello} *)
+  control_sent : int;  (** messages of class {!Message.Control} *)
+  bits_on_wire : int;  (** sum of {!Message.size_bits} over sent messages *)
   rounds : int;  (** rounds under [Synchronous]; steps otherwise *)
   causal_depth : int;
       (** longest chain of causally dependent deliveries — the standard
           asynchronous time complexity (delays normalised to ≤ 1).  Equals
           [rounds] under the synchronous scheduler. *)
 }
+(** Aggregate counters of one run; each equals the corresponding field of
+    the {!Obs.Counting.summary} of the run's event stream. *)
 
 type result = {
   stats : stats;
-  informed : bool array;
-  all_informed : bool;
+  informed : bool array;  (** per node: source, or reached by an informed sender *)
+  all_informed : bool;  (** the broadcast/wakeup success criterion *)
   quiescent : bool;  (** no in-flight messages remained (no cutoff hit) *)
   deliveries : delivery list;  (** in delivery order; [] unless traced *)
   per_node_sent : int array;  (** transmissions per node (load profile) *)
@@ -39,6 +53,7 @@ val run :
   ?scheduler:Scheduler.t ->
   ?max_messages:int ->
   ?record_trace:bool ->
+  ?sinks:Obs.Sink.t list ->
   ?loss:float * int ->
   advice:(int -> Bitstring.Bitbuf.t) ->
   Netgraph.Graph.t ->
@@ -56,7 +71,28 @@ val run :
     along, as in the paper).  [all_informed] is the broadcast/wakeup
     success criterion.
 
+    [sinks] (default [[]]) receive the telemetry stream, in emission
+    order: one [Advice_read] per node and the source's [Wake] (round 0),
+    then a [Send] per message — lost messages included, when [loss] is
+    set — and, per delivery, a [Deliver] followed by a [Wake] if the
+    receiver becomes informed.  The runner never closes the given sinks;
+    the caller does, after [run] returns.
+
+    [loss] is [(p, seed)]: each message is dropped after sending with
+    probability [p], deterministically in [seed].
+
     Raises [Invalid_argument] if a scheme emits an out-of-range port. *)
+
+val telemetry :
+  protocol:string ->
+  scheduler:Scheduler.t ->
+  ?completed:bool ->
+  advice_bits:int ->
+  result ->
+  Obs.Registry.record
+(** Summarise a result as a uniform per-protocol registry record.
+    [completed] defaults to [all_informed]; protocols with a different
+    success criterion (gossip completeness, unique leader) pass theirs. *)
 
 val run_silent_network_check :
   advice:(int -> Bitstring.Bitbuf.t) -> Netgraph.Graph.t -> source:int -> Scheme.factory -> bool

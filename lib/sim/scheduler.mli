@@ -15,6 +15,8 @@
 type t = Synchronous | Async_fifo | Async_lifo | Async_random of int
 
 val name : t -> string
+(** A short stable identifier ([sync], [async-fifo], [async-lifo],
+    [async-random(SEED)]) — used in test names and telemetry records. *)
 
 val default_suite : t list
 (** The disciplines the robustness tests run under. *)

@@ -13,6 +13,7 @@ let () =
       ("codec", Test_codec.suite);
       ("families", Test_families.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("oracle", Test_oracle.suite);
       ("wakeup", Test_wakeup.suite);
       ("broadcast", Test_broadcast.suite);
