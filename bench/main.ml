@@ -1,9 +1,14 @@
 (* Experiment harness: one table per experiment in DESIGN.md §4.
 
-   Usage: main.exe [--trace-out=FILE] [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|smoke|micro|all]...
+   Usage: main.exe [--trace-out=FILE] [--stress-out=FILE]
+                   [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|smoke|stress|micro|all]...
    With no argument, runs every table (micro included).  The [smoke]
    experiment writes a JSON Lines telemetry trace to FILE (default
-   smoke.jsonl); [dune build @smoke] produces it as a build artifact. *)
+   smoke.jsonl); [dune build @smoke] produces it as a build artifact.
+   The [stress] experiment sweeps every builtin fault plan over every
+   scheduler and writes one JSON line per adversarial run to the
+   --stress-out FILE (default stress.jsonl); [dune build @stress]
+   mirrors @smoke. *)
 
 open Oracle_core
 module Graph = Netgraph.Graph
@@ -892,6 +897,105 @@ let smoke () =
     (replayed.Obs.Replay.all_informed = o.Wakeup.result.Sim.Runner.all_informed
     && replayed.Obs.Replay.summary.Obs.Counting.sent = stats.Sim.Runner.sent)
 
+(* {1 Stress — every builtin fault plan x every scheduler x graph family} *)
+
+let stress_out = ref "stress.jsonl"
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let stress () =
+  let graphs =
+    [
+      ("random-tree", Families.build Families.Random_tree ~n:24 ~seed);
+      ("sparse-random", Families.build Families.Sparse_random ~n:24 ~seed);
+      ("G_{12,S}", fst (Lower_bound.wakeup_hard_graph ~n:12 ~seed));
+    ]
+  in
+  let protocols = [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ] in
+  let oc = open_out !stress_out in
+  let runs = ref 0 in
+  let graceful = ref 0 in
+  let rows =
+    List.concat_map
+      (fun proto ->
+        List.map
+          (fun (plan_name, plan) ->
+            let completed = ref 0 in
+            let degraded = ref 0 in
+            let stalled = ref 0 in
+            let violated = ref 0 in
+            List.iter
+              (fun (gname, g) ->
+                List.iter
+                  (fun scheduler ->
+                    let o = Fault.Harness.run ~scheduler ~plan proto g ~source:0 in
+                    incr runs;
+                    if Fault.Verdict.acceptable o.Fault.Harness.verdict then incr graceful;
+                    let cls =
+                      match o.Fault.Harness.verdict with
+                      | Fault.Verdict.Completed ->
+                        incr completed;
+                        "completed"
+                      | Fault.Verdict.Degraded _ ->
+                        incr degraded;
+                        "degraded"
+                      | Fault.Verdict.Stalled _ ->
+                        incr stalled;
+                        "stalled"
+                      | Fault.Verdict.Violated _ ->
+                        incr violated;
+                        "violated"
+                    in
+                    let r = o.Fault.Harness.result in
+                    let informed =
+                      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
+                    in
+                    Printf.fprintf oc
+                      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
+                      (Fault.Harness.protocol_name proto)
+                      (json_escape gname) (Graph.n g) (Graph.m g)
+                      (json_escape (Sim.Scheduler.name scheduler))
+                      (json_escape plan_name) r.Sim.Runner.stats.Sim.Runner.sent
+                      r.Sim.Runner.stats.Sim.Runner.faults
+                      (List.length o.Fault.Harness.fallbacks)
+                      (List.length o.Fault.Harness.tampered)
+                      informed cls
+                      (json_escape (Fault.Verdict.to_string o.Fault.Harness.verdict));
+                    output_char oc '\n')
+                  Sim.Scheduler.default_suite)
+              graphs;
+            [
+              Fault.Harness.protocol_name proto;
+              plan_name;
+              Table.i !completed;
+              Table.i !degraded;
+              Table.i !stalled;
+              Table.i !violated;
+            ])
+          Fault.Plan.builtins)
+      protocols
+  in
+  close_out oc;
+  Table.render
+    ~title:
+      "Stress: verdicts per fault plan over 5 schedulers x 3 graphs (tree, sparse, G_{n,S}) — \
+       no run may abort"
+    ~header:[ "protocol"; "plan"; "completed"; "degraded"; "stalled"; "violated" ]
+    ~aligns:[ Table.L; L; R; R; R; R ]
+    rows;
+  Printf.printf "stress: %d adversarial runs -> %s; graceful (completed or degraded): %d/%d\n"
+    !runs !stress_out !graceful !runs
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -963,16 +1067,22 @@ let experiments =
     ("e20", e20);
     ("e3b", e3b);
     ("smoke", smoke);
+    ("stress", stress);
     ("micro", micro);
   ]
 
 let () =
   let prefix = "--trace-out=" in
+  let stress_prefix = "--stress-out=" in
   let args =
     List.filter
       (fun a ->
         if String.starts_with ~prefix a then (
           trace_out := String.sub a (String.length prefix) (String.length a - String.length prefix);
+          false)
+        else if String.starts_with ~prefix:stress_prefix a then (
+          stress_out :=
+            String.sub a (String.length stress_prefix) (String.length a - String.length stress_prefix);
           false)
         else true)
       (List.tl (Array.to_list Sys.argv))

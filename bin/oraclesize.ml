@@ -51,6 +51,41 @@ let scheduler_arg =
     & info [ "scheduler" ] ~docv:"SCHED"
         ~doc:"Delivery discipline: sync, fifo, lifo, or an integer seed for random.")
 
+let fault_conv =
+  let parse s = match Fault.Plan.of_string s with Ok p -> Ok p | Error msg -> Error (`Msg msg) in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Fault.Plan.to_string p))
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "fault" ] ~docv:"PLAN"
+        ~doc:
+          "Run adversarially under a fault plan, e.g. $(b,drop=0.1,seed=7), \
+           $(b,advice-flip=8), or $(b,crash=3@5,dead=1).  The hardened scheme is used, \
+           injected faults are recorded in the trace, and a structured verdict is printed \
+           (exit 0 on completed/degraded, 1 on stalled/violated).  See DESIGN.md, section \
+           'Fault model and verdicts'.")
+
+(* The adversarial path shared by wakeup and broadcast: run the hardened
+   harness under the plan and report the verdict. *)
+let run_faulty protocol plan family g ~source ~scheduler sinks =
+  let o = Fault.Harness.run ~scheduler ~plan ~sinks protocol g ~source in
+  let b = Fault.Harness.budgets protocol g in
+  let stats = o.Fault.Harness.result.Sim.Runner.stats in
+  Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+    (Graph.m g);
+  Printf.printf "fault plan:   %s\n" (Fault.Plan.to_string plan);
+  Printf.printf "oracle bits:  %d (after tampering with %d nodes)\n" o.Fault.Harness.advice_bits
+    (List.length (List.sort_uniq compare (List.map fst o.Fault.Harness.tampered)));
+  Printf.printf "messages:     %d  (clean budget %d, degraded budget %d)\n" stats.Sim.Runner.sent
+    b.Fault.Verdict.clean b.Fault.Verdict.degraded;
+  Printf.printf "faults:       %d injected, %d nodes fell back to flooding\n"
+    stats.Sim.Runner.faults
+    (List.length o.Fault.Harness.fallbacks);
+  Printf.printf "verdict:      %s\n" (Fault.Verdict.to_string o.Fault.Harness.verdict);
+  if not (Fault.Verdict.acceptable o.Fault.Harness.verdict) then exit 1
+
 let trace_out_arg =
   Arg.(
     value
@@ -120,26 +155,31 @@ let wakeup_cmd =
       & opt encoding_conv Oracle_core.Wakeup.Paper
       & info [ "encoding" ] ~docv:"ENC" ~doc:"Advice encoding: paper, minimal, or gamma.")
   in
-  let run family n seed source scheduler encoding trace_out =
+  let run family n seed source scheduler encoding fault trace_out =
     let g = build family n seed in
-    let o =
+    match fault with
+    | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
-          Oracle_core.Wakeup.run ~encoding ~scheduler ~sinks g ~source)
-    in
-    let stats = o.Oracle_core.Wakeup.result.Sim.Runner.stats in
-    Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
-      (Graph.m g);
-    Printf.printf "oracle bits:  %d  (Theorem 2.1 budget %d)\n" o.Oracle_core.Wakeup.advice_bits
-      (Oracle_core.Bounds.wakeup_advice_upper ~n:(Graph.n g));
-    Printf.printf "messages:     %d  (optimal: %d)\n" stats.Sim.Runner.sent (Graph.n g - 1);
-    Printf.printf "all awake:    %b\n" o.Oracle_core.Wakeup.result.Sim.Runner.all_informed;
-    if not o.Oracle_core.Wakeup.result.Sim.Runner.all_informed then exit 1
+          run_faulty Fault.Harness.Wakeup plan family g ~source ~scheduler sinks)
+    | None ->
+      let o =
+        with_trace_sinks trace_out (fun sinks ->
+            Oracle_core.Wakeup.run ~encoding ~scheduler ~sinks g ~source)
+      in
+      let stats = o.Oracle_core.Wakeup.result.Sim.Runner.stats in
+      Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+        (Graph.m g);
+      Printf.printf "oracle bits:  %d  (Theorem 2.1 budget %d)\n" o.Oracle_core.Wakeup.advice_bits
+        (Oracle_core.Bounds.wakeup_advice_upper ~n:(Graph.n g));
+      Printf.printf "messages:     %d  (optimal: %d)\n" stats.Sim.Runner.sent (Graph.n g - 1);
+      Printf.printf "all awake:    %b\n" o.Oracle_core.Wakeup.result.Sim.Runner.all_informed;
+      if not o.Oracle_core.Wakeup.result.Sim.Runner.all_informed then exit 1
   in
   Cmd.v
     (Cmd.info "wakeup" ~doc:"Run the Theorem 2.1 wakeup oracle and scheme.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ encoding_arg
-      $ trace_out_arg)
+      $ fault_arg $ trace_out_arg)
 
 (* {1 broadcast} *)
 
@@ -160,31 +200,36 @@ let broadcast_cmd =
       & info [ "tree" ] ~docv:"TREE"
           ~doc:"Spanning tree: light (Claim 3.1, default), bfs, or dfs.")
   in
-  let run family n seed source scheduler (tree_name, tree) trace_out =
+  let run family n seed source scheduler (tree_name, tree) fault trace_out =
     let g = build family n seed in
-    let o =
+    match fault with
+    | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
-          Oracle_core.Broadcast.run ~tree ~scheduler ~sinks g ~source)
-    in
-    let stats = o.Oracle_core.Broadcast.result.Sim.Runner.stats in
-    Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
-      (Graph.m g);
-    Printf.printf "tree:         %s (contribution %d, Claim 3.1 budget %d)\n" tree_name
-      o.Oracle_core.Broadcast.tree_contribution
-      (4 * Graph.n g);
-    Printf.printf "oracle bits:  %d  (Theorem 3.1 budget %d)\n"
-      o.Oracle_core.Broadcast.advice_bits (8 * Graph.n g);
-    Printf.printf "messages:     %d = %d source + %d hello  (budget < %d)\n"
-      stats.Sim.Runner.sent stats.Sim.Runner.source_sent stats.Sim.Runner.hello_sent
-      (3 * Graph.n g);
-    Printf.printf "all informed: %b\n" o.Oracle_core.Broadcast.result.Sim.Runner.all_informed;
-    if not o.Oracle_core.Broadcast.result.Sim.Runner.all_informed then exit 1
+          run_faulty Fault.Harness.Broadcast plan family g ~source ~scheduler sinks)
+    | None ->
+      let o =
+        with_trace_sinks trace_out (fun sinks ->
+            Oracle_core.Broadcast.run ~tree ~scheduler ~sinks g ~source)
+      in
+      let stats = o.Oracle_core.Broadcast.result.Sim.Runner.stats in
+      Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+        (Graph.m g);
+      Printf.printf "tree:         %s (contribution %d, Claim 3.1 budget %d)\n" tree_name
+        o.Oracle_core.Broadcast.tree_contribution
+        (4 * Graph.n g);
+      Printf.printf "oracle bits:  %d  (Theorem 3.1 budget %d)\n"
+        o.Oracle_core.Broadcast.advice_bits (8 * Graph.n g);
+      Printf.printf "messages:     %d = %d source + %d hello  (budget < %d)\n"
+        stats.Sim.Runner.sent stats.Sim.Runner.source_sent stats.Sim.Runner.hello_sent
+        (3 * Graph.n g);
+      Printf.printf "all informed: %b\n" o.Oracle_core.Broadcast.result.Sim.Runner.all_informed;
+      if not o.Oracle_core.Broadcast.result.Sim.Runner.all_informed then exit 1
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Run the Theorem 3.1 broadcast oracle and Scheme B.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ tree_arg
-      $ trace_out_arg)
+      $ fault_arg $ trace_out_arg)
 
 (* {1 separation} *)
 

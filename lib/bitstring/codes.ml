@@ -115,6 +115,25 @@ let delta_length n =
   let k = Binary.floor_log2 (n + 1) in
   gamma_length k + k
 
+(* Result-typed decoders for adversarial input.  The raising decoders
+   above assume well-formed advice (the oracle wrote it); these wrap them
+   for the hardened schemes, where the advice may have been tampered with
+   and a decode failure must select the flooding fallback, not abort the
+   run. *)
+
+let protect name read r =
+  match read r with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error msg
+  | exception Bitbuf.End_of_bits -> Error (Printf.sprintf "Codes.%s: out of bits" name)
+
+let read_port_list_result r = protect "read_port_list" read_port_list r
+let read_marked_list_result r = protect "read_marked_list" read_marked_list r
+
+let read_gamma_list_result r =
+  let rec loop acc = if Bitbuf.at_end r then List.rev acc else loop (read_gamma r :: acc) in
+  protect "read_gamma_list" (fun _ -> loop []) r
+
 type codec = {
   codec_name : string;
   write_list : Bitbuf.t -> int list -> unit;

@@ -53,6 +53,24 @@ val read_marked_list : Bitbuf.reader -> int list
 val marked_length : int list -> int
 (** Exact encoded size: [2·Σ #₂(wᵢ)]. *)
 
+(** {1 Non-raising decoders}
+
+    The decoders above assume the oracle wrote the advice and raise on
+    malformed input.  The [_result] variants accept arbitrary bit
+    strings — the fault-injection subsystem feeds them tampered advice —
+    and turn both [Invalid_argument] and running out of bits into
+    [Error]; the hardened schemes route [Error] to their advice-free
+    fallback instead of aborting the run. *)
+
+val read_port_list_result : Bitbuf.reader -> (int list, string) result
+(** Non-raising {!read_port_list}. *)
+
+val read_marked_list_result : Bitbuf.reader -> (int list, string) result
+(** Non-raising {!read_marked_list}. *)
+
+val read_gamma_list_result : Bitbuf.reader -> (int list, string) result
+(** Read gamma-coded integers to the end of the reader, non-raising. *)
+
 (** {1 Elias and unary codes} *)
 
 val write_unary : Bitbuf.t -> int -> unit

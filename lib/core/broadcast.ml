@@ -34,6 +34,12 @@ let decode_known_ports encoding buf =
     let rec loop acc = if Bitbuf.at_end r then List.rev acc else loop (Codes.read_gamma r :: acc) in
     loop []
 
+let decode_known_ports_result encoding buf =
+  let r = Bitbuf.reader buf in
+  match encoding with
+  | Marked -> Codes.read_marked_list_result r
+  | Gamma -> Codes.read_gamma_list_result r
+
 let oracle ?(tree = fun g ~root -> Spanning.light g ~root) ?(encoding = Marked) () =
   let name = Printf.sprintf "broadcast-thm3.1(%s)" (encoding_name encoding) in
   Oracles.Oracle.make ~name (fun g ~source ->
@@ -79,6 +85,87 @@ let scheme ?(encoding = Marked) () static =
     | Sim.Message.Control _ -> []
   in
   { Sim.Scheme.on_start; on_receive }
+
+let usable_ports ~degree ports =
+  let seen = Array.make (max 1 degree) false in
+  List.for_all
+    (fun p ->
+      p >= 0 && p < degree && not seen.(p)
+      &&
+      (seen.(p) <- true;
+       true))
+    ports
+
+let hardened_scheme ?(encoding = Marked) ?on_fallback () static =
+  let module IS = Set.Make (Int) in
+  let degree = static.Sim.History.degree in
+  let fallback reason =
+    (match on_fallback with Some f -> f static.Sim.History.id reason | None -> ());
+    None
+  in
+  let advised =
+    match decode_known_ports_result encoding static.Sim.History.advice with
+    | Ok ports when usable_ports ~degree ports -> Some ports
+    | Ok _ -> fallback "unusable ports"
+    | Error msg -> fallback msg
+  in
+  match advised with
+  | Some ports ->
+    (* Scheme B as written, on validated advice. *)
+    let kx = ref (IS.of_list ports) in
+    let sx = ref IS.empty in
+    let informed = ref static.Sim.History.is_source in
+    let flush () =
+      if !informed then begin
+        let fresh = IS.diff !kx !sx in
+        sx := IS.union !sx fresh;
+        List.map (fun p -> (Sim.Message.Source, p)) (IS.elements fresh)
+      end
+      else []
+    in
+    let on_start () =
+      if static.Sim.History.is_source then flush ()
+      else List.map (fun p -> (Sim.Message.Hello, p)) (IS.elements !kx)
+    in
+    let on_receive msg ~port =
+      match msg with
+      | Sim.Message.Source ->
+        kx := IS.add port !kx;
+        sx := IS.add port !sx;
+        informed := true;
+        flush ()
+      | Sim.Message.Hello ->
+        kx := IS.add port !kx;
+        flush ()
+      | Sim.Message.Control _ -> []
+    in
+    { Sim.Scheme.on_start; on_receive }
+  | None ->
+    (* Degraded mode.  Flooding when informed restores correctness at the
+       advice-free Θ(m) cost; the Hello on {e every} port at start tells
+       advised neighbours — whose legitimately-empty advice the adversary
+       could not touch — how to reach us, exactly as Scheme B's Hellos on
+       known ports do.  Without it an advised node whose tree edges are
+       all known from the degraded side would never learn them. *)
+    let all_ports = List.init degree (fun p -> p) in
+    let informed = ref static.Sim.History.is_source in
+    let flood arrival =
+      List.filter_map
+        (fun p -> if arrival = Some p then None else Some (Sim.Message.Source, p))
+        all_ports
+    in
+    let on_start () =
+      if static.Sim.History.is_source then flood None
+      else List.map (fun p -> (Sim.Message.Hello, p)) all_ports
+    in
+    let on_receive msg ~port =
+      match msg with
+      | Sim.Message.Source when not !informed ->
+        informed := true;
+        flood (Some port)
+      | Sim.Message.Source | Sim.Message.Hello | Sim.Message.Control _ -> []
+    in
+    { Sim.Scheme.on_start; on_receive }
 
 type outcome = {
   result : Sim.Runner.result;

@@ -57,6 +57,27 @@ val decode_known_ports : encoding -> Bitstring.Bitbuf.t -> int list
 (** The advice decoder (exposed for tests): the ports Scheme B starts out
     knowing. *)
 
+(** {1 Hardened variant} *)
+
+val decode_known_ports_result : encoding -> Bitstring.Bitbuf.t -> (int list, string) result
+(** Non-raising advice decoder (the {!Bitstring.Codes} [_result]
+    family). *)
+
+val hardened_scheme :
+  ?encoding:encoding -> ?on_fallback:(int -> string -> unit) -> unit -> Sim.Scheme.factory
+(** Scheme B with advice validation: a node whose advice does not decode
+    to distinct, in-range ports degrades to advice-free flooding — the
+    source message goes out on every port (except the arrival port) on
+    first informing, which is correct on any connected graph at Θ(m)
+    cost.  A degraded non-source node also sends its "hello" on {e every}
+    port at start, so an advised neighbour whose (legitimately empty)
+    advice omits the shared edge still learns it, exactly as Scheme B's
+    hellos on known ports teach; without this, a node that knows none of
+    its tree edges could never serve the subtree behind a degraded
+    neighbour.  [on_fallback] is called once per degraded node with its
+    label and the decode/validation error.  On untampered advice this is
+    message-for-message Scheme B. *)
+
 val weight_assignment : Netgraph.Graph.t -> Netgraph.Spanning.t -> int list array
 (** The per-node lists of assigned weights, before encoding (exposed for
     tests: each tree edge must appear at exactly one endpoint, at which it

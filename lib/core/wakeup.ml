@@ -30,6 +30,12 @@ let decode_ports encoding buf =
     let rec loop acc = if Bitbuf.at_end r then List.rev acc else loop (Codes.read_gamma r :: acc) in
     loop []
 
+let decode_ports_result encoding buf =
+  let r = Bitbuf.reader buf in
+  match encoding with
+  | Paper | Paper_minimal -> Codes.read_port_list_result r
+  | Gamma -> Codes.read_gamma_list_result r
+
 let oracle ?(tree = fun g ~root -> Spanning.bfs g ~root) ?(encoding = Paper) () =
   let name = Printf.sprintf "wakeup-thm2.1(%s)" (encoding_name encoding) in
   Oracles.Oracle.make ~name (fun g ~source ->
@@ -51,6 +57,52 @@ let scheme ?(encoding = Paper) () static =
   let on_receive msg ~port:_ =
     match msg with
     | Sim.Message.Source when not !woken -> wake ()
+    | Sim.Message.Source | Sim.Message.Hello | Sim.Message.Control _ -> []
+  in
+  { Sim.Scheme.on_start; on_receive }
+
+(* A decoded port list is only usable if the scheme could actually have
+   been advised it: every port in range, none repeated.  Tampered advice
+   that still parses but fails this check must also select the fallback,
+   or the runner aborts on an out-of-range send. *)
+let usable_ports ~degree ports =
+  let seen = Array.make (max 1 degree) false in
+  List.for_all
+    (fun p ->
+      p >= 0 && p < degree && not seen.(p)
+      &&
+      (seen.(p) <- true;
+       true))
+    ports
+
+let hardened_scheme ?(encoding = Paper) ?on_fallback () static =
+  let degree = static.Sim.History.degree in
+  let fallback reason =
+    (match on_fallback with Some f -> f static.Sim.History.id reason | None -> ());
+    None
+  in
+  let advised =
+    match decode_ports_result encoding static.Sim.History.advice with
+    | Ok ports when usable_ports ~degree ports -> Some ports
+    | Ok _ -> fallback "unusable ports"
+    | Error msg -> fallback msg
+  in
+  let woken = ref false in
+  let wake arrival =
+    woken := true;
+    match advised with
+    | Some ports -> List.map (fun p -> (Sim.Message.Source, p)) ports
+    | None ->
+      (* Degraded mode: behave as one node of [Sim.Scheme.flooding] —
+         correct on any connected graph, at the advice-free Θ(m) cost. *)
+      List.filter_map
+        (fun p -> if arrival = Some p then None else Some (Sim.Message.Source, p))
+        (List.init degree (fun p -> p))
+  in
+  let on_start () = if static.Sim.History.is_source then wake None else [] in
+  let on_receive msg ~port =
+    match msg with
+    | Sim.Message.Source when not !woken -> wake (Some port)
     | Sim.Message.Source | Sim.Message.Hello | Sim.Message.Control _ -> []
   in
   { Sim.Scheme.on_start; on_receive }

@@ -53,3 +53,26 @@ val run :
 
 val decode_ports : encoding -> Bitstring.Bitbuf.t -> int list
 (** The advice decoder (exposed for tests). *)
+
+(** {1 Hardened variant}
+
+    {!scheme} trusts its advice — the oracle wrote it, so it raises on
+    malformed bits and the runner rejects out-of-range ports.  Under the
+    fault-injection subsystem the advice may be adversarial, so the
+    hardened variant validates before trusting. *)
+
+val decode_ports_result : encoding -> Bitstring.Bitbuf.t -> (int list, string) result
+(** Non-raising advice decoder (the {!Bitstring.Codes} [_result]
+    family). *)
+
+val hardened_scheme :
+  ?encoding:encoding -> ?on_fallback:(int -> string -> unit) -> unit -> Sim.Scheme.factory
+(** Like {!scheme}, but each node validates its advice once at
+    instantiation: it must decode ([decode_ports_result]) to distinct,
+    in-range ports.  A node whose advice fails falls back to the
+    advice-free flooding behaviour of {!Sim.Scheme.flooding} — on first
+    wake it sends the source message on every port except the arrival
+    port — so the run stays correct on any connected graph at Θ(m) cost
+    instead of the advised [n-1].  The wakeup restriction (silence before
+    being woken) is preserved in both modes.  [on_fallback] is called once
+    per degraded node with its label and the decode/validation error. *)

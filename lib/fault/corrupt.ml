@@ -1,0 +1,64 @@
+module Bitbuf = Bitstring.Bitbuf
+module Advice = Oracles.Advice
+
+let apply plan advice =
+  match plan.Plan.advice with
+  | [] -> (advice, [])
+  | faults ->
+    let st = Random.State.make [| plan.Plan.seed; 0xadc |] in
+    let n = Advice.n advice in
+    let bits = Array.init n (fun v -> Array.of_list (Bitbuf.to_bits (Advice.get advice v))) in
+    let tampers = ref [] in
+    let note node tag = tampers := (node, tag) :: !tampers in
+    List.iter
+      (fun fault ->
+        match fault with
+        | Plan.Flip k ->
+          (* k independent draws over the concatenated advice; flipping
+             the same position twice is allowed (and undoes itself). *)
+          let total = Array.fold_left (fun acc b -> acc + Array.length b) 0 bits in
+          if total > 0 then
+            for _ = 1 to k do
+              let pos = Random.State.int st total in
+              let v = ref 0 in
+              let off = ref pos in
+              while !off >= Array.length bits.(!v) do
+                off := !off - Array.length bits.(!v);
+                incr v
+              done;
+              bits.(!v).(!off) <- not bits.(!v).(!off);
+              note !v (Printf.sprintf "flip@%d" !off)
+            done
+        | Plan.Truncate k ->
+          if k > 0 then
+            Array.iteri
+              (fun v b ->
+                let len = Array.length b in
+                if len > 0 then begin
+                  bits.(v) <- Array.sub b 0 (max 0 (len - k));
+                  note v (Printf.sprintf "trunc:%d" (min k len))
+                end)
+              bits
+        | Plan.Swap (u, v) ->
+          if u >= 0 && u < n && v >= 0 && v < n && u <> v then begin
+            let tmp = bits.(u) in
+            bits.(u) <- bits.(v);
+            bits.(v) <- tmp;
+            note u (Printf.sprintf "swap:%d" v);
+            note v (Printf.sprintf "swap:%d" u)
+          end
+        | Plan.Garbage k ->
+          Array.iteri
+            (fun v _ ->
+              bits.(v) <- Array.init k (fun _ -> Random.State.bool st);
+              note v (Printf.sprintf "garbage:%d" k))
+            bits)
+      faults;
+    let corrupted = Advice.make (Array.map (fun b -> Bitbuf.of_bits (Array.to_list b)) bits) in
+    (corrupted, List.rev !tampers)
+
+let events tampers =
+  List.map
+    (fun (node, tag) ->
+      { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Fault (Obs.Event.Advice_tampered (node, tag)) })
+    tampers

@@ -1,0 +1,31 @@
+(** Advice corruption: the pure half of fault injection.
+
+    The adversary of the robustness experiments attacks the oracle's
+    output {e before} the run, as a pure
+    [Oracles.Advice.t -> Oracles.Advice.t] transform — the original
+    assignment is never mutated, and identical plan + seed yields the
+    identical corrupted assignment.  What it did is returned as a tamper
+    log, one entry per affected node, which the harness turns into
+    {!Obs.Event.Advice_tampered} telemetry. *)
+
+val apply : Plan.t -> Oracles.Advice.t -> Oracles.Advice.t * (int * string) list
+(** [apply plan advice] interprets [plan]'s advice faults, in plan
+    order, against a copy of [advice]:
+    - [Flip k]: flip [k] seeded positions of the concatenated advice
+      (no-op on an all-empty assignment);
+    - [Truncate k]: drop the last [k] bits of {e every} nonempty
+      string — the canonical "forces decode failure everywhere"
+      corruption the Θ(m)-fallback acceptance test uses;
+    - [Swap (u, v)]: exchange the strings of nodes [u] and [v]
+      (ignored if out of range or [u = v]);
+    - [Garbage k]: replace every string with [k] seeded random bits
+      (which may, by chance, still parse — verdicts must not assume
+      garbage is detected).
+    Returns the corrupted assignment and the tamper log
+    [(node, tag) list], e.g. [(3, "trunc:1")].  A plan with no advice
+    faults returns [advice] itself and an empty log. *)
+
+val events : (int * string) list -> Obs.Event.t list
+(** The tamper log as pre-run telemetry: one
+    [Fault (Advice_tampered (node, tag))] event per entry, stamped
+    [seq = 0, round = 0] (corruption happens before the first send). *)

@@ -1,0 +1,72 @@
+module Graph = Netgraph.Graph
+module Advice = Oracles.Advice
+
+type protocol =
+  | Wakeup
+  | Broadcast
+
+let protocol_name = function Wakeup -> "wakeup" | Broadcast -> "broadcast"
+
+let budgets protocol g =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  match protocol with
+  | Wakeup -> { Verdict.clean = n - 1; degraded = (2 * m) + (3 * n) }
+  | Broadcast -> { Verdict.clean = 3 * n; degraded = (4 * m) + (3 * n) }
+
+type outcome = {
+  verdict : Verdict.t;
+  result : Sim.Runner.result;
+  advice_bits : int;
+  tampered : (int * string) list;
+  fallbacks : (int * string) list;
+  events : Obs.Event.t list;
+}
+
+let run ?(scheduler = Sim.Scheduler.Async_fifo) ?(plan = Plan.none) ?(sinks = []) ?max_messages
+    protocol g ~source =
+  let n = Graph.n g in
+  let oracle =
+    match protocol with
+    | Wakeup -> Oracle_core.Wakeup.oracle ()
+    | Broadcast -> Oracle_core.Broadcast.oracle ()
+  in
+  let advice = oracle.Oracles.Oracle.advise g ~source in
+  let corrupted, tampered = Corrupt.apply plan advice in
+  let collector, collected = Obs.Sink.collect () in
+  let all_sinks = collector :: sinks in
+  let emit_all ev = List.iter (fun s -> Obs.Sink.emit s ev) all_sinks in
+  List.iter emit_all (Corrupt.events tampered);
+  (* Hardened nodes report fallbacks with their label; telemetry speaks
+     node indices (labels default to 1..n, not 0..n-1). *)
+  let index_of_label = Hashtbl.create n in
+  for v = 0 to n - 1 do
+    Hashtbl.replace index_of_label (Graph.label g v) v
+  done;
+  let fallbacks = ref [] in
+  let on_fallback label reason =
+    let v = match Hashtbl.find_opt index_of_label label with Some v -> v | None -> 0 in
+    fallbacks := (v, reason) :: !fallbacks;
+    emit_all { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Decide (v, Verdict.fallback_tag) }
+  in
+  let factory =
+    match protocol with
+    | Wakeup -> Oracle_core.Wakeup.hardened_scheme ~on_fallback ()
+    | Broadcast -> Oracle_core.Broadcast.hardened_scheme ~on_fallback ()
+  in
+  let result =
+    Sim.Runner.run ~scheduler ?max_messages ~sinks:all_sinks ~faults:plan
+      ~advice:(Advice.get corrupted) g ~source factory
+  in
+  let events = collected () in
+  let verdict =
+    Verdict.classify ~check_silence:(protocol = Wakeup) ~n ~budgets:(budgets protocol g) events
+  in
+  {
+    verdict;
+    result;
+    advice_bits = Advice.size_bits corrupted;
+    tampered;
+    fallbacks = List.rev !fallbacks;
+    events;
+  }

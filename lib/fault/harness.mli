@@ -1,0 +1,54 @@
+(** The adversarial end-to-end harness: oracle → corrupted advice →
+    hardened scheme under an adversarial schedule → verdict.
+
+    One call runs the full robustness pipeline for a paper protocol:
+    build the protocol's oracle, apply the plan's advice faults
+    ({!Corrupt}), execute the hardened scheme with the plan's message-
+    and node-level faults injected by the runner, and classify the
+    recorded stream ({!Verdict.classify}).  The harness never raises on
+    any plan: every outcome is a structured verdict. *)
+
+type protocol =
+  | Wakeup  (** Theorem 2.1 wakeup, hardened ({!Wakeup.hardened_scheme}) *)
+  | Broadcast  (** Scheme B broadcast, hardened ({!Broadcast.hardened_scheme}) *)
+
+val protocol_name : protocol -> string
+
+val budgets : protocol -> Netgraph.Graph.t -> Verdict.budgets
+(** Clean budget from the paper ([n-1], resp. [3n]); degraded budget
+    Θ(m) with room for the fallback's hellos and floods ([2m + 3n],
+    resp. [4m + 3n]). *)
+
+type outcome = {
+  verdict : Verdict.t;
+  result : Sim.Runner.result;
+  advice_bits : int;  (** size of the advice actually handed out, corruption included *)
+  tampered : (int * string) list;  (** {!Corrupt.apply}'s tamper log *)
+  fallbacks : (int * string) list;
+      (** nodes (by index) that rejected their advice, with the decode or
+          validation error *)
+  events : Obs.Event.t list;  (** the complete recorded stream, verdict input *)
+}
+
+val run :
+  ?scheduler:Sim.Scheduler.t ->
+  ?plan:Plan.t ->
+  ?sinks:Obs.Sink.t list ->
+  ?max_messages:int ->
+  protocol ->
+  Netgraph.Graph.t ->
+  source:int ->
+  outcome
+(** [run protocol g ~source] under [plan] (default {!Plan.none}) and
+    [scheduler] (default [Async_fifo]).
+
+    The stream fed to [sinks] (and recorded in [events]) is, in order:
+    one [Fault (Advice_tampered _)] per tamper-log entry, then the
+    runner's stream with one [Decide (v, {!Verdict.fallback_tag})]
+    interleaved at instantiation time per node that rejected its advice.
+    Identical graph + plan + scheduler yields a bit-identical stream
+    (the determinism tests assert this).
+
+    The wakeup silence invariant is checked for [Wakeup] runs;
+    crashed/dead nodes are exempt from informedness — see
+    {!Verdict.classify}. *)

@@ -1,0 +1,1 @@
+include Sim.Fault_plan

@@ -1,0 +1,13 @@
+(** Fault plans, re-exported.
+
+    The plan type itself lives in {!Sim.Fault_plan} so the runner can
+    interpret the message- and node-level faults without depending on
+    this library; [Fault.Plan] is the same module (type equalities
+    included) under the subsystem's own namespace, and the rest of
+    [Fault] interprets the parts the runner treats as opaque data — the
+    advice faults ({!Corrupt}) — and judges the outcome ({!Verdict},
+    {!Harness}). *)
+
+include module type of struct
+  include Sim.Fault_plan
+end

@@ -1,0 +1,62 @@
+(** Verdicts: classifying an adversarial run against the paper's
+    invariants, from its telemetry stream alone.
+
+    The classifier is a replay consumer ({!Obs.Replay}): everything it
+    needs — who woke, who crashed, how many messages the scheme produced,
+    which nodes abandoned their advice — is in the typed event stream, so
+    a verdict can equally be computed offline from a recorded JSONL
+    trace. *)
+
+type budgets = {
+  clean : int;
+      (** the advised bound: [n-1] for Theorem 2.1 wakeup, [3n] for
+          Scheme B broadcast *)
+  degraded : int;
+      (** the advice-free bound the fallback may cost, Θ(m):
+          what {!Harness.budgets} computes from the graph *)
+}
+
+type t =
+  | Completed
+      (** every node informed, within the clean budget, no node failed,
+          no node abandoned its advice — the paper's claim held even if
+          harmless faults were injected *)
+  | Degraded of string
+      (** every surviving node informed and the degraded budget held,
+          but at a cost: advice fallbacks, failed nodes, or more
+          messages than the advised bound (the reason string lists
+          which) *)
+  | Stalled of {
+      informed : int;  (** surviving nodes that woke *)
+      survivors : int;  (** nodes neither crashed nor dead *)
+      n : int;
+    }
+      (** the run drained with surviving nodes still uninformed —
+          e.g. drops severed the only path, or tampered advice parsed
+          but pointed the wrong way *)
+  | Violated of string
+      (** an invariant the scheme must keep even under attack was
+          broken: wakeup silence, or the degraded message budget *)
+
+val fallback_tag : string
+(** ["fallback-flood"] — the [Decide] tag a hardened node emits when it
+    rejects its advice; {!classify} counts these. *)
+
+val classify : ?check_silence:bool -> n:int -> budgets:budgets -> Obs.Event.t list -> t
+(** Fold a complete run's events into a verdict.  Precedence: a
+    violation ([check_silence] (default false) enables the wakeup
+    silence invariant — any [Send] by a non-woken node; the budget and
+    drained-queue checks are always on) dominates; then uninformed
+    survivors mean [Stalled]; then a clean run — no fallback, no failed
+    node, within [budgets.clean] — is [Completed]; anything else is
+    [Degraded].  Nodes named by [Crashed]/[Dead] fault events are
+    excluded from the informedness requirement: the adversary silenced
+    them, the scheme owes them nothing. *)
+
+val acceptable : t -> bool
+(** The CLI's exit criterion: [Completed] or [Degraded] (graceful), not
+    [Stalled] or [Violated]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

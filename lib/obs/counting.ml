@@ -10,6 +10,9 @@ type summary = {
   wakes : int;
   decides : int;
   advice_bits : int;
+  faults : int;
+  dropped : int;
+  duplicated : int;
 }
 
 type t = {
@@ -24,6 +27,9 @@ type t = {
   mutable c_wakes : int;
   mutable c_decides : int;
   mutable c_advice : int;
+  mutable c_faults : int;
+  mutable c_dropped : int;
+  mutable c_duplicated : int;
 }
 
 let create () =
@@ -39,6 +45,9 @@ let create () =
     c_wakes = 0;
     c_decides = 0;
     c_advice = 0;
+    c_faults = 0;
+    c_dropped = 0;
+    c_duplicated = 0;
   }
 
 let observe t (ev : Event.t) =
@@ -57,6 +66,14 @@ let observe t (ev : Event.t) =
   | Event.Wake _ -> t.c_wakes <- t.c_wakes + 1
   | Event.Decide _ -> t.c_decides <- t.c_decides + 1
   | Event.Advice_read (_, bits) -> t.c_advice <- t.c_advice + bits
+  | Event.Fault f -> (
+    t.c_faults <- t.c_faults + 1;
+    match f with
+    | Event.Msg_dropped -> t.c_dropped <- t.c_dropped + 1
+    | Event.Msg_duplicated -> t.c_duplicated <- t.c_duplicated + 1
+    | Event.Msg_delayed _ | Event.Msg_reordered _ | Event.Crashed _ | Event.Dead _
+    | Event.Advice_tampered _ ->
+      ())
 
 let sink t = Sink.make (observe t)
 
@@ -73,6 +90,9 @@ let summary t =
     wakes = t.c_wakes;
     decides = t.c_decides;
     advice_bits = t.c_advice;
+    faults = t.c_faults;
+    dropped = t.c_dropped;
+    duplicated = t.c_duplicated;
   }
 
 let sent t = t.c_sent
@@ -85,6 +105,6 @@ let of_events events =
 let pp fmt s =
   Format.fprintf fmt
     "@[<h>sent=%d (source=%d hello=%d control=%d) delivered=%d bits=%d rounds=%d depth=%d \
-     wakes=%d decides=%d advice=%db@]"
+     wakes=%d decides=%d advice=%db faults=%d@]"
     s.sent s.source_sent s.hello_sent s.control_sent s.delivered s.bits_on_wire s.rounds
-    s.causal_depth s.wakes s.decides s.advice_bits
+    s.causal_depth s.wakes s.decides s.advice_bits s.faults

@@ -25,6 +25,11 @@ type summary = {
   advice_bits : int;
       (** sum of [bits] over [Advice_read] events — the oracle size
           actually handed out on this run *)
+  faults : int;  (** number of [Fault] events — adversarial injections of any kind *)
+  dropped : int;
+      (** [Fault Msg_dropped] events: sends destroyed in flight (fault
+          plans, crashed or dead receivers) *)
+  duplicated : int;  (** [Fault Msg_duplicated] events: extra enqueued copies *)
 }
 (** An immutable snapshot of the counters. *)
 

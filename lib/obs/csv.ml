@@ -23,6 +23,19 @@ let encode (ev : Event.t) =
   | Event.Wake node -> Printf.sprintf "%s,,,,,,,,,%d," common node
   | Event.Decide (node, tag) -> Printf.sprintf "%s,,,,,,,,,%d,%s" common node (quote tag)
   | Event.Advice_read (node, bits) -> Printf.sprintf "%s,,,,,,%d,,,%d," common bits node
+  (* Faults reuse the cls column for the fault name, bits for a count
+     operand, and node/tag for node-level faults — keeping the 13-column
+     shape stable across event kinds. *)
+  | Event.Fault f -> (
+    let fault = Event.fault_name f in
+    match f with
+    | Event.Msg_dropped | Event.Msg_duplicated -> Printf.sprintf "%s,,,,,%s,,,,," common fault
+    | Event.Msg_delayed k | Event.Msg_reordered k ->
+      Printf.sprintf "%s,,,,,%s,%d,,,," common fault k
+    | Event.Crashed node | Event.Dead node ->
+      Printf.sprintf "%s,,,,,%s,,,,%d," common fault node
+    | Event.Advice_tampered (node, how) ->
+      Printf.sprintf "%s,,,,,%s,,,,%d,%s" common fault node (quote how))
 
 let write oc ev =
   output_string oc (encode ev);

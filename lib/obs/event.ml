@@ -19,12 +19,22 @@ type link = {
   depth : int;
 }
 
+type fault =
+  | Msg_dropped
+  | Msg_duplicated
+  | Msg_delayed of int
+  | Msg_reordered of int
+  | Crashed of int
+  | Dead of int
+  | Advice_tampered of int * string
+
 type kind =
   | Send of link
   | Deliver of link
   | Wake of int
   | Decide of int * string
   | Advice_read of int * int
+  | Fault of fault
 
 type t = { seq : int; round : int; kind : kind }
 
@@ -34,6 +44,16 @@ let kind_name = function
   | Wake _ -> "wake"
   | Decide _ -> "decide"
   | Advice_read _ -> "advice"
+  | Fault _ -> "fault"
+
+let fault_name = function
+  | Msg_dropped -> "drop"
+  | Msg_duplicated -> "duplicate"
+  | Msg_delayed _ -> "delay"
+  | Msg_reordered _ -> "reorder"
+  | Crashed _ -> "crash"
+  | Dead _ -> "dead"
+  | Advice_tampered _ -> "advice"
 
 let equal a b = a = b
 
@@ -43,6 +63,15 @@ let pp_link fmt l =
     (if l.informed then " informed" else "")
     l.depth
 
+let pp_fault fmt = function
+  | Msg_dropped -> Format.pp_print_string fmt "message dropped"
+  | Msg_duplicated -> Format.pp_print_string fmt "message duplicated"
+  | Msg_delayed k -> Format.fprintf fmt "message delayed %d steps" k
+  | Msg_reordered k -> Format.fprintf fmt "burst of %d reordered" k
+  | Crashed v -> Format.fprintf fmt "node %d crashed" v
+  | Dead v -> Format.fprintf fmt "node %d initially dead" v
+  | Advice_tampered (v, how) -> Format.fprintf fmt "node %d advice %s" v how
+
 let pp fmt t =
   Format.fprintf fmt "#%d r%d %s " t.seq t.round (kind_name t.kind);
   match t.kind with
@@ -50,3 +79,4 @@ let pp fmt t =
   | Wake v -> Format.fprintf fmt "node %d" v
   | Decide (v, tag) -> Format.fprintf fmt "node %d %S" v tag
   | Advice_read (v, bits) -> Format.fprintf fmt "node %d %db" v bits
+  | Fault f -> pp_fault fmt f

@@ -41,6 +41,25 @@ type link = {
     [Deliver] it triggers (if the message is not lost) carry identical
     [link] payloads and the same {!t.seq} stamp. *)
 
+type fault =
+  | Msg_dropped
+      (** the message with this event's [seq] was destroyed in flight (by a
+          fault plan's [drop], or by delivery to a crashed or dead node);
+          its [Send] exists, its [Deliver] never will *)
+  | Msg_duplicated
+      (** an extra copy of the message with this [seq] was enqueued: two
+          [Deliver]s will carry the one [Send]'s stamp *)
+  | Msg_delayed of int
+      (** delivery of the message with this [seq] was held back by this
+          many scheduler steps *)
+  | Msg_reordered of int  (** a burst of this many in-flight messages was flushed reversed *)
+  | Crashed of int  (** the node crash-stopped at this event's [round] *)
+  | Dead of int  (** the node began the run dead (stamped at round 0) *)
+  | Advice_tampered of int * string
+      (** the node's advice string was corrupted before the run; the string
+          says how (e.g. ["flip@3"], ["trunc=1"]) — emitted by the fault
+          harness, before the runner's stream *)
+
 type kind =
   | Send of link  (** a node handed a message to the network *)
   | Deliver of link  (** the network handed a message to its destination *)
@@ -55,7 +74,12 @@ type kind =
   | Advice_read of int * int
       (** [(node, bits)]: the node's advice string of [bits] bits was
           handed to its scheme at start-up.  Summing [bits] recovers the
-          oracle size on this network. *)
+          oracle size on this network.  Advice is read {e as corrupted}:
+          under advice faults the bits counted here are the tampered
+          string's. *)
+  | Fault of fault
+      (** an adversarial injection, recorded so faulty traces stay
+          auditable: every fault the plan realises appears in the stream *)
 
 type t = {
   seq : int;
@@ -74,7 +98,11 @@ type t = {
 (** A stamped telemetry event. *)
 
 val kind_name : kind -> string
-(** ["send"], ["deliver"], ["wake"], ["decide"] or ["advice"]. *)
+(** ["send"], ["deliver"], ["wake"], ["decide"], ["advice"] or ["fault"]. *)
+
+val fault_name : fault -> string
+(** ["drop"], ["duplicate"], ["delay"], ["reorder"], ["crash"], ["dead"] or
+    ["advice"] — the names used by the JSONL and CSV exporters. *)
 
 val equal : t -> t -> bool
 (** Structural equality (used by the exporter round-trip tests). *)

@@ -29,7 +29,15 @@ let encode (ev : Event.t) =
       l.Event.bits l.Event.informed l.Event.depth
   | Event.Wake node -> Printf.bprintf b ",\"node\":%d" node
   | Event.Decide (node, tag) -> Printf.bprintf b ",\"node\":%d,\"tag\":\"%s\"" node (escape tag)
-  | Event.Advice_read (node, bits) -> Printf.bprintf b ",\"node\":%d,\"bits\":%d" node bits);
+  | Event.Advice_read (node, bits) -> Printf.bprintf b ",\"node\":%d,\"bits\":%d" node bits
+  | Event.Fault f -> (
+    Printf.bprintf b ",\"fault\":%S" (Event.fault_name f);
+    match f with
+    | Event.Msg_dropped | Event.Msg_duplicated -> ()
+    | Event.Msg_delayed k | Event.Msg_reordered k -> Printf.bprintf b ",\"k\":%d" k
+    | Event.Crashed node | Event.Dead node -> Printf.bprintf b ",\"node\":%d" node
+    | Event.Advice_tampered (node, how) ->
+      Printf.bprintf b ",\"node\":%d,\"tag\":\"%s\"" node (escape how)));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -192,6 +200,17 @@ let decode line =
       | "wake" -> Event.Wake (find_int fields "node")
       | "decide" -> Event.Decide (find_int fields "node", find_str fields "tag")
       | "advice" -> Event.Advice_read (find_int fields "node", find_int fields "bits")
+      | "fault" ->
+        Event.Fault
+          (match find_str fields "fault" with
+          | "drop" -> Event.Msg_dropped
+          | "duplicate" -> Event.Msg_duplicated
+          | "delay" -> Event.Msg_delayed (find_int fields "k")
+          | "reorder" -> Event.Msg_reordered (find_int fields "k")
+          | "crash" -> Event.Crashed (find_int fields "node")
+          | "dead" -> Event.Dead (find_int fields "node")
+          | "advice" -> Event.Advice_tampered (find_int fields "node", find_str fields "tag")
+          | f -> bad "unknown fault kind %S" f)
       | ev -> bad "unknown event kind %S" ev
     in
     { Event.seq = find_int fields "seq"; round = find_int fields "round"; kind }

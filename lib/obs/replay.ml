@@ -27,13 +27,23 @@ let replay ~n events =
       | Event.Send l | Event.Deliver l ->
         check l.Event.src;
         check l.Event.dst
-      | Event.Advice_read (v, _) -> check v)
+      | Event.Advice_read (v, _) -> check v
+      | Event.Fault (Event.Crashed v | Event.Dead v | Event.Advice_tampered (v, _)) -> check v
+      | Event.Fault
+          (Event.Msg_dropped | Event.Msg_duplicated | Event.Msg_delayed _ | Event.Msg_reordered _)
+        ->
+        ())
     events;
   let summary = Counting.summary counts in
   {
     summary;
     informed;
     all_informed = Array.for_all (fun b -> b) informed;
-    in_flight = summary.Counting.sent - summary.Counting.delivered;
+    (* Duplicated copies deliver without their own Send; dropped sends
+       never deliver.  Both are recorded as faults, so the balance still
+       reaches zero on a drained faulty run. *)
+    in_flight =
+      summary.Counting.sent + summary.Counting.duplicated - summary.Counting.dropped
+      - summary.Counting.delivered;
     decisions = List.rev !decisions;
   }

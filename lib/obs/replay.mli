@@ -14,9 +14,11 @@ type outcome = {
           [Wake] events (length [n]) *)
   all_informed : bool;  (** every node woke up *)
   in_flight : int;
-      (** [Send] events with no matching [Deliver] — 0 for a quiescent
-          lossless run; lost messages also count as in flight, since the
-          trace records no loss event *)
+      (** messages handed to the network and never delivered:
+          [sent + duplicated - dropped - delivered] — 0 for a quiescent
+          run, faulty or not, since injected drops and duplicates are
+          themselves recorded as [Fault] events; messages lost to the
+          legacy [?loss] knob still count as in flight *)
   decisions : (int * string) list;  (** [Decide] events, in trace order *)
 }
 

@@ -15,6 +15,8 @@ let nonempty_nodes t =
 
 let max_node_bits t = Array.fold_left (fun acc b -> max acc (Bitstring.Bitbuf.length b)) 0 t
 
+let mapi f t = Array.mapi f t
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>advice (%d bits total)" (size_bits t);
   Array.iteri

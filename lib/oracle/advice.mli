@@ -22,4 +22,10 @@ val nonempty_nodes : t -> int
 
 val max_node_bits : t -> int
 
+val mapi : (int -> Bitstring.Bitbuf.t -> Bitstring.Bitbuf.t) -> t -> t
+(** [mapi f t] is a new assignment with [f v (get t v)] at every node; the
+    original is untouched (but [f] must return fresh buffers, not mutate
+    its argument).  This is the hook the fault-injection subsystem uses to
+    corrupt advice as a pure transform. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type t = {
+  scheduler : Scheduler.t;
+  plan : Fault_plan.t;
+}
+
+let make ?(plan = Fault_plan.none) scheduler = { scheduler; plan }
+
+let name { scheduler; plan } =
+  if Fault_plan.is_none plan then Scheduler.name scheduler
+  else Printf.sprintf "%s+%s" (Scheduler.name scheduler) (Fault_plan.name plan)
+
+let run ?max_messages ?record_trace ?sinks ?loss ~advice adv g ~source factory =
+  Runner.run ~scheduler:adv.scheduler ?max_messages ?record_trace ?sinks ?loss ~faults:adv.plan
+    ~advice g ~source factory
+
+let suite ?(schedulers = Scheduler.default_suite) plans =
+  List.concat_map (fun plan -> List.map (fun s -> make ~plan s) schedulers) plans

@@ -1,0 +1,42 @@
+(** An adversarial scheduler: any {!Scheduler.t} composed with a
+    {!Fault_plan.t}.
+
+    The pair is what the robustness experiments sweep — the scheduler
+    chooses delivery order, the plan chooses which messages and nodes the
+    adversary attacks — and {!run} is {!Runner.run} with both threaded
+    through, so every injected fault lands in the same telemetry stream
+    as the deliveries it perturbs. *)
+
+type t = {
+  scheduler : Scheduler.t;  (** delivery order *)
+  plan : Fault_plan.t;  (** injected faults (may be {!Fault_plan.none}) *)
+}
+
+val make : ?plan:Fault_plan.t -> Scheduler.t -> t
+(** [plan] defaults to {!Fault_plan.none}, i.e. the plain scheduler. *)
+
+val name : t -> string
+(** ["<scheduler>+<plan>"], or just the scheduler's name under the empty
+    plan — used in test names and the stress bench's output. *)
+
+val run :
+  ?max_messages:int ->
+  ?record_trace:bool ->
+  ?sinks:Obs.Sink.t list ->
+  ?loss:float * int ->
+  advice:(int -> Bitstring.Bitbuf.t) ->
+  t ->
+  Netgraph.Graph.t ->
+  source:int ->
+  Scheme.factory ->
+  Runner.result
+(** {!Runner.run} under this adversary: the wrapped scheduler orders
+    deliveries and the plan's message/node faults are injected, each
+    recorded as an {!Obs.Event.Fault} event.  Advice-level faults are
+    data the runner ignores; corrupt the advice before calling (see
+    [Fault.Corrupt]). *)
+
+val suite : ?schedulers:Scheduler.t list -> Fault_plan.t list -> t list
+(** Cross product, plans major: every plan under every scheduler
+    (default {!Scheduler.default_suite}) — the grid the stress bench and
+    the robustness tests iterate. *)

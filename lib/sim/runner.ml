@@ -19,6 +19,7 @@ type stats = {
   bits_on_wire : int;
   rounds : int;
   causal_depth : int;
+  faults : int;
 }
 
 type result = {
@@ -64,7 +65,7 @@ let telemetry ~protocol ~scheduler ?completed ~advice_bits r =
   }
 
 let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record_trace = false)
-    ?(sinks = []) ?loss ~advice g ~source factory =
+    ?(sinks = []) ?loss ?(faults = Fault_plan.none) ~advice g ~source factory =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Runner.run: source out of range";
   let informed = Array.make n false in
@@ -167,6 +168,91 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
     | None -> false
     | Some (p, st) -> Random.State.float st 1.0 < p
   in
+  (* Adversarial execution.  Every fault channel draws from its own
+     seeded stream, so enabling one channel never perturbs another and
+     identical plan + seed + scheduler replays bit-identically. *)
+  let plan = if Fault_plan.is_none faults then None else Some faults in
+  let crashed = Array.make n false in
+  let dead = Array.make n false in
+  let drop_st = Random.State.make [| faults.Fault_plan.seed; 0xd09 |] in
+  let dup_st = Random.State.make [| faults.Fault_plan.seed; 0xd4b |] in
+  let delay_st = Random.State.make [| faults.Fault_plan.seed; 0xde1 |] in
+  let observe_fault ~sq round f =
+    observe { Obs.Event.seq = sq; round; kind = Obs.Event.Fault f }
+  in
+  let stage : in_flight list ref = ref [] in
+  let stage_len = ref 0 in
+  let flush_stage () =
+    (* The staged burst is newest-first, so releasing it in list order
+       reverses arrival order — that is the reordering. *)
+    List.iter push !stage;
+    stage := [];
+    stage_len := 0
+  in
+  let stage_push round ev =
+    match plan with
+    | Some p when p.Fault_plan.reorder_every > 1 ->
+      stage := ev :: !stage;
+      incr stage_len;
+      if !stage_len >= p.Fault_plan.reorder_every then begin
+        observe_fault ~sq:ev.f_seq round (Obs.Event.Msg_reordered p.Fault_plan.reorder_every);
+        flush_stage ()
+      end
+    | _ -> push ev
+  in
+  (* Delayed messages sit out [k] scheduler steps, then rejoin the
+     scheduler's own order (oldest release first). *)
+  let delayed : (int * in_flight) list ref = ref [] in
+  let tick_delayed () =
+    match !delayed with
+    | [] -> ()
+    | _ ->
+      let due, held = List.partition (fun (r, _) -> r <= 1) !delayed in
+      delayed := List.map (fun (r, ev) -> (r - 1, ev)) held;
+      List.iter (fun (_, ev) -> push ev) (List.rev due)
+  in
+  let process_crashes step =
+    match plan with
+    | None -> ()
+    | Some p ->
+      List.iter
+        (fun (v, s) ->
+          if s = step && v >= 0 && v < n && (not crashed.(v)) && not dead.(v) then begin
+            crashed.(v) <- true;
+            observe_fault ~sq:!seq step (Obs.Event.Crashed v)
+          end)
+        p.Fault_plan.crashes
+  in
+  let inject round fl =
+    match plan with
+    | None -> push fl
+    | Some p ->
+      (* Each enabled channel draws exactly once per scheme-produced
+         message, whatever the other channels decide, so the streams
+         stay aligned across plans that differ in one channel. *)
+      let dropped = p.Fault_plan.drop > 0.0 && Random.State.float drop_st 1.0 < p.Fault_plan.drop in
+      let dup =
+        p.Fault_plan.duplicate > 0.0 && Random.State.float dup_st 1.0 < p.Fault_plan.duplicate
+      in
+      let delay_by =
+        match p.Fault_plan.delay with
+        | Some (pr, mx) when Random.State.float delay_st 1.0 < pr ->
+          1 + Random.State.int delay_st (max 1 mx)
+        | Some _ | None -> 0
+      in
+      if dropped then observe_fault ~sq:fl.f_seq round Obs.Event.Msg_dropped
+      else begin
+        if delay_by > 0 then begin
+          observe_fault ~sq:fl.f_seq round (Obs.Event.Msg_delayed delay_by);
+          delayed := (delay_by, fl) :: !delayed
+        end
+        else stage_push round fl;
+        if dup then begin
+          observe_fault ~sq:fl.f_seq round Obs.Event.Msg_duplicated;
+          stage_push round fl
+        end
+      end
+  in
   let emit v round ~depth sends =
     List.iter
       (fun (msg, port) ->
@@ -194,26 +280,47 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
                 };
           };
         if not (lost ()) then
-        push
-          {
-            f_src = v;
-            f_src_port = port;
-            f_dst = dst;
-            f_dst_port = dst_port;
-            f_msg = msg;
-            f_informed = informed.(v);
-            f_seq = !seq;
-            f_sent_round = round;
-            f_depth = depth;
-          };
+          inject round
+            {
+              f_src = v;
+              f_src_port = port;
+              f_dst = dst;
+              f_dst_port = dst_port;
+              f_msg = msg;
+              f_informed = informed.(v);
+              f_seq = !seq;
+              f_sent_round = round;
+              f_depth = depth;
+            };
         incr seq)
       sends
   in
+  (* Initially-dead nodes never start, never receive; a dead (or
+     out-of-range) source is ignored — the plan is graph-independent
+     data and a dead source would make the task vacuous. *)
+  (match plan with
+  | None -> ()
+  | Some p ->
+    List.iter
+      (fun v ->
+        if v >= 0 && v < n && v <> source && not dead.(v) then begin
+          dead.(v) <- true;
+          observe_fault ~sq:0 0 (Obs.Event.Dead v)
+        end)
+      p.Fault_plan.dead);
+  process_crashes 0;
   (* Start-up: the paper's scheme on the empty history, at every node. *)
   for v = 0 to n - 1 do
-    emit v 0 ~depth:1 (nodes.(v).Scheme.on_start ())
+    if not (dead.(v) || crashed.(v)) then emit v 0 ~depth:1 (nodes.(v).Scheme.on_start ())
   done;
   let deliver ev round =
+    if dead.(ev.f_dst) || crashed.(ev.f_dst) then begin
+      (* Swallowed by a failed receiver: recorded as a drop so replay's
+         in-flight balance still closes, but no [Deliver] is emitted. *)
+      observe_fault ~sq:ev.f_seq round Obs.Event.Msg_dropped;
+      []
+    end
+    else begin
     observe
       {
         Obs.Event.seq = ev.f_seq;
@@ -248,7 +355,8 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
           seq = ev.f_seq;
         }
         :: !trace;
-    nodes.(ev.f_dst).Scheme.on_receive ev.f_msg ~port:ev.f_dst_port
+      nodes.(ev.f_dst).Scheme.on_receive ev.f_msg ~port:ev.f_dst_port
+    end
   in
   let rounds = ref 0 in
   let cutoff = ref false in
@@ -259,9 +367,24 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
       let batch = List.rev !pending_rev in
       pending_rev := [];
       match batch with
-      | [] -> ()
+      | [] ->
+        (* A drained round may still owe messages to the adversary:
+           release a partial reorder burst, or advance time until a
+           delayed message comes due. *)
+        if !stage_len > 0 then begin
+          flush_stage ();
+          round_loop ()
+        end
+        else if !delayed <> [] then begin
+          incr rounds;
+          process_crashes !rounds;
+          tick_delayed ();
+          round_loop ()
+        end
       | _ :: _ ->
         incr rounds;
+        process_crashes !rounds;
+        tick_delayed ();
         let responses =
           List.map
             (fun ev ->
@@ -281,9 +404,21 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
     in
     let rec loop () =
       match pop () with
-      | None -> ()
+      | None ->
+        if !stage_len > 0 then begin
+          flush_stage ();
+          loop ()
+        end
+        else if !delayed <> [] then begin
+          incr rounds;
+          process_crashes !rounds;
+          tick_delayed ();
+          loop ()
+        end
       | Some ev ->
         incr rounds;
+        process_crashes !rounds;
+        tick_delayed ();
         let sends = deliver ev !rounds in
         emit ev.f_dst !rounds ~depth:(ev.f_depth + 1) sends;
         if Obs.Counting.sent counts > max_messages then cutoff := true else loop ()
@@ -299,6 +434,7 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
       bits_on_wire = c.Obs.Counting.bits_on_wire;
       rounds = c.Obs.Counting.rounds;
       causal_depth = c.Obs.Counting.causal_depth;
+      faults = c.Obs.Counting.faults;
     }
   in
   {

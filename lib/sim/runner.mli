@@ -36,6 +36,9 @@ type stats = {
       (** longest chain of causally dependent deliveries — the standard
           asynchronous time complexity (delays normalised to ≤ 1).  Equals
           [rounds] under the synchronous scheduler. *)
+  faults : int;
+      (** number of {!Obs.Event.Fault} events the adversary injected
+          (0 unless [?faults] is given a non-empty plan) *)
 }
 (** Aggregate counters of one run; each equals the corresponding field of
     the {!Obs.Counting.summary} of the run's event stream. *)
@@ -55,6 +58,7 @@ val run :
   ?record_trace:bool ->
   ?sinks:Obs.Sink.t list ->
   ?loss:float * int ->
+  ?faults:Fault_plan.t ->
   advice:(int -> Bitstring.Bitbuf.t) ->
   Netgraph.Graph.t ->
   source:int ->
@@ -80,6 +84,29 @@ val run :
 
     [loss] is [(p, seed)]: each message is dropped after sending with
     probability [p], deterministically in [seed].
+
+    [faults] (default {!Fault_plan.none}) turns the run adversarial: the
+    message- and node-level faults of the plan are injected between
+    [Send] and delivery, each recorded as a typed {!Obs.Event.Fault}
+    event in stream order.  Semantics, per channel:
+    - {e drop}: the send is destroyed ([Fault Msg_dropped], no push);
+    - {e duplicate}: a second copy is enqueued ([Fault Msg_duplicated])
+      — the extra copy produces its own [Deliver] but no extra [Send],
+      since the scheme did not produce it;
+    - {e delay}: the message sits out 1..max scheduler steps
+      ([Fault (Msg_delayed k)]) before rejoining the scheduler's order;
+    - {e reorder}: pushes are staged and every k-th flushes the burst in
+      reversed arrival order ([Fault (Msg_reordered k)]); a partial
+      burst is released when the queue drains;
+    - {e crash-stop}: at its step the node stops sending and receiving
+      ([Fault (Crashed v)] once); deliveries to it become
+      [Fault Msg_dropped];
+    - {e initially dead}: like a crash at step 0, but skipping
+      [on_start] too ([Fault (Dead v)]); the source cannot be dead.
+    All injection randomness derives from the plan's seed via per-channel
+    streams, so runs replay bit-identically; the advice-level faults of
+    the plan are {e not} interpreted here (apply them to the advice
+    before the run — see [Fault.Corrupt]).
 
     Raises [Invalid_argument] if a scheme emits an out-of-range port. *)
 

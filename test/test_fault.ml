@@ -1,0 +1,592 @@
+(* The fault-injection subsystem: plans, advice corruption, runner-level
+   injection, the adversarial scheduler wrapper, hardened schemes with
+   graceful degradation, and the verdict classifier. *)
+
+module Graph = Netgraph.Graph
+module Families = Netgraph.Families
+module Gen = Netgraph.Gen
+module Bitbuf = Bitstring.Bitbuf
+module Advice = Oracles.Advice
+module Event = Obs.Event
+module Plan = Fault.Plan
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let no_advice _v = Bitbuf.create ()
+
+(* {1 Fault plans} *)
+
+let test_plan_none () =
+  check_bool "none is none" true (Plan.is_none Plan.none);
+  check_string "prints as none" "none" (Plan.to_string Plan.none);
+  (match Plan.of_string "none" with
+  | Ok p -> check_bool "parses back" true (Plan.is_none p)
+  | Error e -> Alcotest.failf "none rejected: %s" e);
+  (* the seed alone does not make a plan adversarial *)
+  check_bool "seeded empty plan still none" true
+    (Plan.is_none (Plan.of_string_exn "seed=9"));
+  check_bool "none has no network faults" false (Plan.has_network_faults Plan.none)
+
+let test_plan_builtins_roundtrip () =
+  check_int "twelve builtin plans" 12 (List.length Plan.builtins);
+  List.iter
+    (fun (spec, plan) ->
+      check_string (spec ^ " canonical") spec (Plan.to_string plan);
+      match Plan.of_string (Plan.to_string plan) with
+      | Ok back -> check_bool (spec ^ " roundtrips") true (back = plan)
+      | Error e -> Alcotest.failf "%s does not parse back: %s" spec e)
+    Plan.builtins;
+  let names = List.map fst Plan.builtins in
+  check_int "builtin names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_plan_parse_fields () =
+  let p =
+    Plan.of_string_exn
+      "drop=0.25,dup=0.1,reorder=3,delay=0.5:4,crash=2@7,dead=5,advice-flip=2,advice-swap=1:3,seed=42"
+  in
+  Alcotest.(check (float 1e-9)) "drop" 0.25 p.Plan.drop;
+  Alcotest.(check (float 1e-9)) "dup" 0.1 p.Plan.duplicate;
+  check_int "reorder" 3 p.Plan.reorder_every;
+  (match p.Plan.delay with
+  | Some (prob, k) ->
+    Alcotest.(check (float 1e-9)) "delay prob" 0.5 prob;
+    check_int "delay max" 4 k
+  | None -> Alcotest.fail "delay missing");
+  check_bool "crash" true (p.Plan.crashes = [ (2, 7) ]);
+  check_bool "dead" true (p.Plan.dead = [ 5 ]);
+  check_bool "advice faults in order" true
+    (p.Plan.advice = [ Plan.Flip 2; Plan.Swap (1, 3) ]);
+  check_int "seed" 42 p.Plan.seed;
+  check_bool "network faults present" true (Plan.has_network_faults p)
+
+let test_plan_rejects_malformed () =
+  List.iter
+    (fun spec ->
+      match Plan.of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed spec %S" spec)
+    [
+      "drop=1.0" (* probabilities live in [0,1) *);
+      "drop=-0.1";
+      "dup=x";
+      "frob=1";
+      "what is this";
+      "crash=3" (* missing @STEP *);
+      "delay=0.5" (* missing :MAXSTEPS *);
+      "delay=0.5:0" (* max delay must be >= 1 *);
+      "advice-swap=1";
+      "reorder=-2";
+      "drop=0.1,drop=2.0" (* a bad token poisons the whole spec *);
+    ];
+  match Plan.of_string_exn "drop=2.0" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_string_exn must raise"
+
+let test_plan_advice_only_is_not_network () =
+  let p = Plan.of_string_exn "advice-trunc=1,seed=3" in
+  check_bool "advice faults are not network faults" false (Plan.has_network_faults p);
+  check_bool "but the plan is not none" false (Plan.is_none p);
+  check_bool "dead alone is a network fault" true
+    (Plan.has_network_faults (Plan.of_string_exn "dead=1"))
+
+(* {1 Advice corruption} *)
+
+let tree_advice () =
+  let g = Families.build Families.Random_tree ~n:16 ~seed:7 in
+  let oracle = Oracle_core.Wakeup.oracle () in
+  (g, oracle.Oracles.Oracle.advise g ~source:0)
+
+let diff_bits a b =
+  let d = ref 0 in
+  for v = 0 to Advice.n a - 1 do
+    let x = Bitbuf.to_bits (Advice.get a v) and y = Bitbuf.to_bits (Advice.get b v) in
+    if List.length x <> List.length y then d := !d + 1_000_000
+    else List.iter2 (fun p q -> if p <> q then incr d) x y
+  done;
+  !d
+
+let test_corrupt_empty_plan_is_identity () =
+  let _, advice = tree_advice () in
+  let corrupted, log = Fault.Corrupt.apply Plan.none advice in
+  check_bool "same assignment" true (corrupted == advice);
+  check_int "empty tamper log" 0 (List.length log)
+
+let test_corrupt_pure_and_deterministic () =
+  let _, advice = tree_advice () in
+  let before = Advice.size_bits advice in
+  let plan = Plan.of_string_exn "advice-flip=5,seed=17" in
+  let a, la = Fault.Corrupt.apply plan advice in
+  let b, lb = Fault.Corrupt.apply plan advice in
+  check_int "original untouched" before (Advice.size_bits advice);
+  check_bool "identical corruption" true (diff_bits a b = 0);
+  check_bool "identical tamper logs" true (la = lb);
+  let other, _ = Fault.Corrupt.apply (Plan.of_string_exn "advice-flip=5,seed=18") advice in
+  check_bool "a different seed corrupts differently" true (diff_bits a other > 0)
+
+let test_corrupt_flip () =
+  let _, advice = tree_advice () in
+  let corrupted, log = Fault.Corrupt.apply (Plan.of_string_exn "advice-flip=1,seed=5") advice in
+  check_int "total size preserved" (Advice.size_bits advice) (Advice.size_bits corrupted);
+  check_int "exactly one bit flipped" 1 (diff_bits advice corrupted);
+  check_int "one tamper entry" 1 (List.length log);
+  (* flipping on an all-empty assignment is a no-op *)
+  let empty = Advice.empty ~n:4 in
+  let c, l = Fault.Corrupt.apply (Plan.of_string_exn "advice-flip=3") empty in
+  check_int "empty advice unflippable" 0 (Advice.size_bits c);
+  check_int "no tampering recorded" 0 (List.length l)
+
+let test_corrupt_truncate () =
+  let _, advice = tree_advice () in
+  let corrupted, log = Fault.Corrupt.apply (Plan.of_string_exn "advice-trunc=1") advice in
+  let nonempty = ref 0 in
+  for v = 0 to Advice.n advice - 1 do
+    let len = Bitbuf.length (Advice.get advice v) in
+    if len > 0 then incr nonempty;
+    check_int
+      (Printf.sprintf "node %d loses one bit" v)
+      (max 0 (len - 1))
+      (Bitbuf.length (Advice.get corrupted v))
+  done;
+  check_int "one tamper entry per nonempty node" !nonempty (List.length log);
+  List.iter (fun (_, tag) -> check_string "tag" "trunc:1" tag) log
+
+let test_corrupt_swap () =
+  let _, advice = tree_advice () in
+  let corrupted, log = Fault.Corrupt.apply (Plan.of_string_exn "advice-swap=1:2") advice in
+  check_bool "node 1 now holds node 2's advice" true
+    (Bitbuf.equal (Advice.get corrupted 1) (Advice.get advice 2));
+  check_bool "node 2 now holds node 1's advice" true
+    (Bitbuf.equal (Advice.get corrupted 2) (Advice.get advice 1));
+  check_int "two tamper entries" 2 (List.length log);
+  (* out-of-range and self swaps are ignored *)
+  List.iter
+    (fun spec ->
+      let c, l = Fault.Corrupt.apply (Plan.of_string_exn spec) advice in
+      check_int (spec ^ " is a no-op") 0 (diff_bits advice c);
+      check_int (spec ^ " logs nothing") 0 (List.length l))
+    [ "advice-swap=1:99"; "advice-swap=3:3" ]
+
+let test_corrupt_garbage () =
+  let _, advice = tree_advice () in
+  let n = Advice.n advice in
+  let corrupted, log = Fault.Corrupt.apply (Plan.of_string_exn "advice-garbage=9,seed=3") advice in
+  for v = 0 to n - 1 do
+    check_int (Printf.sprintf "node %d resized" v) 9 (Bitbuf.length (Advice.get corrupted v))
+  done;
+  check_int "every node tampered" n (List.length log)
+
+let test_corrupt_events () =
+  let evs = Fault.Corrupt.events [ (3, "trunc:1"); (5, "garbage:9") ] in
+  check_int "one event per entry" 2 (List.length evs);
+  List.iter2
+    (fun ev (node, tag) ->
+      check_int "pre-run seq" 0 ev.Event.seq;
+      check_int "pre-run round" 0 ev.Event.round;
+      match ev.Event.kind with
+      | Event.Fault (Event.Advice_tampered (v, t)) ->
+        check_int "node" node v;
+        check_string "tag" tag t
+      | _ -> Alcotest.fail "expected an advice-tampered fault")
+    evs
+    [ (3, "trunc:1"); (5, "garbage:9") ]
+
+(* {1 Fault injection in the runner} *)
+
+let test_runner_empty_plan_identical_stream () =
+  let g = Families.build Families.Random_tree ~n:20 ~seed:3 in
+  let c1, got1 = Obs.Sink.collect () in
+  let _ = Sim.Runner.run ~sinks:[ c1 ] ~advice:no_advice g ~source:0 Sim.Scheme.flooding in
+  let c2, got2 = Obs.Sink.collect () in
+  let _ =
+    Sim.Runner.run ~sinks:[ c2 ] ~faults:Plan.none ~advice:no_advice g ~source:0
+      Sim.Scheme.flooding
+  in
+  let a = got1 () and b = got2 () in
+  check_int "same length" (List.length a) (List.length b);
+  List.iter2 (fun x y -> check_bool "same event" true (Event.equal x y)) a b
+
+let test_runner_accounting_balance () =
+  (* drop destroys sends, duplicate adds deliveries but no sends; the
+     stream must still balance: delivered = sent + duplicated - dropped. *)
+  let g = Gen.complete 12 in
+  let collect, collected = Obs.Sink.collect () in
+  let r =
+    Sim.Runner.run ~sinks:[ collect ]
+      ~faults:(Plan.of_string_exn "drop=0.2,dup=0.2,seed=41")
+      ~advice:no_advice g ~source:0 Sim.Scheme.flooding
+  in
+  let s = Obs.Counting.of_events (collected ()) in
+  check_bool "some drops" true (s.Obs.Counting.dropped > 0);
+  check_bool "some duplicates" true (s.Obs.Counting.duplicated > 0);
+  check_int "delivered = sent + dup - dropped"
+    (s.Obs.Counting.sent + s.Obs.Counting.duplicated - s.Obs.Counting.dropped)
+    s.Obs.Counting.delivered;
+  check_int "stats mirror the stream" s.Obs.Counting.faults r.Sim.Runner.stats.Sim.Runner.faults;
+  check_bool "quiescent" true r.Sim.Runner.quiescent
+
+let test_runner_dead_node () =
+  (* 0 - 1 - 2: node 1 starts dead, so flooding cannot cross it. *)
+  let g = Gen.path 3 in
+  let collect, collected = Obs.Sink.collect () in
+  let r =
+    Sim.Runner.run ~sinks:[ collect ] ~faults:(Plan.of_string_exn "dead=1") ~advice:no_advice g
+      ~source:0 Sim.Scheme.flooding
+  in
+  check_bool "far end stranded" false r.Sim.Runner.informed.(2);
+  check_bool "dead node not informed" false r.Sim.Runner.informed.(1);
+  let deads =
+    List.filter
+      (fun e -> match e.Event.kind with Event.Fault (Event.Dead 1) -> true | _ -> false)
+      (collected ())
+  in
+  check_int "one dead fault" 1 (List.length deads);
+  (* the delivery into the dead node became a drop *)
+  let s = Obs.Counting.of_events (collected ()) in
+  check_bool "delivery to the dead node dropped" true (s.Obs.Counting.dropped > 0);
+  (* a dead source would make the task vacuous: the plan entry is ignored *)
+  let r2 =
+    Sim.Runner.run ~faults:(Plan.of_string_exn "dead=0") ~advice:no_advice g ~source:0
+      Sim.Scheme.flooding
+  in
+  check_bool "dead source ignored" true r2.Sim.Runner.all_informed
+
+let test_runner_crash_stop () =
+  let g = Gen.path 3 in
+  let collect, collected = Obs.Sink.collect () in
+  let r =
+    Sim.Runner.run ~sinks:[ collect ] ~faults:(Plan.of_string_exn "crash=1@1") ~advice:no_advice
+      g ~source:0 Sim.Scheme.flooding
+  in
+  check_bool "relay crashed before forwarding" false r.Sim.Runner.informed.(2);
+  check_bool "run still drains" true r.Sim.Runner.quiescent;
+  let crashes =
+    List.filter
+      (fun e -> match e.Event.kind with Event.Fault (Event.Crashed 1) -> true | _ -> false)
+      (collected ())
+  in
+  check_int "crash recorded once" 1 (List.length crashes)
+
+let test_runner_reorder_and_delay_complete () =
+  let g = Gen.grid ~rows:4 ~cols:4 in
+  List.iter
+    (fun spec ->
+      let collect, collected = Obs.Sink.collect () in
+      let r =
+        Sim.Runner.run ~sinks:[ collect ] ~faults:(Plan.of_string_exn spec) ~advice:no_advice g
+          ~source:0 Sim.Scheme.flooding
+      in
+      check_bool (spec ^ " still informs everyone") true r.Sim.Runner.all_informed;
+      check_bool (spec ^ " drains") true r.Sim.Runner.quiescent;
+      check_bool (spec ^ " injected something") true
+        ((Obs.Counting.of_events (collected ())).Obs.Counting.faults > 0))
+    [ "reorder=3"; "delay=0.5:4,seed=19" ]
+
+let test_runner_fault_determinism () =
+  let g = Families.build Families.Sparse_random ~n:24 ~seed:9 in
+  let plan = Plan.of_string_exn "drop=0.1,dup=0.1,delay=0.3:3,reorder=4,seed=77" in
+  let run () =
+    let collect, collected = Obs.Sink.collect () in
+    let _ =
+      Sim.Runner.run ~sinks:[ collect ] ~faults:plan ~advice:no_advice g ~source:0
+        Sim.Scheme.flooding
+    in
+    collected ()
+  in
+  let a = run () and b = run () in
+  check_int "same stream length" (List.length a) (List.length b);
+  List.iter2 (fun x y -> check_bool "bit-identical streams" true (Event.equal x y)) a b
+
+(* {1 The adversarial scheduler wrapper} *)
+
+let test_adversary_names_and_suite () =
+  let plain = Sim.Adversary.make Sim.Scheduler.Async_fifo in
+  check_string "plain adversary keeps the scheduler name" "async-fifo" (Sim.Adversary.name plain);
+  let adv =
+    Sim.Adversary.make ~plan:(Plan.of_string_exn "drop=0.1,seed=7") Sim.Scheduler.Synchronous
+  in
+  check_string "composed name" "sync+drop=0.1,seed=7" (Sim.Adversary.name adv);
+  let plans = [ Plan.none; Plan.of_string_exn "dead=1" ] in
+  let suite = Sim.Adversary.suite plans in
+  check_int "cross product, plans major" (2 * List.length Sim.Scheduler.default_suite)
+    (List.length suite);
+  let names = List.map Sim.Adversary.name suite in
+  check_int "all distinct" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_adversary_run_injects () =
+  let g = Gen.complete 10 in
+  let adv = Sim.Adversary.make ~plan:(Plan.of_string_exn "drop=0.3,seed=5") Sim.Scheduler.Async_lifo in
+  let r = Sim.Adversary.run ~advice:no_advice adv g ~source:0 Sim.Scheme.flooding in
+  check_bool "faults recorded" true (r.Sim.Runner.stats.Sim.Runner.faults > 0);
+  let plain = Sim.Adversary.make Sim.Scheduler.Async_lifo in
+  let r2 = Sim.Adversary.run ~advice:no_advice plain g ~source:0 Sim.Scheme.flooding in
+  check_int "empty plan injects nothing" 0 r2.Sim.Runner.stats.Sim.Runner.faults
+
+(* {1 Hardened schemes and the harness} *)
+
+let tree24 () = Families.build Families.Random_tree ~n:24 ~seed:7
+let hard12 () = fst (Oracle_core.Lower_bound.wakeup_hard_graph ~n:12 ~seed:11)
+
+let test_harness_budgets () =
+  let g = Gen.path 4 in
+  (* n = 4, m = 3 *)
+  let w = Fault.Harness.budgets Fault.Harness.Wakeup g in
+  check_int "wakeup clean = n-1" 3 w.Fault.Verdict.clean;
+  check_int "wakeup degraded = 2m+3n" 18 w.Fault.Verdict.degraded;
+  let b = Fault.Harness.budgets Fault.Harness.Broadcast g in
+  check_int "broadcast clean = 3n" 12 b.Fault.Verdict.clean;
+  check_int "broadcast degraded = 4m+3n" 24 b.Fault.Verdict.degraded;
+  check_string "wakeup name" "wakeup" (Fault.Harness.protocol_name Fault.Harness.Wakeup);
+  check_string "broadcast name" "broadcast" (Fault.Harness.protocol_name Fault.Harness.Broadcast)
+
+let test_hardened_wakeup_clean_advice () =
+  (* With untampered advice the hardened scheme must behave exactly like
+     the plain Theorem 2.1 scheme: n-1 messages, no fallbacks. *)
+  let g = tree24 () in
+  let o = Fault.Harness.run Fault.Harness.Wakeup g ~source:0 in
+  check_bool "completed" true (o.Fault.Harness.verdict = Fault.Verdict.Completed);
+  check_int "n-1 messages" (Graph.n g - 1) o.Fault.Harness.result.Sim.Runner.stats.Sim.Runner.sent;
+  check_int "no fallbacks" 0 (List.length o.Fault.Harness.fallbacks);
+  check_int "no tampering" 0 (List.length o.Fault.Harness.tampered);
+  check_bool "all informed" true o.Fault.Harness.result.Sim.Runner.all_informed
+
+let test_hardened_broadcast_clean_advice () =
+  let g = tree24 () in
+  let o = Fault.Harness.run Fault.Harness.Broadcast g ~source:0 in
+  check_bool "completed" true (o.Fault.Harness.verdict = Fault.Verdict.Completed);
+  check_bool "within the 3n Scheme B budget" true
+    (o.Fault.Harness.result.Sim.Runner.stats.Sim.Runner.sent <= 3 * Graph.n g);
+  check_bool "all informed" true o.Fault.Harness.result.Sim.Runner.all_informed
+
+let test_truncated_advice_degrades_to_flooding () =
+  (* The acceptance property: one truncated bit makes every nonempty
+     advice undecodable, every advised node falls back to flooding, and
+     the task still completes within the Θ(m) degraded budget. *)
+  let plan = Plan.of_string_exn "advice-trunc=1" in
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun protocol ->
+          let o = Fault.Harness.run ~plan protocol g ~source:0 in
+          let label = Fault.Harness.protocol_name protocol ^ " on " ^ gname in
+          (match o.Fault.Harness.verdict with
+          | Fault.Verdict.Degraded _ -> ()
+          | v -> Alcotest.failf "%s: expected degraded, got %s" label (Fault.Verdict.to_string v));
+          check_bool (label ^ ": all informed despite corruption") true
+            o.Fault.Harness.result.Sim.Runner.all_informed;
+          check_bool (label ^ ": fell back somewhere") true
+            (List.length o.Fault.Harness.fallbacks > 0);
+          let budgets = Fault.Harness.budgets protocol g in
+          check_bool (label ^ ": within the degraded budget") true
+            (o.Fault.Harness.result.Sim.Runner.stats.Sim.Runner.sent
+            <= budgets.Fault.Verdict.degraded))
+        [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ])
+    [ ("tree", tree24 ()); ("G_{n,S}", hard12 ()) ]
+
+let test_garbage_advice_still_acceptable () =
+  let plan = Plan.of_string_exn "advice-garbage=16,seed=3" in
+  List.iter
+    (fun protocol ->
+      let o = Fault.Harness.run ~plan protocol (tree24 ()) ~source:0 in
+      check_bool
+        (Fault.Harness.protocol_name protocol ^ " graceful under garbage")
+        true
+        (Fault.Verdict.acceptable o.Fault.Harness.verdict);
+      check_bool "all informed" true o.Fault.Harness.result.Sim.Runner.all_informed)
+    [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ]
+
+let test_hardened_wakeup_keeps_silence () =
+  (* Even with undecodable advice, a hardened non-source node must stay
+     silent until woken — degradation cannot buy back the wakeup
+     restriction. *)
+  let g = tree24 () in
+  let oracle = Oracle_core.Wakeup.oracle () in
+  let advice = oracle.Oracles.Oracle.advise g ~source:0 in
+  let corrupted, _ = Fault.Corrupt.apply (Plan.of_string_exn "advice-trunc=1") advice in
+  check_bool "silent network check holds" true
+    (Sim.Runner.run_silent_network_check ~advice:(Advice.get corrupted) g ~source:0
+       (Oracle_core.Wakeup.hardened_scheme ()))
+
+let test_acceptance_grid_never_raises () =
+  (* Every builtin plan x every scheduler x both graph families, for both
+     protocols: the hardened schemes always terminate with a structured
+     verdict and never break an invariant. *)
+  let graphs = [ ("tree", tree24 ()); ("G_{n,S}", hard12 ()) ] in
+  List.iter
+    (fun (_, plan) ->
+      List.iter
+        (fun scheduler ->
+          List.iter
+            (fun (gname, g) ->
+              List.iter
+                (fun protocol ->
+                  let label =
+                    Printf.sprintf "%s %s %s %s"
+                      (Fault.Harness.protocol_name protocol)
+                      gname
+                      (Sim.Scheduler.name scheduler)
+                      (Plan.name plan)
+                  in
+                  match Fault.Harness.run ~scheduler ~plan protocol g ~source:0 with
+                  | o -> (
+                    match o.Fault.Harness.verdict with
+                    | Fault.Verdict.Violated reason ->
+                      Alcotest.failf "%s: violated (%s)" label reason
+                    | Fault.Verdict.Completed | Fault.Verdict.Degraded _
+                    | Fault.Verdict.Stalled _ ->
+                      ())
+                  | exception e ->
+                    Alcotest.failf "%s: raised %s" label (Printexc.to_string e))
+                [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ])
+            graphs)
+        Sim.Scheduler.default_suite)
+    Plan.builtins
+
+(* {1 The verdict classifier, in isolation} *)
+
+let send_link ~src ~dst ~informed =
+  {
+    Event.src;
+    src_port = 0;
+    dst;
+    dst_port = 0;
+    cls = Event.Source;
+    bits = 1;
+    informed;
+    depth = 1;
+  }
+
+let clean_stream =
+  [
+    { Event.seq = 0; round = 0; kind = Event.Wake 0 };
+    { Event.seq = 1; round = 0; kind = Event.Send (send_link ~src:0 ~dst:1 ~informed:true) };
+    { Event.seq = 1; round = 1; kind = Event.Deliver (send_link ~src:0 ~dst:1 ~informed:true) };
+    { Event.seq = 1; round = 1; kind = Event.Wake 1 };
+  ]
+
+let budgets ~clean ~degraded = { Fault.Verdict.clean; degraded }
+
+let test_verdict_completed_and_degraded () =
+  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4) clean_stream with
+  | Fault.Verdict.Completed -> ()
+  | v -> Alcotest.failf "expected completed, got %s" (Fault.Verdict.to_string v));
+  (* a fallback decision downgrades an otherwise clean run *)
+  let with_fallback =
+    { Event.seq = 0; round = 0; kind = Event.Decide (1, Fault.Verdict.fallback_tag) }
+    :: clean_stream
+  in
+  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4) with_fallback with
+  | Fault.Verdict.Degraded reason ->
+    check_bool "reason names the fallback" true
+      (String.length reason >= 15 && String.sub reason 0 15 = "advice-fallback")
+  | v -> Alcotest.failf "expected degraded, got %s" (Fault.Verdict.to_string v));
+  (* blowing the clean budget alone also degrades *)
+  match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:0 ~degraded:4) clean_stream with
+  | Fault.Verdict.Degraded reason ->
+    check_bool "reason names the budget" true
+      (String.length reason >= 17 && String.sub reason 0 17 = "over-clean-budget")
+  | v -> Alcotest.failf "expected degraded, got %s" (Fault.Verdict.to_string v)
+
+let test_verdict_stalled_and_exclusion () =
+  (* with n = 3 the same stream leaves node 2 uninformed *)
+  (match Fault.Verdict.classify ~n:3 ~budgets:(budgets ~clean:5 ~degraded:9) clean_stream with
+  | Fault.Verdict.Stalled { informed; survivors; n } ->
+    check_int "informed" 2 informed;
+    check_int "survivors" 3 survivors;
+    check_int "n" 3 n
+  | v -> Alcotest.failf "expected stalled, got %s" (Fault.Verdict.to_string v));
+  (* ... unless the adversary killed node 2: the scheme owes it nothing *)
+  let with_dead =
+    { Event.seq = 0; round = 0; kind = Event.Fault (Event.Dead 2) } :: clean_stream
+  in
+  match Fault.Verdict.classify ~n:3 ~budgets:(budgets ~clean:5 ~degraded:9) with_dead with
+  | Fault.Verdict.Degraded reason ->
+    check_bool "reason names the failure" true
+      (String.length reason >= 13 && String.sub reason 0 13 = "node-failures")
+  | v -> Alcotest.failf "expected degraded, got %s" (Fault.Verdict.to_string v)
+
+let test_verdict_violations () =
+  (* degraded budget blown *)
+  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:0 ~degraded:0) clean_stream with
+  | Fault.Verdict.Violated _ -> ()
+  | v -> Alcotest.failf "expected violated, got %s" (Fault.Verdict.to_string v));
+  (* a send by a non-woken node breaks wakeup silence — but only when the
+     protocol claims that invariant *)
+  let silent_break =
+    [
+      { Event.seq = 0; round = 0; kind = Event.Wake 0 };
+      { Event.seq = 1; round = 0; kind = Event.Send (send_link ~src:1 ~dst:0 ~informed:false) };
+      { Event.seq = 1; round = 1; kind = Event.Deliver (send_link ~src:1 ~dst:0 ~informed:false) };
+      { Event.seq = 2; round = 1; kind = Event.Wake 1 };
+    ]
+  in
+  (match
+     Fault.Verdict.classify ~check_silence:true ~n:2 ~budgets:(budgets ~clean:5 ~degraded:9)
+       silent_break
+   with
+  | Fault.Verdict.Violated _ -> ()
+  | v -> Alcotest.failf "expected silence violation, got %s" (Fault.Verdict.to_string v));
+  (* a run that ends with messages still in flight never really drained *)
+  let runaway =
+    [
+      { Event.seq = 0; round = 0; kind = Event.Wake 0 };
+      { Event.seq = 1; round = 0; kind = Event.Send (send_link ~src:0 ~dst:1 ~informed:true) };
+    ]
+  in
+  match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:5 ~degraded:9) runaway with
+  | Fault.Verdict.Violated _ -> ()
+  | v -> Alcotest.failf "expected runaway violation, got %s" (Fault.Verdict.to_string v)
+
+let test_verdict_strings_and_acceptability () =
+  check_bool "completed acceptable" true (Fault.Verdict.acceptable Fault.Verdict.Completed);
+  check_bool "degraded acceptable" true
+    (Fault.Verdict.acceptable (Fault.Verdict.Degraded "advice-fallback(3)"));
+  check_bool "stalled not acceptable" false
+    (Fault.Verdict.acceptable (Fault.Verdict.Stalled { informed = 1; survivors = 2; n = 2 }));
+  check_bool "violated not acceptable" false
+    (Fault.Verdict.acceptable (Fault.Verdict.Violated "x"));
+  check_string "completed" "completed" (Fault.Verdict.to_string Fault.Verdict.Completed);
+  check_string "stalled" "stalled: 1/2 survivors informed (n=3)"
+    (Fault.Verdict.to_string (Fault.Verdict.Stalled { informed = 1; survivors = 2; n = 3 }))
+
+let suite =
+  [
+    Alcotest.test_case "plan: none" `Quick test_plan_none;
+    Alcotest.test_case "plan: builtins roundtrip" `Quick test_plan_builtins_roundtrip;
+    Alcotest.test_case "plan: spec fields" `Quick test_plan_parse_fields;
+    Alcotest.test_case "plan: rejects malformed" `Quick test_plan_rejects_malformed;
+    Alcotest.test_case "plan: advice-only vs network" `Quick test_plan_advice_only_is_not_network;
+    Alcotest.test_case "corrupt: empty plan is identity" `Quick test_corrupt_empty_plan_is_identity;
+    Alcotest.test_case "corrupt: pure and deterministic" `Quick test_corrupt_pure_and_deterministic;
+    Alcotest.test_case "corrupt: flip" `Quick test_corrupt_flip;
+    Alcotest.test_case "corrupt: truncate" `Quick test_corrupt_truncate;
+    Alcotest.test_case "corrupt: swap" `Quick test_corrupt_swap;
+    Alcotest.test_case "corrupt: garbage" `Quick test_corrupt_garbage;
+    Alcotest.test_case "corrupt: tamper log as telemetry" `Quick test_corrupt_events;
+    Alcotest.test_case "runner: empty plan leaves the stream alone" `Quick
+      test_runner_empty_plan_identical_stream;
+    Alcotest.test_case "runner: drop/dup accounting balances" `Quick test_runner_accounting_balance;
+    Alcotest.test_case "runner: dead node" `Quick test_runner_dead_node;
+    Alcotest.test_case "runner: crash-stop" `Quick test_runner_crash_stop;
+    Alcotest.test_case "runner: reorder and delay complete" `Quick
+      test_runner_reorder_and_delay_complete;
+    Alcotest.test_case "runner: injection is deterministic" `Quick test_runner_fault_determinism;
+    Alcotest.test_case "adversary: names and suite" `Quick test_adversary_names_and_suite;
+    Alcotest.test_case "adversary: run injects" `Quick test_adversary_run_injects;
+    Alcotest.test_case "harness: budgets" `Quick test_harness_budgets;
+    Alcotest.test_case "hardened wakeup = plain on clean advice" `Quick
+      test_hardened_wakeup_clean_advice;
+    Alcotest.test_case "hardened broadcast on clean advice" `Quick
+      test_hardened_broadcast_clean_advice;
+    Alcotest.test_case "truncated advice degrades to flooding" `Quick
+      test_truncated_advice_degrades_to_flooding;
+    Alcotest.test_case "garbage advice stays graceful" `Quick test_garbage_advice_still_acceptable;
+    Alcotest.test_case "hardened wakeup keeps silence" `Quick test_hardened_wakeup_keeps_silence;
+    Alcotest.test_case "acceptance grid never raises" `Quick test_acceptance_grid_never_raises;
+    Alcotest.test_case "verdict: completed and degraded" `Quick test_verdict_completed_and_degraded;
+    Alcotest.test_case "verdict: stalled and exclusion" `Quick test_verdict_stalled_and_exclusion;
+    Alcotest.test_case "verdict: violations" `Quick test_verdict_violations;
+    Alcotest.test_case "verdict: strings and acceptability" `Quick
+      test_verdict_strings_and_acceptability;
+  ]

@@ -14,6 +14,7 @@ let () =
       ("families", Test_families.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
       ("oracle", Test_oracle.suite);
       ("wakeup", Test_wakeup.suite);
       ("broadcast", Test_broadcast.suite);

@@ -302,6 +302,72 @@ let test_tee_and_filter () =
   Obs.Sink.emit tee (List.hd sample_events);
   check_int "closed tee drops events" s.Obs.Counting.sent (List.length (collected ()))
 
+(* {1 Fault telemetry}
+
+   Kept out of [sample_events]: the counting checks above sum per-kind
+   counters over that list and must not silently absorb fault events. *)
+
+let fault_events =
+  List.mapi
+    (fun i f -> { Event.seq = i; round = i; kind = Event.Fault f })
+    [
+      Event.Msg_dropped;
+      Event.Msg_duplicated;
+      Event.Msg_delayed 3;
+      Event.Msg_reordered 4;
+      Event.Crashed 2;
+      Event.Dead 5;
+      Event.Advice_tampered (1, "trunc:1");
+    ]
+
+let test_fault_jsonl_roundtrip () =
+  List.iter
+    (fun ev ->
+      let line = Obs.Jsonl.encode ev in
+      let back = Obs.Jsonl.decode_exn line in
+      check_bool (line ^ " roundtrips") true (Event.equal ev back))
+    fault_events;
+  let s = Obs.Counting.of_events fault_events in
+  check_int "all counted as faults" (List.length fault_events) s.Obs.Counting.faults;
+  check_int "one drop" 1 s.Obs.Counting.dropped;
+  check_int "one duplicate" 1 s.Obs.Counting.duplicated
+
+let test_fault_stream_determinism () =
+  (* Identical plan + seed + scheduler must yield a bit-identical event
+     stream, fault injections included. *)
+  let g = Families.build Families.Sparse_random ~n:24 ~seed:19 in
+  let plan = Fault.Plan.of_string_exn "drop=0.1,dup=0.1,delay=0.3:3,advice-flip=4,seed=29" in
+  let stream scheduler =
+    let o = Fault.Harness.run ~scheduler ~plan Fault.Harness.Broadcast g ~source:0 in
+    o.Fault.Harness.events
+  in
+  List.iter
+    (fun sched ->
+      let a = stream sched and b = stream sched in
+      check_int (Sim.Scheduler.name sched ^ " same length") (List.length a) (List.length b);
+      List.iter2
+        (fun x y ->
+          check_bool (Sim.Scheduler.name sched ^ " bit-identical") true (Event.equal x y))
+        a b)
+    Sim.Scheduler.default_suite
+
+let test_replay_matches_live_under_faults () =
+  (* The audit path survives the adversary: replaying a faulty run's
+     stream reproduces its counters and shows a drained network. *)
+  let g = Families.build Families.Random_tree ~n:32 ~seed:23 in
+  let plan = Fault.Plan.of_string_exn "drop=0.1,dup=0.15,advice-trunc=1,seed=31" in
+  let o = Fault.Harness.run ~plan Fault.Harness.Broadcast g ~source:0 in
+  let r = Obs.Replay.replay ~n:(Graph.n g) o.Fault.Harness.events in
+  let live = o.Fault.Harness.result in
+  check_int "sent agrees" live.Sim.Runner.stats.Sim.Runner.sent r.Obs.Replay.summary.Obs.Counting.sent;
+  (* the stream also carries the pre-run tampering the runner never saw *)
+  check_int "faults agree"
+    (live.Sim.Runner.stats.Sim.Runner.faults + List.length o.Fault.Harness.tampered)
+    r.Obs.Replay.summary.Obs.Counting.faults;
+  check_bool "informed sets agree" true (r.Obs.Replay.informed = live.Sim.Runner.informed);
+  check_int "faulty network still drains" 0 r.Obs.Replay.in_flight;
+  check_bool "tampering visible offline" true (r.Obs.Replay.summary.Obs.Counting.faults > 0)
+
 let suite =
   [
     Alcotest.test_case "jsonl roundtrip, every kind" `Quick test_jsonl_roundtrip;
@@ -324,4 +390,7 @@ let suite =
     Alcotest.test_case "replay decisions" `Quick test_replay_decisions;
     Alcotest.test_case "replay rejects bad node" `Quick test_replay_rejects_out_of_range;
     Alcotest.test_case "tee and filter" `Quick test_tee_and_filter;
+    Alcotest.test_case "fault events roundtrip jsonl" `Quick test_fault_jsonl_roundtrip;
+    Alcotest.test_case "fault streams are deterministic" `Quick test_fault_stream_determinism;
+    Alcotest.test_case "replay = live under faults" `Quick test_replay_matches_live_under_faults;
   ]

@@ -361,3 +361,45 @@ let test_per_node_load () =
   done
 
 let suite = suite @ [ Alcotest.test_case "per-node load" `Quick test_per_node_load ]
+
+let test_check_wakeup_through_runner () =
+  (* The checker must also fire on the full execution path, not just on a
+     hand-driven node: a scheme whose non-source nodes speak spontaneously
+     aborts the run. *)
+  let chatty _static =
+    { Sim.Scheme.on_start = (fun () -> [ (Sim.Message.Hello, 0) ]); on_receive = (fun _ ~port:_ -> []) }
+  in
+  let g = Netgraph.Gen.path 3 in
+  (match Sim.Runner.run ~advice:no_advice g ~source:0 (Sim.Scheme.check_wakeup chatty) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected a wakeup violation from the full run");
+  (* flooding only ever replies to a received message: the checked run
+     completes untouched *)
+  let r = Sim.Runner.run ~advice:no_advice g ~source:0 (Sim.Scheme.check_wakeup Sim.Scheme.flooding) in
+  check_bool "checked flooding still informs" true r.Sim.Runner.all_informed;
+  check_int "checked flooding unchanged" 2 r.Sim.Runner.stats.Sim.Runner.sent
+
+let test_metrics_more_errors () =
+  (match Sim.Metrics.ratios ~xs:[ 1.0; 2.0 ] ~ys:[ 1.0 ] ~model:(fun x -> x) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted");
+  (match Sim.Metrics.mean [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mean of nothing");
+  (match Sim.Metrics.maximum [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "maximum of nothing");
+  (* the growth exponent needs two distinct positive abscissae *)
+  (match Sim.Metrics.loglog_slope ~xs:[ 4.0 ] ~ys:[ 8.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single point fitted");
+  match Sim.Metrics.loglog_slope ~xs:[ 2.0; 2.0 ] ~ys:[ 1.0; 2.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "coincident xs fitted"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "check_wakeup through the runner" `Quick test_check_wakeup_through_runner;
+      Alcotest.test_case "metrics: more errors" `Quick test_metrics_more_errors;
+    ]
