@@ -1,14 +1,17 @@
 (* Experiment harness: one table per experiment in DESIGN.md §4.
 
-   Usage: main.exe [--trace-out=FILE] [--stress-out=FILE]
-                   [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|smoke|stress|micro|all]...
+   Usage: main.exe [--trace-out=FILE] [--stress-out=FILE] [--resilience-out=FILE]
+                   [e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|smoke|stress|resilience|micro|all]...
    With no argument, runs every table (micro included).  The [smoke]
    experiment writes a JSON Lines telemetry trace to FILE (default
    smoke.jsonl); [dune build @smoke] produces it as a build artifact.
    The [stress] experiment sweeps every builtin fault plan over every
    scheduler and writes one JSON line per adversarial run to the
    --stress-out FILE (default stress.jsonl); [dune build @stress]
-   mirrors @smoke. *)
+   mirrors @smoke.  The [resilience] experiment sweeps corruption x
+   ECC protection x retry budget and writes one JSON line per run to
+   the --resilience-out FILE (default resilience.jsonl); [dune build
+   @resilience] mirrors @stress. *)
 
 open Oracle_core
 module Graph = Netgraph.Graph
@@ -960,8 +963,9 @@ let stress () =
                     let informed =
                       Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
                     in
+                    let recov = Obs.Counting.of_events o.Fault.Harness.events in
                     Printf.fprintf oc
-                      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
+                      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
                       (Fault.Harness.protocol_name proto)
                       (json_escape gname) (Graph.n g) (Graph.m g)
                       (json_escape (Sim.Scheduler.name scheduler))
@@ -969,6 +973,7 @@ let stress () =
                       r.Sim.Runner.stats.Sim.Runner.faults
                       (List.length o.Fault.Harness.fallbacks)
                       (List.length o.Fault.Harness.tampered)
+                      recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits
                       informed cls
                       (json_escape (Fault.Verdict.to_string o.Fault.Harness.verdict));
                     output_char oc '\n')
@@ -995,6 +1000,115 @@ let stress () =
     rows;
   Printf.printf "stress: %d adversarial runs -> %s; graceful (completed or degraded): %d/%d\n"
     !runs !stress_out !graceful !runs
+
+(* {1 Resilience — the recovery frontier: corruption x protection x retry} *)
+
+let resilience_out = ref "resilience.jsonl"
+
+let resilience () =
+  let graphs =
+    [
+      ("random-tree", Families.build Families.Random_tree ~n:24 ~seed);
+      ("sparse-random", Families.build Families.Sparse_random ~n:24 ~seed);
+    ]
+  in
+  let plans =
+    [
+      "advice-flip=1,seed=5";
+      "advice-flip=4,seed=5";
+      "drop=0.1,seed=7";
+      "drop=0.1,crash=1@3,seed=7";
+    ]
+  in
+  let levels = Bitstring.Ecc.all in
+  let retries = [ 0; 2 ] in
+  let protocols = [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ] in
+  let oc = open_out !resilience_out in
+  let runs = ref 0 in
+  let graceful = ref 0 in
+  let rows =
+    List.concat_map
+      (fun plan_name ->
+        let plan = Fault.Plan.of_string_exn plan_name in
+        List.concat_map
+          (fun protect ->
+            List.map
+              (fun retry ->
+                let completed = ref 0 in
+                let degraded = ref 0 in
+                let stalled = ref 0 in
+                let violated = ref 0 in
+                let overheads = ref [] in
+                List.iter
+                  (fun proto ->
+                    List.iter
+                      (fun (gname, g) ->
+                        let o =
+                          Fault.Harness.run ~plan ~protect ~retry proto g ~source:0
+                        in
+                        incr runs;
+                        if Fault.Verdict.acceptable o.Fault.Harness.verdict then incr graceful;
+                        let cls =
+                          match o.Fault.Harness.verdict with
+                          | Fault.Verdict.Completed ->
+                            incr completed;
+                            "completed"
+                          | Fault.Verdict.Degraded _ ->
+                            incr degraded;
+                            "degraded"
+                          | Fault.Verdict.Stalled _ ->
+                            incr stalled;
+                            "stalled"
+                          | Fault.Verdict.Violated _ ->
+                            incr violated;
+                            "violated"
+                        in
+                        let r = o.Fault.Harness.result in
+                        let recov = Obs.Counting.of_events o.Fault.Harness.events in
+                        let raw = o.Fault.Harness.raw_advice_bits in
+                        let overhead =
+                          if raw = 0 then 1.0
+                          else float_of_int o.Fault.Harness.advice_bits /. float_of_int raw
+                        in
+                        overheads := overhead :: !overheads;
+                        Printf.fprintf oc
+                          {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"plan":"%s","protect":"%s","retry":%d,"raw_bits":%d,"protected_bits":%d,"overhead":%.3f,"sent":%d,"retransmits":%d,"corrected_bits":%d,"fallbacks":%d,"class":"%s"}|}
+                          (Fault.Harness.protocol_name proto)
+                          (json_escape gname) (Graph.n g) (Graph.m g) (json_escape plan_name)
+                          (Bitstring.Ecc.name protect) retry raw o.Fault.Harness.advice_bits
+                          overhead r.Sim.Runner.stats.Sim.Runner.sent
+                          recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits
+                          (List.length o.Fault.Harness.fallbacks)
+                          cls;
+                        output_char oc '\n')
+                      graphs)
+                  protocols;
+                let worst_overhead = List.fold_left max 1.0 !overheads in
+                [
+                  plan_name;
+                  Bitstring.Ecc.name protect;
+                  Table.i retry;
+                  Table.f2 worst_overhead;
+                  Table.i !completed;
+                  Table.i !degraded;
+                  Table.i !stalled;
+                  Table.i !violated;
+                ])
+              retries)
+          levels)
+      plans
+  in
+  close_out oc;
+  Table.render
+    ~title:
+      "Resilience frontier: verdicts per corruption x protection x retry (wakeup + broadcast,\n\
+      \   2 graphs) — protection absorbs flips, retries absorb drops and crashes"
+    ~header:
+      [ "plan"; "protect"; "retry"; "bit overhead"; "completed"; "degraded"; "stalled"; "violated" ]
+    ~aligns:[ Table.L; L; R; R; R; R; R; R ]
+    rows;
+  Printf.printf "resilience: %d adversarial runs -> %s; graceful: %d/%d\n" !runs !resilience_out
+    !graceful !runs
 
 (* {1 Micro-benchmarks (Bechamel)} *)
 
@@ -1068,12 +1182,14 @@ let experiments =
     ("e3b", e3b);
     ("smoke", smoke);
     ("stress", stress);
+    ("resilience", resilience);
     ("micro", micro);
   ]
 
 let () =
   let prefix = "--trace-out=" in
   let stress_prefix = "--stress-out=" in
+  let resilience_prefix = "--resilience-out=" in
   let args =
     List.filter
       (fun a ->
@@ -1083,6 +1199,12 @@ let () =
         else if String.starts_with ~prefix:stress_prefix a then (
           stress_out :=
             String.sub a (String.length stress_prefix) (String.length a - String.length stress_prefix);
+          false)
+        else if String.starts_with ~prefix:resilience_prefix a then (
+          resilience_out :=
+            String.sub a
+              (String.length resilience_prefix)
+              (String.length a - String.length resilience_prefix);
           false)
         else true)
       (List.tl (Array.to_list Sys.argv))

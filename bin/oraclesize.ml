@@ -67,22 +67,66 @@ let fault_arg =
            (exit 0 on completed/degraded, 1 on stalled/violated).  See DESIGN.md, section \
            'Fault model and verdicts'.")
 
+let protect_conv =
+  let parse s =
+    match Bitstring.Ecc.of_name s with Ok l -> Ok l | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Bitstring.Ecc.name l))
+
+let protect_arg =
+  Arg.(
+    value
+    & opt protect_conv Bitstring.Ecc.Raw
+    & info [ "protect" ] ~docv:"LEVEL"
+        ~doc:
+          "Error-protect every node's advice before the adversary touches it: $(b,raw) \
+           (none, default), $(b,crc) (detect), $(b,hamming) (correct one flipped bit), or \
+           $(b,repK) (K-repetition majority, e.g. $(b,rep3)).  Only meaningful together \
+           with $(b,--fault); the printed oracle size is the protected size actually \
+           handed out.")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "Arm the runner's ack/retransmit channel: each message may be retransmitted up \
+           to $(docv) times with exponential backoff, and a crashed receiver triggers a \
+           link timeout that the hardened schemes answer by re-flooding.  Default 0: \
+           recovery off.  Only meaningful together with $(b,--fault).")
+
 (* The adversarial path shared by wakeup and broadcast: run the hardened
    harness under the plan and report the verdict. *)
-let run_faulty protocol plan family g ~source ~scheduler sinks =
-  let o = Fault.Harness.run ~scheduler ~plan ~sinks protocol g ~source in
-  let b = Fault.Harness.budgets protocol g in
+let run_faulty protocol plan ~protect ~retry family g ~source ~scheduler sinks =
+  if retry < 0 then begin
+    Printf.eprintf "oraclesize: --retry must be non-negative\n";
+    exit 2
+  end;
+  let o = Fault.Harness.run ~scheduler ~plan ~sinks ~protect ~retry protocol g ~source in
+  let b = Fault.Harness.budgets ~retry protocol g in
   let stats = o.Fault.Harness.result.Sim.Runner.stats in
   Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
     (Graph.m g);
   Printf.printf "fault plan:   %s\n" (Fault.Plan.to_string plan);
-  Printf.printf "oracle bits:  %d (after tampering with %d nodes)\n" o.Fault.Harness.advice_bits
-    (List.length (List.sort_uniq compare (List.map fst o.Fault.Harness.tampered)));
+  if protect = Bitstring.Ecc.Raw then
+    Printf.printf "oracle bits:  %d (after tampering with %d nodes)\n" o.Fault.Harness.advice_bits
+      (List.length (List.sort_uniq compare (List.map fst o.Fault.Harness.tampered)))
+  else
+    Printf.printf "oracle bits:  %d protected (%s) from %d raw, tampering with %d nodes\n"
+      o.Fault.Harness.advice_bits (Bitstring.Ecc.name protect) o.Fault.Harness.raw_advice_bits
+      (List.length (List.sort_uniq compare (List.map fst o.Fault.Harness.tampered)));
   Printf.printf "messages:     %d  (clean budget %d, degraded budget %d)\n" stats.Sim.Runner.sent
     b.Fault.Verdict.clean b.Fault.Verdict.degraded;
   Printf.printf "faults:       %d injected, %d nodes fell back to flooding\n"
     stats.Sim.Runner.faults
     (List.length o.Fault.Harness.fallbacks);
+  if retry > 0 || protect <> Bitstring.Ecc.Raw then begin
+    let summary = Obs.Counting.of_events o.Fault.Harness.events in
+    Printf.printf "recovery:     %d retransmissions (budget %d), %d bits corrected at %d nodes\n"
+      summary.Obs.Counting.retransmits b.Fault.Verdict.recovery
+      summary.Obs.Counting.corrected_bits
+      (List.length o.Fault.Harness.corrected)
+  end;
   Printf.printf "verdict:      %s\n" (Fault.Verdict.to_string o.Fault.Harness.verdict);
   if not (Fault.Verdict.acceptable o.Fault.Harness.verdict) then exit 1
 
@@ -155,12 +199,12 @@ let wakeup_cmd =
       & opt encoding_conv Oracle_core.Wakeup.Paper
       & info [ "encoding" ] ~docv:"ENC" ~doc:"Advice encoding: paper, minimal, or gamma.")
   in
-  let run family n seed source scheduler encoding fault trace_out =
+  let run family n seed source scheduler encoding fault protect retry trace_out =
     let g = build family n seed in
     match fault with
     | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
-          run_faulty Fault.Harness.Wakeup plan family g ~source ~scheduler sinks)
+          run_faulty Fault.Harness.Wakeup plan ~protect ~retry family g ~source ~scheduler sinks)
     | None ->
       let o =
         with_trace_sinks trace_out (fun sinks ->
@@ -179,7 +223,7 @@ let wakeup_cmd =
     (Cmd.info "wakeup" ~doc:"Run the Theorem 2.1 wakeup oracle and scheme.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ encoding_arg
-      $ fault_arg $ trace_out_arg)
+      $ fault_arg $ protect_arg $ retry_arg $ trace_out_arg)
 
 (* {1 broadcast} *)
 
@@ -200,12 +244,13 @@ let broadcast_cmd =
       & info [ "tree" ] ~docv:"TREE"
           ~doc:"Spanning tree: light (Claim 3.1, default), bfs, or dfs.")
   in
-  let run family n seed source scheduler (tree_name, tree) fault trace_out =
+  let run family n seed source scheduler (tree_name, tree) fault protect retry trace_out =
     let g = build family n seed in
     match fault with
     | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
-          run_faulty Fault.Harness.Broadcast plan family g ~source ~scheduler sinks)
+          run_faulty Fault.Harness.Broadcast plan ~protect ~retry family g ~source ~scheduler
+            sinks)
     | None ->
       let o =
         with_trace_sinks trace_out (fun sinks ->
@@ -229,7 +274,7 @@ let broadcast_cmd =
     (Cmd.info "broadcast" ~doc:"Run the Theorem 3.1 broadcast oracle and Scheme B.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ tree_arg
-      $ fault_arg $ trace_out_arg)
+      $ fault_arg $ protect_arg $ retry_arg $ trace_out_arg)
 
 (* {1 separation} *)
 

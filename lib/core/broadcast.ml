@@ -96,18 +96,44 @@ let usable_ports ~degree ports =
        true))
     ports
 
-let hardened_scheme ?(encoding = Marked) ?on_fallback () static =
+let hardened_scheme ?(encoding = Marked) ?(protect = Bitstring.Ecc.Raw) ?on_fallback ?on_corrected
+    () static =
   let module IS = Set.Make (Int) in
   let degree = static.Sim.History.degree in
   let fallback reason =
     (match on_fallback with Some f -> f static.Sim.History.id reason | None -> ());
     None
   in
+  (* Detect-and-correct first: only when the ECC layer itself gives up,
+     or the corrected payload still fails validation, pay for flooding. *)
   let advised =
-    match decode_known_ports_result encoding static.Sim.History.advice with
-    | Ok ports when usable_ports ~degree ports -> Some ports
-    | Ok _ -> fallback "unusable ports"
-    | Error msg -> fallback msg
+    match Bitstring.Ecc.unprotect protect static.Sim.History.advice with
+    | Error msg -> fallback ("ecc: " ^ msg)
+    | Ok (payload, corrected) -> (
+      match decode_known_ports_result encoding payload with
+      | Ok ports when usable_ports ~degree ports ->
+        if corrected > 0 then (
+          match on_corrected with
+          | Some f -> f static.Sim.History.id corrected
+          | None -> ());
+        Some ports
+      | Ok _ -> fallback "unusable ports"
+      | Error msg -> fallback msg)
+  in
+  (* Recovery overlay, shared by both modes: on a link timeout an
+     informed node re-disseminates the source message by flooding the
+     [reflood] marker; every hardened node forwards it exactly once
+     (≤ 2m messages), which re-covers the surviving component whatever
+     the failure stranded. *)
+  let reflooded = ref false in
+  let reflood_from arrival =
+    if !reflooded then []
+    else begin
+      reflooded := true;
+      List.filter_map
+        (fun p -> if arrival = Some p then None else Some (Sim.Message.reflood, p))
+        (List.init degree (fun p -> p))
+    end
   in
   match advised with
   | Some ports ->
@@ -137,6 +163,14 @@ let hardened_scheme ?(encoding = Marked) ?on_fallback () static =
       | Sim.Message.Hello ->
         kx := IS.add port !kx;
         flush ()
+      | Sim.Message.Control _ when Sim.Message.is_timeout msg ->
+        if !informed then reflood_from (Some port) else []
+      | Sim.Message.Control _ when Sim.Message.is_reflood msg ->
+        let first = not !informed in
+        informed := true;
+        kx := IS.add port !kx;
+        sx := IS.add port !sx;
+        (if first then flush () else []) @ reflood_from (Some port)
       | Sim.Message.Control _ -> []
     in
     { Sim.Scheme.on_start; on_receive }
@@ -163,6 +197,12 @@ let hardened_scheme ?(encoding = Marked) ?on_fallback () static =
       | Sim.Message.Source when not !informed ->
         informed := true;
         flood (Some port)
+      | Sim.Message.Control _ when Sim.Message.is_timeout msg ->
+        if !informed then reflood_from (Some port) else []
+      | Sim.Message.Control _ when Sim.Message.is_reflood msg ->
+        let first = not !informed in
+        informed := true;
+        (if first then flood (Some port) else []) @ reflood_from (Some port)
       | Sim.Message.Source | Sim.Message.Hello | Sim.Message.Control _ -> []
     in
     { Sim.Scheme.on_start; on_receive }

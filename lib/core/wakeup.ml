@@ -75,17 +75,28 @@ let usable_ports ~degree ports =
        true))
     ports
 
-let hardened_scheme ?(encoding = Paper) ?on_fallback () static =
+let hardened_scheme ?(encoding = Paper) ?(protect = Bitstring.Ecc.Raw) ?on_fallback ?on_corrected
+    () static =
   let degree = static.Sim.History.degree in
   let fallback reason =
     (match on_fallback with Some f -> f static.Sim.History.id reason | None -> ());
     None
   in
+  (* Detect-and-correct first: only when the ECC layer itself gives up,
+     or the corrected payload still fails validation, pay for flooding. *)
   let advised =
-    match decode_ports_result encoding static.Sim.History.advice with
-    | Ok ports when usable_ports ~degree ports -> Some ports
-    | Ok _ -> fallback "unusable ports"
-    | Error msg -> fallback msg
+    match Bitstring.Ecc.unprotect protect static.Sim.History.advice with
+    | Error msg -> fallback ("ecc: " ^ msg)
+    | Ok (payload, corrected) -> (
+      match decode_ports_result encoding payload with
+      | Ok ports when usable_ports ~degree ports ->
+        if corrected > 0 then (
+          match on_corrected with
+          | Some f -> f static.Sim.History.id corrected
+          | None -> ());
+        Some ports
+      | Ok _ -> fallback "unusable ports"
+      | Error msg -> fallback msg)
   in
   let woken = ref false in
   let wake arrival =
@@ -99,10 +110,32 @@ let hardened_scheme ?(encoding = Paper) ?on_fallback () static =
         (fun p -> if arrival = Some p then None else Some (Sim.Message.Source, p))
         (List.init degree (fun p -> p))
   in
+  (* Recovery overlay: a link timeout means the neighbour crash-stopped,
+     stranding whatever subtree the advised tree routed through it.  The
+     detecting node re-disseminates the source message by flooding the
+     [reflood] marker, which every hardened node forwards exactly once —
+     ≤ 2m messages to re-cover the entire surviving component. *)
+  let reflooded = ref false in
+  let reflood_from arrival =
+    if !reflooded then []
+    else begin
+      reflooded := true;
+      List.filter_map
+        (fun p -> if arrival = Some p then None else Some (Sim.Message.reflood, p))
+        (List.init degree (fun p -> p))
+    end
+  in
   let on_start () = if static.Sim.History.is_source then wake None else [] in
   let on_receive msg ~port =
     match msg with
     | Sim.Message.Source when not !woken -> wake (Some port)
+    | Sim.Message.Control _ when Sim.Message.is_timeout msg ->
+      (* Only a woken node can have sent the message that timed out, so
+         the wakeup restriction is preserved. *)
+      if !woken then reflood_from (Some port) else []
+    | Sim.Message.Control _ when Sim.Message.is_reflood msg ->
+      let wake_sends = if !woken then [] else wake (Some port) in
+      wake_sends @ reflood_from (Some port)
     | Sim.Message.Source | Sim.Message.Hello | Sim.Message.Control _ -> []
   in
   { Sim.Scheme.on_start; on_receive }

@@ -66,13 +66,26 @@ val decode_ports_result : encoding -> Bitstring.Bitbuf.t -> (int list, string) r
     family). *)
 
 val hardened_scheme :
-  ?encoding:encoding -> ?on_fallback:(int -> string -> unit) -> unit -> Sim.Scheme.factory
+  ?encoding:encoding ->
+  ?protect:Bitstring.Ecc.level ->
+  ?on_fallback:(int -> string -> unit) ->
+  ?on_corrected:(int -> int -> unit) ->
+  unit ->
+  Sim.Scheme.factory
 (** Like {!scheme}, but each node validates its advice once at
-    instantiation: it must decode ([decode_ports_result]) to distinct,
-    in-range ports.  A node whose advice fails falls back to the
-    advice-free flooding behaviour of {!Sim.Scheme.flooding} — on first
-    wake it sends the source message on every port except the arrival
-    port — so the run stays correct on any connected graph at Θ(m) cost
-    instead of the advised [n-1].  The wakeup restriction (silence before
-    being woken) is preserved in both modes.  [on_fallback] is called once
-    per degraded node with its label and the decode/validation error. *)
+    instantiation: the advice is first decoded through the [protect] ECC
+    level (default [Raw]: pass-through), then it must decode
+    ([decode_ports_result]) to distinct, in-range ports.  A node whose
+    advice fails either stage falls back to the advice-free flooding
+    behaviour of {!Sim.Scheme.flooding} — on first wake it sends the
+    source message on every port except the arrival port — so the run
+    stays correct on any connected graph at Θ(m) cost instead of the
+    advised [n-1].  With a correcting level ([Hamming], odd
+    [Repetition]), a corrupted-but-correctable codeword is repaired
+    locally instead of falling back — the advice must of course have been
+    written by the protected oracle ({!Oracles.Protect.oracle}).  The
+    wakeup restriction (silence before being woken) is preserved in all
+    modes.  [on_fallback] is called once per degraded node with its label
+    and the ECC/decode/validation error; [on_corrected] once per node
+    whose advice was repaired and accepted, with its label and the
+    corrected-error count. *)

@@ -7,32 +7,65 @@ type protocol =
 
 let protocol_name = function Wakeup -> "wakeup" | Broadcast -> "broadcast"
 
-let budgets protocol g =
+let budgets ?(retry = 0) protocol g =
   let n = Graph.n g in
   let m = Graph.m g in
-  match protocol with
-  | Wakeup -> { Verdict.clean = n - 1; degraded = (2 * m) + (3 * n) }
-  | Broadcast -> { Verdict.clean = 3 * n; degraded = (4 * m) + (3 * n) }
+  let base =
+    match protocol with
+    | Wakeup -> { Verdict.clean = n - 1; degraded = (2 * m) + (3 * n); recovery = 0 }
+    | Broadcast -> { Verdict.clean = 3 * n; degraded = (4 * m) + (3 * n); recovery = 0 }
+  in
+  (* Every sequence number can consume at most [retry] recovery slots, and
+     there are at most [degraded] of them in a non-violating run — the
+     recovery budget is the machine-checked form of that invariant. *)
+  { base with Verdict.recovery = retry * base.Verdict.degraded }
+
+(* Which nodes did the failure pattern physically strand?  BFS over the
+   graph minus failed nodes: a survivor no path reaches can never be
+   informed, retransmissions or not, so the verdict excludes it the same
+   way it excludes the failed nodes themselves. *)
+let unreachable_after ~failed g ~source =
+  let n = Graph.n g in
+  let visited = Array.make n false in
+  if not failed.(source) then begin
+    visited.(source) <- true;
+    let q = Queue.create () in
+    Queue.add source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (_, v, _) ->
+          if (not visited.(v)) && not failed.(v) then begin
+            visited.(v) <- true;
+            Queue.add v q
+          end)
+        (Graph.neighbors g u)
+    done
+  end;
+  Array.init n (fun v -> (not failed.(v)) && not visited.(v))
 
 type outcome = {
   verdict : Verdict.t;
   result : Sim.Runner.result;
   advice_bits : int;
+  raw_advice_bits : int;
   tampered : (int * string) list;
   fallbacks : (int * string) list;
+  corrected : (int * int) list;
   events : Obs.Event.t list;
 }
 
 let run ?(scheduler = Sim.Scheduler.Async_fifo) ?(plan = Plan.none) ?(sinks = []) ?max_messages
-    protocol g ~source =
+    ?(protect = Bitstring.Ecc.Raw) ?(retry = 0) protocol g ~source =
   let n = Graph.n g in
   let oracle =
     match protocol with
     | Wakeup -> Oracle_core.Wakeup.oracle ()
     | Broadcast -> Oracle_core.Broadcast.oracle ()
   in
-  let advice = oracle.Oracles.Oracle.advise g ~source in
-  let corrupted, tampered = Corrupt.apply plan advice in
+  let raw_advice = oracle.Oracles.Oracle.advise g ~source in
+  let protected_advice = Oracles.Protect.advice protect raw_advice in
+  let corrupted, tampered = Corrupt.apply plan protected_advice in
   let collector, collected = Obs.Sink.collect () in
   let all_sinks = collector :: sinks in
   let emit_all ev = List.iter (fun s -> Obs.Sink.emit s ev) all_sinks in
@@ -43,30 +76,62 @@ let run ?(scheduler = Sim.Scheduler.Async_fifo) ?(plan = Plan.none) ?(sinks = []
   for v = 0 to n - 1 do
     Hashtbl.replace index_of_label (Graph.label g v) v
   done;
+  let node_of_label label =
+    match Hashtbl.find_opt index_of_label label with Some v -> v | None -> 0
+  in
   let fallbacks = ref [] in
   let on_fallback label reason =
-    let v = match Hashtbl.find_opt index_of_label label with Some v -> v | None -> 0 in
+    let v = node_of_label label in
     fallbacks := (v, reason) :: !fallbacks;
     emit_all { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Decide (v, Verdict.fallback_tag) }
   in
+  let corrected = ref [] in
+  let on_corrected label bits =
+    let v = node_of_label label in
+    corrected := (v, bits) :: !corrected;
+    emit_all
+      { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Recover (Obs.Event.Advice_corrected (v, bits)) }
+  in
   let factory =
     match protocol with
-    | Wakeup -> Oracle_core.Wakeup.hardened_scheme ~on_fallback ()
-    | Broadcast -> Oracle_core.Broadcast.hardened_scheme ~on_fallback ()
+    | Wakeup -> Oracle_core.Wakeup.hardened_scheme ~protect ~on_fallback ~on_corrected ()
+    | Broadcast -> Oracle_core.Broadcast.hardened_scheme ~protect ~on_fallback ~on_corrected ()
   in
   let result =
-    Sim.Runner.run ~scheduler ?max_messages ~sinks:all_sinks ~faults:plan
+    Sim.Runner.run ~scheduler ?max_messages ~sinks:all_sinks ~faults:plan ~retry
       ~advice:(Advice.get corrupted) g ~source factory
   in
   let events = collected () in
+  (* With the recovery layer armed, "stalled" should mean "recoverably
+     stalled": survivors the failure pattern physically cut off are
+     excluded like the failed nodes themselves.  With [retry = 0] the
+     classification stays the paper-pure one. *)
+  let unreachable =
+    if retry = 0 then None
+    else begin
+      let failed = Array.make n false in
+      List.iter
+        (fun ev ->
+          match ev.Obs.Event.kind with
+          | Obs.Event.Fault (Obs.Event.Crashed v | Obs.Event.Dead v) -> failed.(v) <- true
+          | _ -> ())
+        events;
+      Some (unreachable_after ~failed g ~source)
+    end
+  in
   let verdict =
-    Verdict.classify ~check_silence:(protocol = Wakeup) ~n ~budgets:(budgets protocol g) events
+    Verdict.classify ~check_silence:(protocol = Wakeup) ~quiescent:result.Sim.Runner.quiescent
+      ?unreachable ~n
+      ~budgets:(budgets ~retry protocol g)
+      events
   in
   {
     verdict;
     result;
     advice_bits = Advice.size_bits corrupted;
+    raw_advice_bits = Advice.size_bits raw_advice;
     tampered;
     fallbacks = List.rev !fallbacks;
+    corrected = List.rev !corrected;
     events;
   }

@@ -1,12 +1,17 @@
-(** The adversarial end-to-end harness: oracle → corrupted advice →
-    hardened scheme under an adversarial schedule → verdict.
+(** The adversarial end-to-end harness: oracle → (error-protected)
+    advice → corruption → hardened scheme under an adversarial schedule,
+    with the runner's ack/retransmit channel → verdict.
 
     One call runs the full robustness pipeline for a paper protocol:
-    build the protocol's oracle, apply the plan's advice faults
-    ({!Corrupt}), execute the hardened scheme with the plan's message-
-    and node-level faults injected by the runner, and classify the
-    recorded stream ({!Verdict.classify}).  The harness never raises on
-    any plan: every outcome is a structured verdict. *)
+    build the protocol's oracle, optionally protect every node's advice
+    with an ECC level ({!Oracles.Protect}), apply the plan's advice
+    faults to the {e protected} strings ({!Corrupt} — the adversary
+    attacks the codewords, which is the point of coding them), execute
+    the hardened scheme with the plan's message- and node-level faults
+    injected by the runner (and, with [retry > 0], its self-healing
+    retransmit channel armed), and classify the recorded stream
+    ({!Verdict.classify}).  The harness never raises on any plan: every
+    outcome is a structured verdict. *)
 
 type protocol =
   | Wakeup  (** Theorem 2.1 wakeup, hardened ({!Wakeup.hardened_scheme}) *)
@@ -14,19 +19,33 @@ type protocol =
 
 val protocol_name : protocol -> string
 
-val budgets : protocol -> Netgraph.Graph.t -> Verdict.budgets
+val budgets : ?retry:int -> protocol -> Netgraph.Graph.t -> Verdict.budgets
 (** Clean budget from the paper ([n-1], resp. [3n]); degraded budget
-    Θ(m) with room for the fallback's hellos and floods ([2m + 3n],
-    resp. [4m + 3n]). *)
+    Θ(m) with room for the fallback's hellos, floods and refloods
+    ([2m + 3n], resp. [4m + 3n]); recovery budget
+    [retry × degraded] (default [retry = 0]: any retransmission is a
+    violation) — each sequence number may consume at most [retry]
+    recovery slots, so this is the machine-checked form of the channel's
+    own invariant. *)
 
 type outcome = {
   verdict : Verdict.t;
   result : Sim.Runner.result;
-  advice_bits : int;  (** size of the advice actually handed out, corruption included *)
+  advice_bits : int;
+      (** size of the advice actually handed out: protection and
+          corruption included *)
+  raw_advice_bits : int;
+      (** size of the oracle's raw advice, before protection — the
+          paper's measure; [advice_bits / raw_advice_bits] is the
+          protection overhead actually paid *)
   tampered : (int * string) list;  (** {!Corrupt.apply}'s tamper log *)
   fallbacks : (int * string) list;
       (** nodes (by index) that rejected their advice, with the decode or
           validation error *)
+  corrected : (int * int) list;
+      (** nodes (by index) whose protected advice decoded with that many
+          corrected errors — attacks the ECC layer absorbed without any
+          fallback *)
   events : Obs.Event.t list;  (** the complete recorded stream, verdict input *)
 }
 
@@ -35,20 +54,27 @@ val run :
   ?plan:Plan.t ->
   ?sinks:Obs.Sink.t list ->
   ?max_messages:int ->
+  ?protect:Bitstring.Ecc.level ->
+  ?retry:int ->
   protocol ->
   Netgraph.Graph.t ->
   source:int ->
   outcome
 (** [run protocol g ~source] under [plan] (default {!Plan.none}) and
-    [scheduler] (default [Async_fifo]).
+    [scheduler] (default [Async_fifo]), with advice protection [protect]
+    (default [Raw]: none) and retransmission budget [retry] (default
+    [0]: recovery off — bit-for-bit the PR 2 behaviour).
 
     The stream fed to [sinks] (and recorded in [events]) is, in order:
     one [Fault (Advice_tampered _)] per tamper-log entry, then the
-    runner's stream with one [Decide (v, {!Verdict.fallback_tag})]
-    interleaved at instantiation time per node that rejected its advice.
-    Identical graph + plan + scheduler yields a bit-identical stream
+    runner's stream with one [Decide (v, {!Verdict.fallback_tag})] or
+    [Recover (Advice_corrected _)] interleaved at instantiation time per
+    node that rejected, resp. repaired, its advice.  Identical graph +
+    plan + scheduler + protection + retry yields a bit-identical stream
     (the determinism tests assert this).
 
-    The wakeup silence invariant is checked for [Wakeup] runs;
-    crashed/dead nodes are exempt from informedness — see
-    {!Verdict.classify}. *)
+    The wakeup silence invariant is checked for [Wakeup] runs; a
+    non-quiescent result (stopped by [max_messages]) classifies as
+    [Violated]; crashed/dead nodes are exempt from informedness, and
+    with [retry > 0] so are survivors the failure pattern physically
+    disconnected from the source — see {!Verdict.classify}. *)

@@ -1,6 +1,7 @@
 type budgets = {
   clean : int;
   degraded : int;
+  recovery : int;
 }
 
 type t =
@@ -15,22 +16,42 @@ type t =
 
 let fallback_tag = "fallback-flood"
 
-let classify ?(check_silence = false) ~n ~budgets events =
+let classify ?(check_silence = false) ?(quiescent = true) ?unreachable ~n ~budgets events =
   let out = Obs.Replay.replay ~n events in
   let excluded = Array.make n false in
+  let failed = ref 0 in
   let fallbacks = ref 0 in
   let silent = ref true in
   List.iter
     (fun ev ->
       match ev.Obs.Event.kind with
-      | Obs.Event.Fault (Obs.Event.Crashed v | Obs.Event.Dead v) -> excluded.(v) <- true
+      | Obs.Event.Fault (Obs.Event.Crashed v | Obs.Event.Dead v) ->
+        if not excluded.(v) then incr failed;
+        excluded.(v) <- true
       | Obs.Event.Decide (_, tag) when tag = fallback_tag -> incr fallbacks
       | Obs.Event.Send l -> if not l.Obs.Event.informed then silent := false
       | Obs.Event.Deliver _ | Obs.Event.Wake _ | Obs.Event.Decide _ | Obs.Event.Advice_read _
-      | Obs.Event.Fault _ ->
+      | Obs.Event.Fault _ | Obs.Event.Recover _ ->
         ())
     events;
+  (* Nodes the caller proved physically unreachable (every path from the
+     source crosses a failed node) join the excluded set: no amount of
+     retransmission can inform them, so the scheme owes them nothing —
+     but unlike failures they are reported under their own label. *)
+  let stranded = ref 0 in
+  (match unreachable with
+  | None -> ()
+  | Some reach ->
+    if Array.length reach <> n then
+      invalid_arg "Fault.Verdict.classify: unreachable array length <> n";
+    for v = 0 to n - 1 do
+      if reach.(v) && not excluded.(v) then begin
+        incr stranded;
+        excluded.(v) <- true
+      end
+    done);
   let sent = out.Obs.Replay.summary.Obs.Counting.sent in
+  let retransmits = out.Obs.Replay.summary.Obs.Counting.retransmits in
   let survivors = ref 0 in
   let informed = ref 0 in
   for v = 0 to n - 1 do
@@ -42,18 +63,28 @@ let classify ?(check_silence = false) ~n ~budgets events =
   let excluded_count = n - !survivors in
   if check_silence && not !silent then
     Violated "wakeup-silence: a non-woken node transmitted"
+  else if not quiescent then
+    Violated
+      (Printf.sprintf "message-cutoff: stopped by max_messages after %d sends, queue not drained"
+         sent)
   else if sent > budgets.degraded then
     Violated (Printf.sprintf "message-budget: %d sent, %d allowed even degraded" sent budgets.degraded)
+  else if retransmits > budgets.recovery then
+    Violated
+      (Printf.sprintf "recovery-budget: %d retransmissions, %d allowed" retransmits budgets.recovery)
   else if out.Obs.Replay.in_flight > 0 then
     Violated (Printf.sprintf "runaway: %d messages still in flight" out.Obs.Replay.in_flight)
   else if !informed < !survivors then Stalled { informed = !informed; survivors = !survivors; n }
-  else if !fallbacks = 0 && excluded_count = 0 && sent <= budgets.clean then Completed
+  else if !fallbacks = 0 && excluded_count = 0 && retransmits = 0 && sent <= budgets.clean then
+    Completed
   else begin
     let parts = ref [] in
     if sent > budgets.clean then
       parts := Printf.sprintf "over-clean-budget(%d>%d)" sent budgets.clean :: !parts;
-    if excluded_count > 0 then parts := Printf.sprintf "node-failures(%d)" excluded_count :: !parts;
+    if !failed > 0 then parts := Printf.sprintf "node-failures(%d)" !failed :: !parts;
+    if !stranded > 0 then parts := Printf.sprintf "unreachable(%d)" !stranded :: !parts;
     if !fallbacks > 0 then parts := Printf.sprintf "advice-fallback(%d)" !fallbacks :: !parts;
+    if retransmits > 0 then parts := Printf.sprintf "retransmissions(%d)" retransmits :: !parts;
     Degraded (String.concat "," !parts)
   end
 

@@ -3,9 +3,12 @@
 
     The classifier is a replay consumer ({!Obs.Replay}): everything it
     needs — who woke, who crashed, how many messages the scheme produced,
-    which nodes abandoned their advice — is in the typed event stream, so
-    a verdict can equally be computed offline from a recorded JSONL
-    trace. *)
+    which nodes abandoned their advice, how much repair traffic the
+    network layer injected — is in the typed event stream, so a verdict
+    can equally be computed offline from a recorded JSONL trace.  The two
+    facts a stream cannot carry — was the run cut off by [max_messages],
+    and which nodes the failure pattern physically stranded — arrive as
+    the [?quiescent] and [?unreachable] parameters. *)
 
 type budgets = {
   clean : int;
@@ -14,44 +17,71 @@ type budgets = {
   degraded : int;
       (** the advice-free bound the fallback may cost, Θ(m):
           what {!Harness.budgets} computes from the graph *)
+  recovery : int;
+      (** retransmission allowance: how many [Recover Msg_retransmitted]
+          events the run may contain before self-healing itself counts as
+          a violation.  Repair traffic is budgeted separately from [sent]
+          because retransmissions never count against the paper's message
+          complexity. *)
 }
 
 type t =
   | Completed
       (** every node informed, within the clean budget, no node failed,
-          no node abandoned its advice — the paper's claim held even if
-          harmless faults were injected *)
+          no node abandoned its advice, no retransmissions — the paper's
+          claim held even if harmless faults were injected.  Corrected
+          advice bits ([Recover Advice_corrected]) do {e not} downgrade:
+          the protected code absorbed the attack, which is the point. *)
   | Degraded of string
       (** every surviving node informed and the degraded budget held,
-          but at a cost: advice fallbacks, failed nodes, or more
-          messages than the advised bound (the reason string lists
-          which) *)
+          but at a cost: advice fallbacks, failed nodes, stranded nodes,
+          retransmissions, or more messages than the advised bound (the
+          reason string lists which) *)
   | Stalled of {
       informed : int;  (** surviving nodes that woke *)
-      survivors : int;  (** nodes neither crashed nor dead *)
+      survivors : int;  (** nodes neither crashed, dead, nor unreachable *)
       n : int;
     }
       (** the run drained with surviving nodes still uninformed —
-          e.g. drops severed the only path, or tampered advice parsed
-          but pointed the wrong way *)
+          e.g. drops severed the only path and the retry budget was off
+          or exhausted, or tampered advice parsed but pointed the wrong
+          way *)
   | Violated of string
-      (** an invariant the scheme must keep even under attack was
-          broken: wakeup silence, or the degraded message budget *)
+      (** an invariant the scheme must keep even under attack was broken:
+          wakeup silence, the degraded message budget, the recovery
+          budget, or the run was stopped by the [max_messages] cutoff *)
 
 val fallback_tag : string
 (** ["fallback-flood"] — the [Decide] tag a hardened node emits when it
     rejects its advice; {!classify} counts these. *)
 
-val classify : ?check_silence:bool -> n:int -> budgets:budgets -> Obs.Event.t list -> t
+val classify :
+  ?check_silence:bool ->
+  ?quiescent:bool ->
+  ?unreachable:bool array ->
+  n:int ->
+  budgets:budgets ->
+  Obs.Event.t list ->
+  t
 (** Fold a complete run's events into a verdict.  Precedence: a
-    violation ([check_silence] (default false) enables the wakeup
-    silence invariant — any [Send] by a non-woken node; the budget and
-    drained-queue checks are always on) dominates; then uninformed
-    survivors mean [Stalled]; then a clean run — no fallback, no failed
-    node, within [budgets.clean] — is [Completed]; anything else is
-    [Degraded].  Nodes named by [Crashed]/[Dead] fault events are
-    excluded from the informedness requirement: the adversary silenced
-    them, the scheme owes them nothing. *)
+    violation dominates — [check_silence] (default false) enables the
+    wakeup silence invariant (any [Send] by a non-woken node);
+    [quiescent:false] (default [true]) marks a run stopped by the
+    runner's [max_messages] cutoff, which classifies as
+    [Violated "message-cutoff..."] rather than [Stalled] since the
+    budget, not the network, ended it; the message-budget,
+    recovery-budget and drained-queue checks are always on.  Then
+    uninformed survivors mean [Stalled]; then a clean run — no fallback,
+    no failed node, no retransmission, within [budgets.clean] — is
+    [Completed]; anything else is [Degraded].
+
+    Nodes named by [Crashed]/[Dead] fault events are excluded from the
+    informedness requirement: the adversary silenced them, the scheme
+    owes them nothing.  [?unreachable] (length [n]) extends the same
+    exclusion to nodes the caller proved physically stranded — every
+    source path crosses a failed node, so no retransmission can help;
+    {!Harness.run} computes this from the surviving graph.  Raises
+    [Invalid_argument] if the array's length is not [n]. *)
 
 val acceptable : t -> bool
 (** The CLI's exit criterion: [Completed] or [Degraded] (graceful), not

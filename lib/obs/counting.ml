@@ -13,6 +13,8 @@ type summary = {
   faults : int;
   dropped : int;
   duplicated : int;
+  retransmits : int;
+  corrected_bits : int;
 }
 
 type t = {
@@ -30,6 +32,8 @@ type t = {
   mutable c_faults : int;
   mutable c_dropped : int;
   mutable c_duplicated : int;
+  mutable c_retransmits : int;
+  mutable c_corrected : int;
 }
 
 let create () =
@@ -48,6 +52,8 @@ let create () =
     c_faults = 0;
     c_dropped = 0;
     c_duplicated = 0;
+    c_retransmits = 0;
+    c_corrected = 0;
   }
 
 let observe t (ev : Event.t) =
@@ -74,6 +80,10 @@ let observe t (ev : Event.t) =
     | Event.Msg_delayed _ | Event.Msg_reordered _ | Event.Crashed _ | Event.Dead _
     | Event.Advice_tampered _ ->
       ())
+  | Event.Recover r -> (
+    match r with
+    | Event.Msg_retransmitted _ -> t.c_retransmits <- t.c_retransmits + 1
+    | Event.Advice_corrected (_, bits) -> t.c_corrected <- t.c_corrected + bits)
 
 let sink t = Sink.make (observe t)
 
@@ -93,6 +103,8 @@ let summary t =
     faults = t.c_faults;
     dropped = t.c_dropped;
     duplicated = t.c_duplicated;
+    retransmits = t.c_retransmits;
+    corrected_bits = t.c_corrected;
   }
 
 let sent t = t.c_sent
@@ -105,6 +117,6 @@ let of_events events =
 let pp fmt s =
   Format.fprintf fmt
     "@[<h>sent=%d (source=%d hello=%d control=%d) delivered=%d bits=%d rounds=%d depth=%d \
-     wakes=%d decides=%d advice=%db faults=%d@]"
+     wakes=%d decides=%d advice=%db faults=%d retransmits=%d corrected=%db@]"
     s.sent s.source_sent s.hello_sent s.control_sent s.delivered s.bits_on_wire s.rounds
-    s.causal_depth s.wakes s.decides s.advice_bits s.faults
+    s.causal_depth s.wakes s.decides s.advice_bits s.faults s.retransmits s.corrected_bits

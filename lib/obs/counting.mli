@@ -30,6 +30,15 @@ type summary = {
       (** [Fault Msg_dropped] events: sends destroyed in flight (fault
           plans, crashed or dead receivers) *)
   duplicated : int;  (** [Fault Msg_duplicated] events: extra enqueued copies *)
+  retransmits : int;
+      (** [Recover Msg_retransmitted] events: copies re-enqueued by the
+          runner's ack/retransmit channel.  Never part of [sent] — repair
+          traffic is accounted against the recovery budget, not the
+          paper's message complexity *)
+  corrected_bits : int;
+      (** sum of [bits] over [Recover Advice_corrected] events: advice
+          errors repaired by the ECC layer instead of forcing a flooding
+          fallback *)
 }
 (** An immutable snapshot of the counters. *)
 

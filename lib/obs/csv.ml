@@ -36,6 +36,14 @@ let encode (ev : Event.t) =
       Printf.sprintf "%s,,,,,%s,,,,%d," common fault node
     | Event.Advice_tampered (node, how) ->
       Printf.sprintf "%s,,,,,%s,,,,%d,%s" common fault node (quote how))
+  (* Recoveries follow the fault layout: recovery name in cls, operand in
+     bits, node when node-level. *)
+  | Event.Recover r -> (
+    let rec_name = Event.recovery_name r in
+    match r with
+    | Event.Msg_retransmitted attempt -> Printf.sprintf "%s,,,,,%s,%d,,,," common rec_name attempt
+    | Event.Advice_corrected (node, bits) ->
+      Printf.sprintf "%s,,,,,%s,%d,,,%d," common rec_name bits node)
 
 let write oc ev =
   output_string oc (encode ev);

@@ -28,6 +28,10 @@ type fault =
   | Dead of int
   | Advice_tampered of int * string
 
+type recovery =
+  | Msg_retransmitted of int
+  | Advice_corrected of int * int
+
 type kind =
   | Send of link
   | Deliver of link
@@ -35,6 +39,7 @@ type kind =
   | Decide of int * string
   | Advice_read of int * int
   | Fault of fault
+  | Recover of recovery
 
 type t = { seq : int; round : int; kind : kind }
 
@@ -45,6 +50,7 @@ let kind_name = function
   | Decide _ -> "decide"
   | Advice_read _ -> "advice"
   | Fault _ -> "fault"
+  | Recover _ -> "recover"
 
 let fault_name = function
   | Msg_dropped -> "drop"
@@ -54,6 +60,10 @@ let fault_name = function
   | Crashed _ -> "crash"
   | Dead _ -> "dead"
   | Advice_tampered _ -> "advice"
+
+let recovery_name = function
+  | Msg_retransmitted _ -> "retransmit"
+  | Advice_corrected _ -> "corrected"
 
 let equal a b = a = b
 
@@ -72,6 +82,10 @@ let pp_fault fmt = function
   | Dead v -> Format.fprintf fmt "node %d initially dead" v
   | Advice_tampered (v, how) -> Format.fprintf fmt "node %d advice %s" v how
 
+let pp_recovery fmt = function
+  | Msg_retransmitted attempt -> Format.fprintf fmt "retransmission attempt %d" attempt
+  | Advice_corrected (v, bits) -> Format.fprintf fmt "node %d advice: %d bit(s) corrected" v bits
+
 let pp fmt t =
   Format.fprintf fmt "#%d r%d %s " t.seq t.round (kind_name t.kind);
   match t.kind with
@@ -80,3 +94,4 @@ let pp fmt t =
   | Decide (v, tag) -> Format.fprintf fmt "node %d %S" v tag
   | Advice_read (v, bits) -> Format.fprintf fmt "node %d %db" v bits
   | Fault f -> pp_fault fmt f
+  | Recover r -> pp_recovery fmt r

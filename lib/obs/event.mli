@@ -60,6 +60,23 @@ type fault =
           says how (e.g. ["flip@3"], ["trunc=1"]) — emitted by the fault
           harness, before the runner's stream *)
 
+type recovery =
+  | Msg_retransmitted of int
+      (** the message with this event's [seq] was destroyed in flight and
+          the network layer re-enqueued a fresh copy; the payload is the
+          attempt number (1 for the first retry).  The copy faces the
+          adversary again: it may be dropped once more (another
+          [Fault Msg_dropped]) or finally arrive (a [Deliver] with the
+          original [seq]).  Retransmissions are {e not} [Send] events —
+          they never count against the paper's message complexity, only
+          against the recovery budget ({!Fault.Verdict}). *)
+  | Advice_corrected of int * int
+      (** [(node, bits)]: the node's error-protected advice string decoded
+          with [bits] corrected errors ([bits ≥ 1]; clean decodes emit
+          nothing).  Emitted by protection-aware hardened schemes, which
+          fall back to flooding only when correction itself fails. *)
+(** An active recovery action: the self-healing counterpart of {!fault}. *)
+
 type kind =
   | Send of link  (** a node handed a message to the network *)
   | Deliver of link  (** the network handed a message to its destination *)
@@ -80,6 +97,10 @@ type kind =
   | Fault of fault
       (** an adversarial injection, recorded so faulty traces stay
           auditable: every fault the plan realises appears in the stream *)
+  | Recover of recovery
+      (** a recovery action (retransmission, advice correction), recorded
+          so self-healing runs stay auditable: repair work is accounted
+          separately from the paper's clean-run complexity *)
 
 type t = {
   seq : int;
@@ -88,7 +109,11 @@ type t = {
           [Send].  A [Wake] carries the [seq] of the delivery that woke
           the node (0 for the source's initial wake); [Advice_read] events
           are stamped 0, and [Decide] events carry the final sequence
-          number of the run they conclude. *)
+          number of the run they conclude.  A [Recover Msg_retransmitted]
+          carries the [seq] of the destroyed message's [Send], except for
+          keep-alive timeouts signalling a crashed neighbour, which have no
+          originating [Send] and are stamped 0;
+          [Recover (Advice_corrected _)] events are stamped 0. *)
   round : int;
       (** synchronous round, or asynchronous step index, at emission;
           non-decreasing along the event stream.  Start-up events are
@@ -98,11 +123,16 @@ type t = {
 (** A stamped telemetry event. *)
 
 val kind_name : kind -> string
-(** ["send"], ["deliver"], ["wake"], ["decide"], ["advice"] or ["fault"]. *)
+(** ["send"], ["deliver"], ["wake"], ["decide"], ["advice"], ["fault"] or
+    ["recover"]. *)
 
 val fault_name : fault -> string
 (** ["drop"], ["duplicate"], ["delay"], ["reorder"], ["crash"], ["dead"] or
     ["advice"] — the names used by the JSONL and CSV exporters. *)
+
+val recovery_name : recovery -> string
+(** ["retransmit"] or ["corrected"] — the names used by the JSONL and CSV
+    exporters. *)
 
 val equal : t -> t -> bool
 (** Structural equality (used by the exporter round-trip tests). *)

@@ -37,7 +37,13 @@ let encode (ev : Event.t) =
     | Event.Msg_delayed k | Event.Msg_reordered k -> Printf.bprintf b ",\"k\":%d" k
     | Event.Crashed node | Event.Dead node -> Printf.bprintf b ",\"node\":%d" node
     | Event.Advice_tampered (node, how) ->
-      Printf.bprintf b ",\"node\":%d,\"tag\":\"%s\"" node (escape how)));
+      Printf.bprintf b ",\"node\":%d,\"tag\":\"%s\"" node (escape how))
+  | Event.Recover r -> (
+    Printf.bprintf b ",\"recover\":%S" (Event.recovery_name r);
+    match r with
+    | Event.Msg_retransmitted attempt -> Printf.bprintf b ",\"k\":%d" attempt
+    | Event.Advice_corrected (node, bits) ->
+      Printf.bprintf b ",\"node\":%d,\"k\":%d" node bits));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -211,6 +217,13 @@ let decode line =
           | "dead" -> Event.Dead (find_int fields "node")
           | "advice" -> Event.Advice_tampered (find_int fields "node", find_str fields "tag")
           | f -> bad "unknown fault kind %S" f)
+      | "recover" ->
+        Event.Recover
+          (match find_str fields "recover" with
+          | "retransmit" -> Event.Msg_retransmitted (find_int fields "k")
+          | "corrected" ->
+            Event.Advice_corrected (find_int fields "node", find_int fields "k")
+          | r -> bad "unknown recovery kind %S" r)
       | ev -> bad "unknown event kind %S" ev
     in
     { Event.seq = find_int fields "seq"; round = find_int fields "round"; kind }

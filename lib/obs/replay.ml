@@ -32,7 +32,9 @@ let replay ~n events =
       | Event.Fault
           (Event.Msg_dropped | Event.Msg_duplicated | Event.Msg_delayed _ | Event.Msg_reordered _)
         ->
-        ())
+        ()
+      | Event.Recover (Event.Advice_corrected (v, _)) -> check v
+      | Event.Recover (Event.Msg_retransmitted _) -> ())
     events;
   let summary = Counting.summary counts in
   {
@@ -40,10 +42,11 @@ let replay ~n events =
     informed;
     all_informed = Array.for_all (fun b -> b) informed;
     (* Duplicated copies deliver without their own Send; dropped sends
-       never deliver.  Both are recorded as faults, so the balance still
-       reaches zero on a drained faulty run. *)
+       never deliver; retransmitted copies re-enter flight without a new
+       Send.  All three are recorded as fault/recover events, so the
+       balance still reaches zero on a drained faulty run. *)
     in_flight =
-      summary.Counting.sent + summary.Counting.duplicated - summary.Counting.dropped
-      - summary.Counting.delivered;
+      summary.Counting.sent + summary.Counting.duplicated + summary.Counting.retransmits
+      - summary.Counting.dropped - summary.Counting.delivered;
     decisions = List.rev !decisions;
   }

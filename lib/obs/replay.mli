@@ -15,10 +15,11 @@ type outcome = {
   all_informed : bool;  (** every node woke up *)
   in_flight : int;
       (** messages handed to the network and never delivered:
-          [sent + duplicated - dropped - delivered] — 0 for a quiescent
-          run, faulty or not, since injected drops and duplicates are
-          themselves recorded as [Fault] events; messages lost to the
-          legacy [?loss] knob still count as in flight *)
+          [sent + duplicated + retransmits - dropped - delivered] — 0 for
+          a quiescent run, faulty or not, since injected drops and
+          duplicates, retransmitted copies, and losses from the [?loss]
+          knob (routed through the same typed [Fault Msg_dropped] events)
+          are all recorded in the stream *)
   decisions : (int * string) list;  (** [Decide] events, in trace order *)
 }
 

@@ -17,3 +17,21 @@ let pp fmt = function
   | Control payload -> Format.fprintf fmt "ctl:%a" Bitstring.Bitbuf.pp payload
 
 let is_source = function Source -> true | Hello | Control _ -> false
+
+(* Distinguished control payloads of the recovery layer.  "10" is the
+   link-timeout signal the runner's retransmit channel hands a sender
+   whose receiver is failed; "11" is the recovery-flood marker hardened
+   schemes use to re-disseminate the source message around a failure.
+   Two bits keeps them distinct from any empty/one-bit scheme payload. *)
+
+let timeout = Control (Bitstring.Bitbuf.of_bits [ true; false ])
+
+let is_timeout = function
+  | Control p -> Bitstring.Bitbuf.equal p (Bitstring.Bitbuf.of_bits [ true; false ])
+  | Source | Hello -> false
+
+let reflood = Control (Bitstring.Bitbuf.of_bits [ true; true ])
+
+let is_reflood = function
+  | Control p -> Bitstring.Bitbuf.equal p (Bitstring.Bitbuf.of_bits [ true; true ])
+  | Source | Hello -> false

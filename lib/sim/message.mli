@@ -19,3 +19,29 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
 val is_source : t -> bool
+
+(** {1 Recovery-layer control messages}
+
+    Distinguished [Control] payloads used by the self-healing machinery.
+    They are ordinary 2-bit control messages as far as accounting goes;
+    the constants only fix a vocabulary shared by {!Runner} (which emits
+    timeouts) and the hardened schemes in [lib/core] (which react to
+    them and emit refloods). *)
+
+val timeout : t
+(** The link-timeout signal: when [Runner.run ~retry] gives up on a
+    message whose receiver crash-stopped or is dead, it delivers
+    [timeout] back to the sender on the port the message left through —
+    the simulation rendering of the sender's per-node ack timer firing.
+    Schemes unaware of the recovery layer ignore [Control] messages, so
+    the signal is opt-in by construction. *)
+
+val is_timeout : t -> bool
+
+val reflood : t
+(** The recovery-flood marker: a hardened node that learns of a failed
+    neighbour re-disseminates the source message by flooding [reflood]
+    once; receivers treat it as carrying [M], forward it once on every
+    other port, and so re-cover the entire surviving component. *)
+
+val is_reflood : t -> bool

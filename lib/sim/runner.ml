@@ -65,9 +65,10 @@ let telemetry ~protocol ~scheduler ?completed ~advice_bits r =
   }
 
 let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record_trace = false)
-    ?(sinks = []) ?loss ?(faults = Fault_plan.none) ~advice g ~source factory =
+    ?(sinks = []) ?loss ?(faults = Fault_plan.none) ?(retry = 0) ~advice g ~source factory =
   let n = Graph.n g in
   if source < 0 || source >= n then invalid_arg "Runner.run: source out of range";
+  if retry < 0 then invalid_arg "Runner.run: negative retry budget";
   let informed = Array.make n false in
   (* All counters are derived from the telemetry event stream: the runner
      folds every event through its own counting sink and fans it out to the
@@ -211,6 +212,89 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
       delayed := List.map (fun (r, ev) -> (r - 1, ev)) held;
       List.iter (fun (_, ev) -> push ev) (List.rev due)
   in
+  (* The ack/retransmit channel.  Each destroyed copy of a message (plan
+     drop, [?loss], or a failed receiver) arms the sender's per-message
+     timer; when it fires the channel re-enqueues a fresh copy, at most
+     [retry] times per sequence number, with exponential backoff
+     (1, 2, 4, … scheduler steps).  A receiver that crash-stopped is
+     detectably gone, so instead of burning the whole budget on futile
+     copies the channel consumes one retry and fires the sender's timer
+     as a [Message.timeout] delivery.  Retransmissions are [Recover]
+     events, never [Send]s: repair traffic is invisible to the paper's
+     message complexity and budgeted separately by [Fault.Verdict]. *)
+  let attempts_of_seq = Hashtbl.create 16 in
+  let recovery : (int * int * in_flight) list ref = ref [] in
+  let node_failed v = crashed.(v) || dead.(v) in
+  let schedule_retransmit fl =
+    if retry > 0 && not (Message.is_timeout fl.f_msg) then begin
+      let used =
+        match Hashtbl.find_opt attempts_of_seq fl.f_seq with Some u -> u | None -> 0
+      in
+      if used < retry then begin
+        Hashtbl.replace attempts_of_seq fl.f_seq (used + 1);
+        recovery := (1 lsl min used 16, used + 1, fl) :: !recovery
+      end
+    end
+  in
+  let timeout_signalled = Hashtbl.create 4 in
+  let schedule_timeout fl =
+    if
+      retry > 0
+      && (not (Message.is_timeout fl.f_msg))
+      && not (Hashtbl.mem timeout_signalled fl.f_seq)
+    then begin
+      Hashtbl.add timeout_signalled fl.f_seq ();
+      let used =
+        match Hashtbl.find_opt attempts_of_seq fl.f_seq with Some u -> u | None -> 0
+      in
+      if used < retry then begin
+        Hashtbl.replace attempts_of_seq fl.f_seq (used + 1);
+        recovery :=
+          ( 1,
+            used + 1,
+            {
+              f_src = fl.f_dst;
+              f_src_port = fl.f_dst_port;
+              f_dst = fl.f_src;
+              f_dst_port = fl.f_src_port;
+              f_msg = Message.timeout;
+              f_informed = false;
+              f_seq = fl.f_seq;
+              f_sent_round = fl.f_sent_round;
+              f_depth = fl.f_depth + 1;
+            } )
+          :: !recovery
+      end
+    end
+  in
+  (* Keep-alive detection: with the channel armed, every node runs a
+     timer per incident link; a neighbor that crash-stops goes silent and
+     the timer fires as a [Message.timeout] delivery at each live
+     neighbor.  This is what catches a node that failed {e after} its
+     advised traffic completed — no further message would ever be
+     addressed to it, so no per-message timer exists to notice. *)
+  let signal_failure v round =
+    if retry > 0 then
+      List.iter
+        (fun (p, u, up) ->
+          if not (node_failed u) then
+            recovery :=
+              ( 1,
+                1,
+                {
+                  f_src = v;
+                  f_src_port = p;
+                  f_dst = u;
+                  f_dst_port = up;
+                  f_msg = Message.timeout;
+                  f_informed = false;
+                  f_seq = 0;
+                  f_sent_round = round;
+                  f_depth = 1;
+                } )
+              :: !recovery)
+        (Graph.neighbors g v)
+  in
   let process_crashes step =
     match plan with
     | None -> ()
@@ -219,7 +303,8 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
         (fun (v, s) ->
           if s = step && v >= 0 && v < n && (not crashed.(v)) && not dead.(v) then begin
             crashed.(v) <- true;
-            observe_fault ~sq:!seq step (Obs.Event.Crashed v)
+            observe_fault ~sq:!seq step (Obs.Event.Crashed v);
+            signal_failure v step
           end)
         p.Fault_plan.crashes
   in
@@ -240,7 +325,10 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
           1 + Random.State.int delay_st (max 1 mx)
         | Some _ | None -> 0
       in
-      if dropped then observe_fault ~sq:fl.f_seq round Obs.Event.Msg_dropped
+      if dropped then begin
+        observe_fault ~sq:fl.f_seq round Obs.Event.Msg_dropped;
+        schedule_retransmit fl
+      end
       else begin
         if delay_by > 0 then begin
           observe_fault ~sq:fl.f_seq round (Obs.Event.Msg_delayed delay_by);
@@ -252,6 +340,38 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
           stage_push round fl
         end
       end
+  in
+  (* One copy onto the wire: the legacy [?loss] knob first (now a typed
+     [Fault Msg_dropped], visible to verdicts and to the retransmit
+     channel), then the plan's channels. *)
+  let transmit round fl =
+    if lost () then begin
+      observe_fault ~sq:fl.f_seq round Obs.Event.Msg_dropped;
+      schedule_retransmit fl
+    end
+    else inject round fl
+  in
+  let tick_recovery round =
+    match !recovery with
+    | [] -> ()
+    | _ ->
+      let due, held = List.partition (fun (c, _, _) -> c <= 1) !recovery in
+      recovery := List.map (fun (c, a, fl) -> (c - 1, a, fl)) held;
+      List.iter
+        (fun (_, attempt, fl) ->
+          (* Crash-stop: a failed node retransmits nothing, and a failed
+             sender no longer owns a timer to be notified by. *)
+          let actor = if Message.is_timeout fl.f_msg then fl.f_dst else fl.f_src in
+          if not (node_failed actor) then begin
+            observe
+              {
+                Obs.Event.seq = fl.f_seq;
+                round;
+                kind = Obs.Event.Recover (Obs.Event.Msg_retransmitted attempt);
+              };
+            if Message.is_timeout fl.f_msg then push fl else transmit round fl
+          end)
+        (List.rev due)
   in
   let emit v round ~depth sends =
     List.iter
@@ -279,19 +399,18 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
                   depth;
                 };
           };
-        if not (lost ()) then
-          inject round
-            {
-              f_src = v;
-              f_src_port = port;
-              f_dst = dst;
-              f_dst_port = dst_port;
-              f_msg = msg;
-              f_informed = informed.(v);
-              f_seq = !seq;
-              f_sent_round = round;
-              f_depth = depth;
-            };
+        transmit round
+          {
+            f_src = v;
+            f_src_port = port;
+            f_dst = dst;
+            f_dst_port = dst_port;
+            f_msg = msg;
+            f_informed = informed.(v);
+            f_seq = !seq;
+            f_sent_round = round;
+            f_depth = depth;
+          };
         incr seq)
       sends
   in
@@ -305,7 +424,8 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
       (fun v ->
         if v >= 0 && v < n && v <> source && not dead.(v) then begin
           dead.(v) <- true;
-          observe_fault ~sq:0 0 (Obs.Event.Dead v)
+          observe_fault ~sq:0 0 (Obs.Event.Dead v);
+          signal_failure v 0
         end)
       p.Fault_plan.dead);
   process_crashes 0;
@@ -316,8 +436,11 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
   let deliver ev round =
     if dead.(ev.f_dst) || crashed.(ev.f_dst) then begin
       (* Swallowed by a failed receiver: recorded as a drop so replay's
-         in-flight balance still closes, but no [Deliver] is emitted. *)
+         in-flight balance still closes, but no [Deliver] is emitted.
+         With the retransmit channel on, the failure is detectable — the
+         sender's timer will fire instead of more futile copies. *)
       observe_fault ~sq:ev.f_seq round Obs.Event.Msg_dropped;
+      schedule_timeout ev;
       []
     end
     else begin
@@ -375,16 +498,18 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
           flush_stage ();
           round_loop ()
         end
-        else if !delayed <> [] then begin
+        else if !delayed <> [] || !recovery <> [] then begin
           incr rounds;
           process_crashes !rounds;
           tick_delayed ();
+          tick_recovery !rounds;
           round_loop ()
         end
       | _ :: _ ->
         incr rounds;
         process_crashes !rounds;
         tick_delayed ();
+        tick_recovery !rounds;
         let responses =
           List.map
             (fun ev ->
@@ -409,16 +534,18 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
           flush_stage ();
           loop ()
         end
-        else if !delayed <> [] then begin
+        else if !delayed <> [] || !recovery <> [] then begin
           incr rounds;
           process_crashes !rounds;
           tick_delayed ();
+          tick_recovery !rounds;
           loop ()
         end
       | Some ev ->
         incr rounds;
         process_crashes !rounds;
         tick_delayed ();
+        tick_recovery !rounds;
         let sends = deliver ev !rounds in
         emit ev.f_dst !rounds ~depth:(ev.f_depth + 1) sends;
         if Obs.Counting.sent counts > max_messages then cutoff := true else loop ()

@@ -59,6 +59,7 @@ val run :
   ?sinks:Obs.Sink.t list ->
   ?loss:float * int ->
   ?faults:Fault_plan.t ->
+  ?retry:int ->
   advice:(int -> Bitstring.Bitbuf.t) ->
   Netgraph.Graph.t ->
   source:int ->
@@ -82,8 +83,27 @@ val run :
     receiver becomes informed.  The runner never closes the given sinks;
     the caller does, after [run] returns.
 
-    [loss] is [(p, seed)]: each message is dropped after sending with
-    probability [p], deterministically in [seed].
+    [loss] is [(p, seed)]: each copy placed on the wire is dropped with
+    probability [p], deterministically in [seed].  Every loss is emitted
+    as a typed [Fault Msg_dropped] event, exactly like a fault plan's
+    drop channel, so verdicts and replay audits see it.
+
+    [retry] (default [0]: recovery off) arms the ack/retransmit channel:
+    when a copy of a message is destroyed in flight (plan drop or
+    [loss]), the sender's per-message timer fires after an exponential
+    backoff (1, 2, 4, … scheduler steps per attempt) and a fresh copy is
+    re-enqueued — facing the loss and fault channels again — at most
+    [retry] times per sequence number.  Each re-enqueue is a typed
+    [Recover (Msg_retransmitted attempt)] event carrying the original
+    [seq]; retransmissions are never [Send] events and never count
+    against the paper's message complexity.  A receiver that
+    crash-stopped (or started dead) is detectably failed, so the channel
+    consumes a single retry to deliver {!Message.timeout} back to the
+    sender on the port the message left through — the sender's timer
+    firing for good — which hardened schemes answer by re-flooding
+    around the failure ({!Message.reflood}) and plain schemes ignore.
+    All of it derives from the same seeds, so runs replay
+    bit-identically.  Raises [Invalid_argument] if [retry < 0].
 
     [faults] (default {!Fault_plan.none}) turns the run adversarial: the
     message- and node-level faults of the plan are injected between

@@ -465,10 +465,10 @@ let clean_stream =
     { Event.seq = 1; round = 1; kind = Event.Wake 1 };
   ]
 
-let budgets ~clean ~degraded = { Fault.Verdict.clean; degraded }
+let budgets ?(recovery = 0) ~clean ~degraded () = { Fault.Verdict.clean; degraded; recovery }
 
 let test_verdict_completed_and_degraded () =
-  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4) clean_stream with
+  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4 ()) clean_stream with
   | Fault.Verdict.Completed -> ()
   | v -> Alcotest.failf "expected completed, got %s" (Fault.Verdict.to_string v));
   (* a fallback decision downgrades an otherwise clean run *)
@@ -476,13 +476,13 @@ let test_verdict_completed_and_degraded () =
     { Event.seq = 0; round = 0; kind = Event.Decide (1, Fault.Verdict.fallback_tag) }
     :: clean_stream
   in
-  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4) with_fallback with
+  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4 ()) with_fallback with
   | Fault.Verdict.Degraded reason ->
     check_bool "reason names the fallback" true
       (String.length reason >= 15 && String.sub reason 0 15 = "advice-fallback")
   | v -> Alcotest.failf "expected degraded, got %s" (Fault.Verdict.to_string v));
   (* blowing the clean budget alone also degrades *)
-  match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:0 ~degraded:4) clean_stream with
+  match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:0 ~degraded:4 ()) clean_stream with
   | Fault.Verdict.Degraded reason ->
     check_bool "reason names the budget" true
       (String.length reason >= 17 && String.sub reason 0 17 = "over-clean-budget")
@@ -490,7 +490,7 @@ let test_verdict_completed_and_degraded () =
 
 let test_verdict_stalled_and_exclusion () =
   (* with n = 3 the same stream leaves node 2 uninformed *)
-  (match Fault.Verdict.classify ~n:3 ~budgets:(budgets ~clean:5 ~degraded:9) clean_stream with
+  (match Fault.Verdict.classify ~n:3 ~budgets:(budgets ~clean:5 ~degraded:9 ()) clean_stream with
   | Fault.Verdict.Stalled { informed; survivors; n } ->
     check_int "informed" 2 informed;
     check_int "survivors" 3 survivors;
@@ -500,7 +500,7 @@ let test_verdict_stalled_and_exclusion () =
   let with_dead =
     { Event.seq = 0; round = 0; kind = Event.Fault (Event.Dead 2) } :: clean_stream
   in
-  match Fault.Verdict.classify ~n:3 ~budgets:(budgets ~clean:5 ~degraded:9) with_dead with
+  match Fault.Verdict.classify ~n:3 ~budgets:(budgets ~clean:5 ~degraded:9 ()) with_dead with
   | Fault.Verdict.Degraded reason ->
     check_bool "reason names the failure" true
       (String.length reason >= 13 && String.sub reason 0 13 = "node-failures")
@@ -508,7 +508,7 @@ let test_verdict_stalled_and_exclusion () =
 
 let test_verdict_violations () =
   (* degraded budget blown *)
-  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:0 ~degraded:0) clean_stream with
+  (match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:0 ~degraded:0 ()) clean_stream with
   | Fault.Verdict.Violated _ -> ()
   | v -> Alcotest.failf "expected violated, got %s" (Fault.Verdict.to_string v));
   (* a send by a non-woken node breaks wakeup silence — but only when the
@@ -522,7 +522,7 @@ let test_verdict_violations () =
     ]
   in
   (match
-     Fault.Verdict.classify ~check_silence:true ~n:2 ~budgets:(budgets ~clean:5 ~degraded:9)
+     Fault.Verdict.classify ~check_silence:true ~n:2 ~budgets:(budgets ~clean:5 ~degraded:9 ())
        silent_break
    with
   | Fault.Verdict.Violated _ -> ()
@@ -534,7 +534,7 @@ let test_verdict_violations () =
       { Event.seq = 1; round = 0; kind = Event.Send (send_link ~src:0 ~dst:1 ~informed:true) };
     ]
   in
-  match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:5 ~degraded:9) runaway with
+  match Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:5 ~degraded:9 ()) runaway with
   | Fault.Verdict.Violated _ -> ()
   | v -> Alcotest.failf "expected runaway violation, got %s" (Fault.Verdict.to_string v)
 
@@ -549,6 +549,229 @@ let test_verdict_strings_and_acceptability () =
   check_string "completed" "completed" (Fault.Verdict.to_string Fault.Verdict.Completed);
   check_string "stalled" "stalled: 1/2 survivors informed (n=3)"
     (Fault.Verdict.to_string (Fault.Verdict.Stalled { informed = 1; survivors = 2; n = 3 }))
+
+(* {1 Recovery: the ack/retransmit channel and error-protected advice} *)
+
+let sparse24 () = Families.build Families.Sparse_random ~n:24 ~seed:42
+
+let test_verdict_cutoff_violates () =
+  (* A run stopped by the message cutoff never drained: it must classify
+     as a violation, not as a stalled-but-graceful run. *)
+  (match
+     Fault.Verdict.classify ~quiescent:false ~n:3 ~budgets:(budgets ~clean:5 ~degraded:9 ())
+       clean_stream
+   with
+  | Fault.Verdict.Violated reason ->
+    check_bool "reason names the cutoff" true
+      (String.length reason >= 14 && String.sub reason 0 14 = "message-cutoff")
+  | v -> Alcotest.failf "expected cutoff violation, got %s" (Fault.Verdict.to_string v));
+  (* end to end: a tiny max_messages forces the cutoff *)
+  let o = Fault.Harness.run ~max_messages:3 Fault.Harness.Broadcast (tree24 ()) ~source:0 in
+  match o.Fault.Harness.verdict with
+  | Fault.Verdict.Violated _ -> ()
+  | v -> Alcotest.failf "harness cutoff: expected violated, got %s" (Fault.Verdict.to_string v)
+
+let recovery_stream =
+  (* send, dropped in flight, retransmitted once, finally delivered *)
+  [
+    { Event.seq = 0; round = 0; kind = Event.Wake 0 };
+    { Event.seq = 1; round = 0; kind = Event.Send (send_link ~src:0 ~dst:1 ~informed:true) };
+    { Event.seq = 1; round = 0; kind = Event.Fault Event.Msg_dropped };
+    { Event.seq = 1; round = 1; kind = Event.Recover (Event.Msg_retransmitted 1) };
+    { Event.seq = 1; round = 2; kind = Event.Deliver (send_link ~src:0 ~dst:1 ~informed:true) };
+    { Event.seq = 1; round = 2; kind = Event.Wake 1 };
+  ]
+
+let test_verdict_recovery_budget () =
+  (* within the recovery budget a retransmission only degrades *)
+  (match
+     Fault.Verdict.classify ~n:2
+       ~budgets:(budgets ~clean:1 ~degraded:4 ~recovery:2 ())
+       recovery_stream
+   with
+  | Fault.Verdict.Degraded reason ->
+    check_bool "reason mentions retransmissions" true
+      (String.length reason > 0
+      && Option.is_some (String.index_opt reason 'r'))
+  | v -> Alcotest.failf "expected degraded, got %s" (Fault.Verdict.to_string v));
+  (* a zero recovery budget makes the same stream a violation *)
+  (match
+     Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4 ()) recovery_stream
+   with
+  | Fault.Verdict.Violated reason ->
+    check_bool "reason names the recovery budget" true
+      (String.length reason >= 15 && String.sub reason 0 15 = "recovery-budget")
+  | v -> Alcotest.failf "expected violated, got %s" (Fault.Verdict.to_string v));
+  (* corrected advice bits never downgrade a completed run *)
+  let corrected_stream =
+    { Event.seq = 0; round = 0; kind = Event.Recover (Event.Advice_corrected (1, 2)) }
+    :: clean_stream
+  in
+  match
+    Fault.Verdict.classify ~n:2 ~budgets:(budgets ~clean:1 ~degraded:4 ()) corrected_stream
+  with
+  | Fault.Verdict.Completed -> ()
+  | v -> Alcotest.failf "corrections must stay completed, got %s" (Fault.Verdict.to_string v)
+
+let test_loss_emits_typed_drops () =
+  (* the runner's loss knob must flow through the typed fault channel:
+     every loss is a [Fault Msg_dropped] event in the stream *)
+  let g = Gen.complete 12 in
+  let collect, collected = Obs.Sink.collect () in
+  let r =
+    Sim.Runner.run ~sinks:[ collect ] ~loss:(0.3, 5) ~advice:no_advice g ~source:0
+      Sim.Scheme.flooding
+  in
+  let s = Obs.Counting.of_events (collected ()) in
+  check_bool "losses recorded as typed drops" true (s.Obs.Counting.dropped > 0);
+  check_bool "losses count as faults in the stats" true
+    (r.Sim.Runner.stats.Sim.Runner.faults >= s.Obs.Counting.dropped);
+  check_int "loss balance" (s.Obs.Counting.sent - s.Obs.Counting.dropped)
+    s.Obs.Counting.delivered
+
+let test_retry_reenqueues_lost_copies () =
+  (* with retries armed, flooding on a path survives heavy loss *)
+  let g = Gen.path 6 in
+  let collect, collected = Obs.Sink.collect () in
+  let r =
+    Sim.Runner.run ~sinks:[ collect ] ~loss:(0.4, 9) ~retry:8 ~advice:no_advice g ~source:0
+      Sim.Scheme.flooding
+  in
+  let s = Obs.Counting.of_events (collected ()) in
+  check_bool "retransmissions happened" true (s.Obs.Counting.retransmits > 0);
+  check_bool "the path is fully informed despite 40% loss" true r.Sim.Runner.all_informed;
+  check_int "recovery balance"
+    (s.Obs.Counting.sent + s.Obs.Counting.duplicated + s.Obs.Counting.retransmits
+    - s.Obs.Counting.dropped)
+    s.Obs.Counting.delivered;
+  (match Sim.Runner.run ~retry:(-1) ~advice:no_advice g ~source:0 Sim.Scheme.flooding with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative retry must be rejected")
+
+let test_retry_heals_drop_and_crash_grid () =
+  (* The acceptance property: with the retransmit channel armed, the
+     builtin drop and crash plans no longer stall a single run across the
+     full plan x scheduler x family grid, for both protocols. *)
+  let graphs = [ ("tree", tree24 ()); ("sparse", sparse24 ()); ("G_{n,S}", hard12 ()) ] in
+  let plans =
+    List.filter
+      (fun (name, _) ->
+        String.starts_with ~prefix:"drop" name || String.starts_with ~prefix:"crash" name)
+      Plan.builtins
+  in
+  check_int "three plans under test" 3 (List.length plans);
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (plan_name, plan) ->
+      (* Plans that also tamper with advice need the ECC half of the
+         recovery stack; retransmission alone cannot undo a flipped bit. *)
+      let protect =
+        if contains_sub plan_name "advice-flip" then Bitstring.Ecc.Hamming
+        else Bitstring.Ecc.Raw
+      in
+      List.iter
+        (fun scheduler ->
+          List.iter
+            (fun (gname, g) ->
+              List.iter
+                (fun protocol ->
+                  let o =
+                    Fault.Harness.run ~scheduler ~plan ~protect ~retry:3 protocol g ~source:0
+                  in
+                  let label =
+                    Printf.sprintf "%s %s %s %s"
+                      (Fault.Harness.protocol_name protocol)
+                      gname
+                      (Sim.Scheduler.name scheduler)
+                      plan_name
+                  in
+                  match o.Fault.Harness.verdict with
+                  | Fault.Verdict.Completed | Fault.Verdict.Degraded _ -> ()
+                  | v -> Alcotest.failf "%s: %s" label (Fault.Verdict.to_string v))
+                [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ])
+            graphs)
+        Sim.Scheduler.default_suite)
+    plans
+
+let test_protection_absorbs_single_flips () =
+  (* The other acceptance property: under a single-bit flip plan, Hamming
+     protection classifies Completed — the ECC layer absorbs the attack
+     without any flooding fallback — at no more than 3x the raw advice. *)
+  let plan = Plan.of_string_exn "advice-flip=1,seed=5" in
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun protocol ->
+          let o =
+            Fault.Harness.run ~plan ~protect:Bitstring.Ecc.Hamming protocol g ~source:0
+          in
+          let label = Fault.Harness.protocol_name protocol ^ " on " ^ gname in
+          (match o.Fault.Harness.verdict with
+          | Fault.Verdict.Completed -> ()
+          | v -> Alcotest.failf "%s: expected completed, got %s" label (Fault.Verdict.to_string v));
+          check_bool (label ^ ": protected advice <= 3x raw") true
+            (o.Fault.Harness.advice_bits <= 3 * o.Fault.Harness.raw_advice_bits);
+          check_int (label ^ ": no fallbacks") 0 (List.length o.Fault.Harness.fallbacks);
+          check_bool (label ^ ": the correction is recorded") true
+            (List.length o.Fault.Harness.corrected = List.length o.Fault.Harness.tampered);
+          check_bool (label ^ ": all informed") true
+            o.Fault.Harness.result.Sim.Runner.all_informed)
+        [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ])
+    [ ("tree", tree24 ()); ("sparse", sparse24 ()) ]
+
+let test_unprotected_flip_falls_back () =
+  (* the contrast: the same plan without protection must pay the fallback *)
+  let plan = Plan.of_string_exn "advice-flip=1,seed=5" in
+  let o = Fault.Harness.run ~plan Fault.Harness.Wakeup (tree24 ()) ~source:0 in
+  check_bool "raw advice cannot absorb a flip silently" true
+    (o.Fault.Harness.verdict <> Fault.Verdict.Completed
+    || List.length o.Fault.Harness.fallbacks > 0
+    || o.Fault.Harness.result.Sim.Runner.stats.Sim.Runner.sent > Graph.n (tree24 ()) - 1
+    || not o.Fault.Harness.result.Sim.Runner.all_informed)
+
+let test_recovery_determinism_and_replay () =
+  (* identical plan + protection + retry + scheduler: bit-identical
+     streams, and the replayer's balance holds with retransmissions *)
+  let g = sparse24 () in
+  let plan = Plan.of_string_exn "drop=0.1,crash=1@3,advice-flip=1,seed=7" in
+  let run () =
+    Fault.Harness.run ~scheduler:(Sim.Scheduler.Async_random 3) ~plan
+      ~protect:Bitstring.Ecc.Hamming ~retry:3 Fault.Harness.Wakeup g ~source:0
+  in
+  let a = run () and b = run () in
+  check_int "same stream length" (List.length a.Fault.Harness.events)
+    (List.length b.Fault.Harness.events);
+  List.iter2
+    (fun x y -> check_bool "bit-identical recovery streams" true (Event.equal x y))
+    a.Fault.Harness.events b.Fault.Harness.events;
+  check_bool "verdicts agree" true (a.Fault.Harness.verdict = b.Fault.Harness.verdict);
+  check_bool "the run recovered" true (Fault.Verdict.acceptable a.Fault.Harness.verdict);
+  let replayed = Obs.Replay.replay ~n:(Graph.n g) a.Fault.Harness.events in
+  check_int "replay agrees on sends" a.Fault.Harness.result.Sim.Runner.stats.Sim.Runner.sent
+    replayed.Obs.Replay.summary.Obs.Counting.sent;
+  check_int "replay balance closes with retransmissions" 0 replayed.Obs.Replay.in_flight
+
+let test_recovery_budget_end_to_end () =
+  (* the harness recovery budget scales with retry; retry=0 keeps the
+     PR 2 classification bit for bit *)
+  let g = Gen.path 4 in
+  let b0 = Fault.Harness.budgets Fault.Harness.Wakeup g in
+  check_int "no retry, no recovery budget" 0 b0.Fault.Verdict.recovery;
+  let b3 = Fault.Harness.budgets ~retry:3 Fault.Harness.Wakeup g in
+  check_int "recovery = retry x degraded" (3 * b3.Fault.Verdict.degraded)
+    b3.Fault.Verdict.recovery;
+  let plan = Plan.of_string_exn "drop=0.1,seed=7" in
+  let o0 = Fault.Harness.run ~plan Fault.Harness.Wakeup (tree24 ()) ~source:0 in
+  let o0' = Fault.Harness.run ~plan ~retry:0 Fault.Harness.Wakeup (tree24 ()) ~source:0 in
+  check_int "retry=0 is the default stream" (List.length o0.Fault.Harness.events)
+    (List.length o0'.Fault.Harness.events);
+  List.iter2
+    (fun x y -> check_bool "identical" true (Event.equal x y))
+    o0.Fault.Harness.events o0'.Fault.Harness.events
 
 let suite =
   [
@@ -589,4 +812,18 @@ let suite =
     Alcotest.test_case "verdict: violations" `Quick test_verdict_violations;
     Alcotest.test_case "verdict: strings and acceptability" `Quick
       test_verdict_strings_and_acceptability;
+    Alcotest.test_case "verdict: cutoff violates" `Quick test_verdict_cutoff_violates;
+    Alcotest.test_case "verdict: recovery budget" `Quick test_verdict_recovery_budget;
+    Alcotest.test_case "runner: loss emits typed drops" `Quick test_loss_emits_typed_drops;
+    Alcotest.test_case "runner: retry re-enqueues lost copies" `Quick
+      test_retry_reenqueues_lost_copies;
+    Alcotest.test_case "recovery: retry heals drop and crash grid" `Quick
+      test_retry_heals_drop_and_crash_grid;
+    Alcotest.test_case "recovery: hamming absorbs single flips" `Quick
+      test_protection_absorbs_single_flips;
+    Alcotest.test_case "recovery: unprotected flip falls back" `Quick
+      test_unprotected_flip_falls_back;
+    Alcotest.test_case "recovery: deterministic and replayable" `Quick
+      test_recovery_determinism_and_replay;
+    Alcotest.test_case "recovery: budgets end to end" `Quick test_recovery_budget_end_to_end;
   ]

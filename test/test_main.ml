@@ -4,6 +4,7 @@ let () =
       ("bitbuf", Test_bitbuf.suite);
       ("binary", Test_binary.suite);
       ("codes", Test_codes.suite);
+      ("ecc", Test_ecc.suite);
       ("graph", Test_graph.suite);
       ("gen", Test_gen.suite);
       ("traverse", Test_traverse.suite);
