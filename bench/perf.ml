@@ -1,0 +1,287 @@
+(* Tracked performance benchmark of the simulation hot path.
+
+   [dune build @perf] produces BENCH_perf.json: messages/sec, rounds/sec
+   and GC minor words per delivered message for the wakeup and broadcast
+   schemes on the path / clique / G_{n,S} families, at sizes up to
+   n = 10^6 (PERF_MAX_N caps the sweep; CI runs it at 10^4).  The
+   checked-in copy at the repository root is the baseline future PRs
+   regress against: --baseline=FILE fails the run (exit 1) if any
+   matching row's messages/sec drops below half the recorded value.
+
+   Schema ("oracle-size/perf/v1"): a top-level object with "schema",
+   "max_n" and "rows"; each row carries protocol, family, n, m,
+   advice_bits, messages, rounds, reps, seconds, msgs_per_sec,
+   rounds_per_sec, minor_words_per_msg, all_informed, quiescent.
+   The row set may grow in later versions; field meanings may not change.
+
+   Wakeup rows double as a correctness gate: the paper's Theorem 2.1
+   count (exactly n-1 messages, every node informed, quiescent) is
+   asserted at every size, 10^6 included. *)
+
+module Graph = Netgraph.Graph
+
+let seed = 42
+
+type row = {
+  protocol : string;
+  family : string;
+  n : int;
+  m : int;
+  advice_bits : int;
+  messages : int;
+  rounds : int;
+  reps : int;
+  seconds : float;
+  msgs_per_sec : float;
+  rounds_per_sec : float;
+  minor_words_per_msg : float;
+  all_informed : bool;
+  quiescent : bool;
+}
+
+(* {1 Workloads} *)
+
+let build_family = function
+  | "path" -> fun n -> Netgraph.Gen.path n
+  | "clique" -> fun n -> Netgraph.Gen.complete n
+  | "gns" -> fun n -> fst (Oracle_core.Lower_bound.wakeup_hard_graph ~n ~seed)
+  | f -> invalid_arg ("perf: unknown family " ^ f)
+
+(* Per-family size caps below the sweep ceiling: a 10^4 clique already
+   carries 5*10^7 edges (the quadratic families bound memory, not the
+   runner), so quadratic families stop at 10^3 and the cap is logged
+   rather than silently dropped. *)
+let families = [ ("path", 1_000_000); ("clique", 1_000); ("gns", 1_000) ]
+let sizes = [ 1_000; 10_000; 100_000; 1_000_000 ]
+
+let wakeup_workload g =
+  let o = Oracle_core.Wakeup.oracle () in
+  let advice = o.Oracles.Oracle.advise g ~source:0 in
+  (Oracles.Advice.size_bits advice, Oracles.Advice.get advice, Oracle_core.Wakeup.scheme ())
+
+let broadcast_workload g =
+  let o = Oracle_core.Broadcast.oracle () in
+  let advice = o.Oracles.Oracle.advise g ~source:0 in
+  (Oracles.Advice.size_bits advice, Oracles.Advice.get advice, Oracle_core.Broadcast.scheme ())
+
+let workloads = [ ("wakeup", wakeup_workload); ("broadcast", broadcast_workload) ]
+
+(* {1 Measurement} *)
+
+let measure ~protocol ~family g =
+  let n = Graph.n g in
+  let advice_bits, advice, factory =
+    (List.assoc protocol workloads) g
+  in
+  let run () =
+    Sim.Runner.run ~max_messages:(5 * n) ~advice g ~source:0 factory
+  in
+  (* Timing is CPU time ([Sys.time]), not wall clock: the benchmark is
+     single-threaded and does no I/O inside the timed region, so CPU
+     time is the quantity we are optimising, and it is immune to the
+     preemption noise of a shared machine (where a wall-clock pass can
+     eat a 2x scheduling hit).  Repeat small runs so each pass covers
+     >= ~2*10^5 messages, and take the best of three passes.
+     [Gc.compact] first, so heap state left over from earlier rows (a
+     fragmented major heap measurably distorts the smaller sizes) never
+     leaks into this one; one warmup run re-primes code paths and
+     allocator state. *)
+  let reps = max 1 (200_000 / n) in
+  Gc.compact ();
+  ignore (run ());
+  let minor0 = Gc.minor_words () in
+  let last = ref (run ()) in
+  let minor = Gc.minor_words () -. minor0 in
+  let dt = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      last := run ()
+    done;
+    let d = Sys.time () -. t0 in
+    if d < !dt then dt := d
+  done;
+  let dt = !dt in
+  let r = !last in
+  let sent = r.Sim.Runner.stats.Sim.Runner.sent in
+  let rounds = r.Sim.Runner.stats.Sim.Runner.rounds in
+  let per_run = dt /. float_of_int reps in
+  {
+    protocol;
+    family;
+    n;
+    m = Graph.m g;
+    advice_bits;
+    messages = sent;
+    rounds;
+    reps;
+    seconds = dt;
+    msgs_per_sec = (if per_run > 0.0 then float_of_int sent /. per_run else 0.0);
+    rounds_per_sec = (if per_run > 0.0 then float_of_int rounds /. per_run else 0.0);
+    minor_words_per_msg = (if sent > 0 then minor /. float_of_int sent else 0.0);
+    (* minor is measured over the single post-warmup run above *)
+    all_informed = r.Sim.Runner.all_informed;
+    quiescent = r.Sim.Runner.quiescent;
+  }
+
+let assert_row row =
+  (* The benchmark is also a correctness gate: a fast runner that loses
+     the paper's counts is worthless. *)
+  if not (row.all_informed && row.quiescent) then begin
+    Printf.eprintf "perf: %s on %s n=%d did not complete (informed=%b quiescent=%b)\n"
+      row.protocol row.family row.n row.all_informed row.quiescent;
+    exit 1
+  end;
+  if row.protocol = "wakeup" && row.messages <> row.n - 1 then begin
+    Printf.eprintf "perf: wakeup on %s n=%d sent %d messages, expected exactly n-1 = %d\n"
+      row.family row.n row.messages (row.n - 1);
+    exit 1
+  end
+
+(* {1 JSON out} *)
+
+let row_to_json r =
+  Printf.sprintf
+    {|{"protocol":"%s","family":"%s","n":%d,"m":%d,"advice_bits":%d,"messages":%d,"rounds":%d,"reps":%d,"seconds":%.6f,"msgs_per_sec":%.1f,"rounds_per_sec":%.1f,"minor_words_per_msg":%.2f,"all_informed":%b,"quiescent":%b}|}
+    r.protocol r.family r.n r.m r.advice_bits r.messages r.rounds r.reps r.seconds
+    r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg r.all_informed r.quiescent
+
+let write_json file ~max_n rows =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"schema\": \"oracle-size/perf/v1\",\n  \"max_n\": %d,\n  \"rows\": [\n"
+    max_n;
+  List.iteri
+    (fun i r ->
+      output_string oc ("    " ^ row_to_json r);
+      if i < List.length rows - 1 then output_string oc ",";
+      output_char oc '\n')
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc
+
+(* {1 Baseline comparison}
+
+   The baseline file is our own stable schema, so a full JSON parser is
+   not needed: each row lives on one line, and we extract the keyed
+   fields with string searches. *)
+
+let find_field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat in
+  let rec search i =
+    if i + plen > String.length line then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else search (i + 1)
+  in
+  match search 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    let len = String.length line in
+    while !stop < len && (match line.[!stop] with ',' | '}' -> false | _ -> true) do
+      incr stop
+    done;
+    Some (String.sub line start (!stop - start))
+
+let strip_quotes s =
+  let s = String.trim s in
+  if String.length s >= 2 && s.[0] = '"' then String.sub s 1 (String.length s - 2) else s
+
+let read_baseline file =
+  let ic = open_in file in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( find_field line "protocol",
+           find_field line "family",
+           find_field line "n",
+           find_field line "msgs_per_sec" )
+       with
+       | Some p, Some f, Some n, Some mps -> (
+         match (int_of_string_opt (String.trim n), float_of_string_opt (String.trim mps)) with
+         | Some n, Some mps -> rows := ((strip_quotes p, strip_quotes f, n), mps) :: !rows
+         | _ -> ())
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !rows
+
+let check_baseline file rows =
+  if not (Sys.file_exists file) then
+    Printf.printf "perf: baseline %s not found, skipping regression check\n" file
+  else begin
+    let baseline = read_baseline file in
+    let failures = ref 0 in
+    List.iter
+      (fun r ->
+        match List.assoc_opt (r.protocol, r.family, r.n) baseline with
+        | None -> ()
+        | Some base ->
+          if r.msgs_per_sec < base /. 2.0 then begin
+            incr failures;
+            Printf.eprintf
+              "perf: REGRESSION %s/%s n=%d: %.0f msgs/s is less than half the baseline %.0f\n"
+              r.protocol r.family r.n r.msgs_per_sec base
+          end
+          else
+            Printf.printf "perf: %s/%s n=%d ok vs baseline (%.0f vs %.0f msgs/s)\n" r.protocol
+              r.family r.n r.msgs_per_sec base)
+      rows;
+    if !failures > 0 then exit 1
+  end
+
+(* {1 Driver} *)
+
+let () =
+  let out = ref "BENCH_perf.json" in
+  let max_n = ref 1_000_000 in
+  let baseline = ref "" in
+  List.iter
+    (fun a ->
+      let with_prefix p f =
+        if String.starts_with ~prefix:p a then begin
+          f (String.sub a (String.length p) (String.length a - String.length p));
+          true
+        end
+        else false
+      in
+      if
+        not
+          (with_prefix "--out=" (fun v -> out := v)
+          || with_prefix "--max-n=" (fun v -> max_n := int_of_string v)
+          || with_prefix "--baseline=" (fun v -> baseline := v))
+      then begin
+        Printf.eprintf "usage: perf [--out=FILE] [--max-n=N] [--baseline=FILE]\n";
+        exit 2
+      end)
+    (List.tl (Array.to_list Sys.argv));
+  let rows = ref [] in
+  List.iter
+    (fun (family, cap) ->
+      let build = build_family family in
+      List.iter
+        (fun n ->
+          if n > !max_n then ()
+          else if n > cap then
+            Printf.printf "perf: skipping %s at n=%d (family capped at %d: quadratic size)\n"
+              family n cap
+          else begin
+            let g = build n in
+            List.iter
+              (fun (protocol, _) ->
+                let r = measure ~protocol ~family g in
+                assert_row r;
+                Printf.printf "perf: %-9s %-6s n=%-7d %9.0f msgs/s %9.0f rounds/s %6.1f words/msg\n"
+                  r.protocol r.family r.n r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg;
+                rows := r :: !rows)
+              workloads
+          end)
+        sizes)
+    families;
+  let rows = List.rev !rows in
+  write_json !out ~max_n:!max_n rows;
+  Printf.printf "perf: wrote %d rows to %s\n" (List.length rows) !out;
+  if !baseline <> "" then check_baseline !baseline rows

@@ -500,6 +500,77 @@ let spanner_cmd =
     (Cmd.info "spanner" ~doc:"Build a greedy t-spanner and its port oracle.")
     Term.(const run $ family_arg $ n_arg $ seed_arg $ stretch_arg)
 
+(* {1 perf} *)
+
+let perf_cmd =
+  let protocol_arg =
+    Arg.(
+      value & opt string "wakeup"
+      & info [ "protocol" ] ~docv:"PROTO" ~doc:"Protocol to time: wakeup or broadcast.")
+  in
+  (* Unlike the other commands this one defaults to the path family:
+     perf runs invite n = 10^5..10^6, where the sparse-random default
+     would spend minutes in O(n^2) edge sampling before the first
+     timed round. *)
+  let family_arg =
+    Arg.(
+      value
+      & opt family_conv Families.Path
+      & info [ "f"; "family" ] ~docv:"FAMILY" ~doc:"Graph family (see $(b,graph --list)).")
+  in
+  (* A one-row interactive version of bench/perf.ml: build oracle and
+     advice once, time only [Sim.Runner.run] in CPU seconds (immune to
+     scheduling noise), report throughput and the minor-heap allocation
+     rate.  The tracked sweep with the stable JSON schema stays in
+     [dune build @perf]; this is the quick spot check. *)
+  let run family n seed source protocol =
+    let g = build family n seed in
+    let advice, factory =
+      match protocol with
+      | "wakeup" ->
+        let o = Oracle_core.Wakeup.oracle () in
+        (o.Oracles.Oracle.advise g ~source, Oracle_core.Wakeup.scheme ())
+      | "broadcast" ->
+        let o = Oracle_core.Broadcast.oracle () in
+        (o.Oracles.Oracle.advise g ~source, Oracle_core.Broadcast.scheme ())
+      | p ->
+        Printf.eprintf "oraclesize perf: unknown protocol %S (wakeup or broadcast)\n" p;
+        exit 2
+    in
+    let run () =
+      Sim.Runner.run ~max_messages:(5 * Graph.n g) ~advice:(Oracles.Advice.get advice) g
+        ~source factory
+    in
+    let reps = max 1 (200_000 / Graph.n g) in
+    ignore (run ());
+    let minor0 = Gc.minor_words () in
+    let r = run () in
+    let minor = Gc.minor_words () -. minor0 in
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (run ())
+    done;
+    let dt = (Sys.time () -. t0) /. float_of_int reps in
+    let sent = r.Sim.Runner.stats.Sim.Runner.sent in
+    Printf.printf "network:       %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+      (Graph.m g);
+    Printf.printf "protocol:      %s (advice %d bits)\n" protocol
+      (Oracles.Advice.size_bits advice);
+    Printf.printf "messages:      %d over %d rounds (reps %d)\n" sent
+      r.Sim.Runner.stats.Sim.Runner.rounds reps;
+    Printf.printf "throughput:    %.0f messages/sec, %.0f rounds/sec (CPU time)\n"
+      (if dt > 0.0 then float_of_int sent /. dt else 0.0)
+      (if dt > 0.0 then float_of_int r.Sim.Runner.stats.Sim.Runner.rounds /. dt else 0.0);
+    Printf.printf "allocation:    %.1f minor words/message\n"
+      (if sent > 0 then minor /. float_of_int sent else 0.0);
+    Printf.printf "completed:     informed %b, quiescent %b\n" r.Sim.Runner.all_informed
+      r.Sim.Runner.quiescent;
+    if not (r.Sim.Runner.all_informed && r.Sim.Runner.quiescent) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "perf" ~doc:"Time the simulation hot path (messages/sec, words/message).")
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ protocol_arg)
+
 let () =
   let doc = "oracle-size experiments: wakeup vs broadcast knowledge requirements" in
   let info = Cmd.info "oraclesize" ~version:"1.0.0" ~doc in
@@ -508,5 +579,5 @@ let () =
        (Cmd.group info
           [
             graph_cmd; wakeup_cmd; broadcast_cmd; separation_cmd; adversary_cmd; gossip_cmd;
-            explore_cmd; radio_cmd; mst_cmd; spanner_cmd;
+            explore_cmd; radio_cmd; mst_cmd; spanner_cmd; perf_cmd;
           ]))

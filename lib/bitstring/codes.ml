@@ -16,25 +16,34 @@ let write_port_list buf ~width ports =
     Bitbuf.add_bit buf false;
     List.iter (fun p -> Bitbuf.add_int buf ~width p) ports
 
+(* Decoding is on the hot path (every wake decodes its port list), so
+   the width accumulates in an int as the doubled bits stream in — no
+   intermediate bit list — and the ports build through an explicitly
+   sequenced recursion, so reads happen in stream order by construction
+   rather than by grace of [List.init]'s evaluation order. *)
 let read_port_list r =
   if Bitbuf.at_end r then []
   else begin
-    let width_bits = ref [] in
+    let width = ref 0 in
     let stop = ref false in
     while not !stop do
       let b1 = Bitbuf.read_bit r in
       let b2 = Bitbuf.read_bit r in
       match b1, b2 with
       | true, false -> stop := true
-      | true, true -> width_bits := true :: !width_bits
-      | false, false -> width_bits := false :: !width_bits
+      | true, true -> width := (!width lsl 1) lor 1
+      | false, false -> width := !width lsl 1
       | false, true -> invalid_arg "Codes.read_port_list: malformed width header"
     done;
-    let width = List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 (List.rev !width_bits) in
+    let width = !width in
     if width < 1 then invalid_arg "Codes.read_port_list: zero width";
     let rem = Bitbuf.remaining r in
     if rem mod width <> 0 then invalid_arg "Codes.read_port_list: payload not a multiple of width";
-    List.init (rem / width) (fun _ -> Bitbuf.read_int r ~width)
+    let rec ports k = if k = 0 then [] else
+      let p = Bitbuf.read_int r ~width in
+      p :: ports (k - 1)
+    in
+    ports (rem / width)
   end
 
 let port_list_length ~width ~count =

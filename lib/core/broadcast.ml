@@ -54,33 +54,66 @@ let oracle ?(tree = fun g ~root -> Spanning.light g ~root) ?(encoding = Marked) 
            weights))
 
 (* Scheme B.  kx = known incident ports; sx = ports through which M has
-   transited (sent or received); informed = has M. *)
+   transited (sent or received); informed = has M.
+
+   The state lives as flat structures, not functional sets: [pending]
+   holds kx \ sx in ascending port order (the order [Set.elements] used
+   to give, so traces are unchanged), [known] is a per-port membership
+   bitmap for kx.  A flush hands off [pending] whole instead of paying
+   a diff/union/elements round trip per delivery — the set churn, not
+   the runner, dominated the broadcast profile at n = 10^5. *)
+let rec sends_to msg = function
+  | [] -> []
+  | p :: rest -> (msg, p) :: sends_to msg rest
+
+let rec insert_port p l =
+  match l with
+  | [] -> [ p ]
+  | q :: rest -> if p < q then p :: l else if p = q then l else q :: insert_port p rest
+
+let rec remove_port p = function
+  | [] -> []
+  | q :: rest -> if q = p then rest else q :: remove_port p rest
+
 let scheme ?(encoding = Marked) () static =
-  let module IS = Set.Make (Int) in
-  let kx = ref (IS.of_list (decode_known_ports encoding static.Sim.History.advice)) in
-  let sx = ref IS.empty in
-  let informed = ref static.Sim.History.is_source in
+  let advice = static.Sim.History.advice in
+  let is_source = static.Sim.History.is_source in
+  let degree = static.Sim.History.degree in
+  let known = Bytes.make (max 1 degree) '\000' in
+  let pending =
+    let ports = List.sort_uniq compare (decode_known_ports encoding advice) in
+    (* An advised port beyond the degree stays out of the bitmap but in
+       [pending]: sending on it aborts the run exactly as it did when
+       kx was a set. *)
+    List.iter (fun p -> if p >= 0 && p < degree then Bytes.set known p '\001') ports;
+    ref ports
+  in
+  let informed = ref is_source in
+  let is_known p = p >= 0 && p < degree && Bytes.get known p <> '\000' in
+  let note p = if p >= 0 && p < degree then Bytes.set known p '\001' in
   let flush () =
     if !informed then begin
-      let fresh = IS.diff !kx !sx in
-      sx := IS.union !sx fresh;
-      List.map (fun p -> (Sim.Message.Source, p)) (IS.elements fresh)
+      let fresh = !pending in
+      pending := [];
+      sends_to Sim.Message.Source fresh
     end
     else []
   in
-  let on_start () =
-    if static.Sim.History.is_source then flush ()
-    else List.map (fun p -> (Sim.Message.Hello, p)) (IS.elements !kx)
-  in
+  let on_start () = if is_source then flush () else sends_to Sim.Message.Hello !pending in
   let on_receive msg ~port =
     match msg with
     | Sim.Message.Source ->
-      kx := IS.add port !kx;
-      sx := IS.add port !sx;
+      (* The informer's port joins kx and sx at once: an advised port we
+         have not yet used is retired unsent, a new port never becomes
+         pending at all. *)
+      if is_known port then pending := remove_port port !pending else note port;
       informed := true;
       flush ()
     | Sim.Message.Hello ->
-      kx := IS.add port !kx;
+      if not (is_known port) then begin
+        note port;
+        pending := insert_port port !pending
+      end;
       flush ()
     | Sim.Message.Control _ -> []
   in

@@ -47,17 +47,39 @@ let oracle ?(tree = fun g ~root -> Spanning.bfs g ~root) ?(encoding = Paper) () 
              encode_ports encoding ~n (Spanning.children_ports t v) buf;
              buf)))
 
+(* [rev_map (fun p -> ...) ports] without the closure; advised order is
+   not significant (the runner delivers each send independently), but we
+   keep stream order anyway for trace stability. *)
+let rec sends_of_ports = function
+  | [] -> []
+  | p :: rest -> (Sim.Message.Source, p) :: sends_of_ports rest
+
+let nothing () = []
+
 let scheme ?(encoding = Paper) () static =
+  (* Capture the one field the node needs, not the whole [History]
+     record: a million instantiations otherwise keep a million histories
+     live for the length of the run, and the minor GC promotes them all.
+     Same spirit for the closures themselves — the wake logic is inlined
+     into [on_receive] rather than shared via a [wake] closure, and the
+     non-source [on_start] is one closure for the whole run, so a
+     non-source node's live footprint is one record, one closure and one
+     ref.  Only the source (there is one) pays for an on-start
+     closure. *)
+  let advice = static.Sim.History.advice in
   let woken = ref false in
-  let wake () =
-    woken := true;
-    List.map (fun p -> (Sim.Message.Source, p)) (decode_ports encoding static.Sim.History.advice)
-  in
-  let on_start () = if static.Sim.History.is_source then wake () else [] in
   let on_receive msg ~port:_ =
     match msg with
-    | Sim.Message.Source when not !woken -> wake ()
+    | Sim.Message.Source when not !woken ->
+      woken := true;
+      sends_of_ports (decode_ports encoding advice)
     | Sim.Message.Source | Sim.Message.Hello | Sim.Message.Control _ -> []
+  in
+  let on_start =
+    if static.Sim.History.is_source then (fun () ->
+      woken := true;
+      sends_of_ports (decode_ports encoding advice))
+    else nothing
   in
   { Sim.Scheme.on_start; on_receive }
 

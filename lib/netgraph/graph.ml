@@ -1,14 +1,25 @@
 type edge = { u : int; pu : int; v : int; pv : int }
 
+(* Label lookup: the default labeling 1..n needs no table at all —
+   [node_of_label] is arithmetic — and skipping the Hashtbl keeps
+   million-node graph construction allocation-light.  Arbitrary labelings
+   pay for the table they need. *)
+type label_index = Identity | Table of (int, int) Hashtbl.t
+
 type t = {
   size : int;
   node_labels : int array;
   (* adj.(u).(p) = (v, q): port p at u leads to v, arriving on v's port q. *)
   adj : (int * int) array array;
-  label_index : (int, int) Hashtbl.t;
+  label_index : label_index;
 }
 
 let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let is_default_labels a =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) = i + 1 && go (i + 1)) in
+  go 0
 
 let make ?labels ~n:size edge_list =
   if size < 1 then fail "Graph.make: n = %d < 1" size;
@@ -19,12 +30,18 @@ let make ?labels ~n:size edge_list =
       if Array.length a <> size then fail "Graph.make: %d labels for %d nodes" (Array.length a) size;
       Array.copy a
   in
-  let label_index = Hashtbl.create size in
-  Array.iteri
-    (fun i l ->
-      if Hashtbl.mem label_index l then fail "Graph.make: duplicate label %d" l;
-      Hashtbl.add label_index l i)
-    node_labels;
+  let label_index =
+    if labels = None || is_default_labels node_labels then Identity
+    else begin
+      let tbl = Hashtbl.create size in
+      Array.iteri
+        (fun i l ->
+          if Hashtbl.mem tbl l then fail "Graph.make: duplicate label %d" l;
+          Hashtbl.add tbl l i)
+        node_labels;
+      Table tbl
+    end
+  in
   let deg = Array.make size 0 in
   List.iter
     (fun e ->
@@ -49,14 +66,16 @@ let make ?labels ~n:size edge_list =
     (fun u row ->
       Array.iteri (fun p (v, _) -> if v = -1 then fail "Graph.make: port %d at node %d unassigned" p u) row)
     adj;
-  (* No parallel edges. *)
+  (* No parallel edges.  One shared mark array with a per-node epoch
+     instead of a fresh Hashtbl per node: million-node builds would
+     otherwise allocate a table per node just for this check. *)
+  let mark = Array.make size (-1) in
   Array.iteri
     (fun u row ->
-      let seen = Hashtbl.create (Array.length row) in
       Array.iter
         (fun (v, _) ->
-          if Hashtbl.mem seen v then fail "Graph.make: parallel edge between %d and %d" u v;
-          Hashtbl.add seen v ())
+          if mark.(v) = u then fail "Graph.make: parallel edge between %d and %d" u v;
+          mark.(v) <- u)
         row)
     adj;
   { size; node_labels; adj; label_index }
@@ -90,7 +109,10 @@ let label t u = t.node_labels.(u)
 let labels t = Array.copy t.node_labels
 
 let node_of_label t l =
-  match Hashtbl.find_opt t.label_index l with Some i -> i | None -> raise Not_found
+  match t.label_index with
+  | Identity -> if l >= 1 && l <= t.size then l - 1 else raise Not_found
+  | Table tbl -> (
+    match Hashtbl.find_opt tbl l with Some i -> i | None -> raise Not_found)
 
 let endpoint t u p =
   if u < 0 || u >= t.size then fail "Graph.endpoint: node %d out of range" u;
@@ -120,13 +142,26 @@ let edges t = List.rev (fold_edges (fun e acc -> e :: acc) t [])
 let edge_weight _t e = min e.pu e.pv
 
 let is_connected t =
+  (* Explicit stack: recursion depth would be Θ(n) on path-like graphs. *)
   let seen = Array.make t.size false in
-  let rec dfs u =
-    seen.(u) <- true;
-    Array.iter (fun (v, _) -> if not seen.(v) then dfs v) t.adj.(u)
-  in
-  dfs 0;
-  Array.for_all (fun b -> b) seen
+  let stack = ref [ 0 ] in
+  seen.(0) <- true;
+  let count = ref 0 in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+      stack := rest;
+      incr count;
+      Array.iter
+        (fun (v, _) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            stack := v :: !stack
+          end)
+        t.adj.(u)
+  done;
+  !count = t.size
 
 let validate t =
   try

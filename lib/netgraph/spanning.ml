@@ -28,18 +28,32 @@ let of_parents g ~root parents =
           in
           children.(u) <- (v, pu) :: children.(u)))
     parents;
-  (* Acyclicity + reachability: walk up from each node with a step bound. *)
-  Array.iteri
-    (fun v _ ->
-      let rec climb u steps =
-        if steps > n then fail "Spanning.of_parents: cycle through node %d" v
-        else
-          match parent.(u) with
-          | None -> if u <> root then fail "Spanning.of_parents: node %d not rooted" v
-          | Some (w, _) -> climb w (steps + 1)
-      in
-      climb v 0)
-    parents;
+  (* Acyclicity + reachability in O(n) total: walk up from each node,
+     stopping at the first node already certified as rooted; nodes on the
+     current chain are marked in-progress, so meeting one again is a
+     cycle.  Each node is walked over at most twice across all starts
+     (once in-progress, once certifying), so a million-node path costs a
+     linear pass, not the quadratic per-node climb it used to. *)
+  let state = Array.make n 0 in
+  (* 0 = unknown, 1 = on the current chain, 2 = certified rooted. *)
+  state.(root) <- 2;
+  for v = 0 to n - 1 do
+    if state.(v) = 0 then begin
+      let u = ref v in
+      while state.(!u) = 0 do
+        state.(!u) <- 1;
+        match parent.(!u) with
+        | Some (w, _) -> u := w
+        | None -> fail "Spanning.of_parents: node %d not rooted" v
+      done;
+      if state.(!u) = 1 then fail "Spanning.of_parents: cycle through node %d" v;
+      let u = ref v in
+      while state.(!u) = 1 do
+        state.(!u) <- 2;
+        match parent.(!u) with Some (w, _) -> u := w | None -> ()
+      done
+    end
+  done;
   let children = Array.map (fun l -> List.sort (fun (_, a) (_, b) -> compare a b) l) children in
   { root; parent; children }
 
@@ -190,13 +204,25 @@ let check g t =
     if !count <> n - 1 then failwith "wrong edge count";
     let listed = Array.fold_left (fun acc l -> acc + List.length l) 0 t.children in
     if listed <> n - 1 then failwith "children lists inconsistent";
-    (* Reachability from root via children links. *)
+    (* Reachability from root via children links — explicit stack, so
+       deep (path-like) trees cannot overflow the call stack. *)
     let seen = Array.make n false in
-    let rec go u =
-      seen.(u) <- true;
-      List.iter (fun (v, _) -> if not seen.(v) then go v else failwith "cycle") t.children.(u)
-    in
-    go t.root;
+    let stack = ref [ t.root ] in
+    seen.(t.root) <- true;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        List.iter
+          (fun (v, _) ->
+            if seen.(v) then failwith "cycle"
+            else begin
+              seen.(v) <- true;
+              stack := v :: !stack
+            end)
+          t.children.(u)
+    done;
     if not (Array.for_all (fun b -> b) seen) then failwith "not spanning";
     Ok ()
   with Failure msg -> Error msg
@@ -204,11 +230,15 @@ let check g t =
 let depth t =
   let n = size t in
   let d = Array.make n (-1) in
-  let rec go u depth_u =
-    d.(u) <- depth_u;
-    List.iter (fun (v, _) -> go v (depth_u + 1)) t.children.(u)
-  in
-  go t.root 0;
+  let stack = ref [ (t.root, 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (u, depth_u) :: rest ->
+      stack := rest;
+      d.(u) <- depth_u;
+      List.iter (fun (v, _) -> stack := (v, depth_u + 1) :: !stack) t.children.(u)
+  done;
   d
 
 let contribution g es =

@@ -85,6 +85,50 @@ let observe t (ev : Event.t) =
     | Event.Msg_retransmitted _ -> t.c_retransmits <- t.c_retransmits + 1
     | Event.Advice_corrected (_, bits) -> t.c_corrected <- t.c_corrected + bits)
 
+(* Allocation-free entry points: each mirrors the [observe] arm for the
+   corresponding event kind, field for field, so a caller that counts
+   through these without ever materialising an [Event.t] (the runner's
+   sink-less hot path) lands on bit-identical counters.  Any change to an
+   [observe] arm must be mirrored here and vice versa. *)
+
+let note_round t round = if round > t.c_rounds then t.c_rounds <- round
+
+let note_send t ~round ~cls ~bits =
+  note_round t round;
+  t.c_sent <- t.c_sent + 1;
+  (match cls with
+  | Event.Source -> t.c_source <- t.c_source + 1
+  | Event.Hello -> t.c_hello <- t.c_hello + 1
+  | Event.Control -> t.c_control <- t.c_control + 1);
+  t.c_bits <- t.c_bits + bits
+
+let note_deliver t ~round ~depth =
+  note_round t round;
+  t.c_delivered <- t.c_delivered + 1;
+  if depth > t.c_depth then t.c_depth <- depth
+
+let note_wake t ~round =
+  note_round t round;
+  t.c_wakes <- t.c_wakes + 1
+
+let note_advice t ~round ~bits =
+  note_round t round;
+  t.c_advice <- t.c_advice + bits
+
+let note_fault t ~round f =
+  note_round t round;
+  t.c_faults <- t.c_faults + 1;
+  match f with
+  | Event.Msg_dropped -> t.c_dropped <- t.c_dropped + 1
+  | Event.Msg_duplicated -> t.c_duplicated <- t.c_duplicated + 1
+  | Event.Msg_delayed _ | Event.Msg_reordered _ | Event.Crashed _ | Event.Dead _
+  | Event.Advice_tampered _ ->
+    ()
+
+let note_retransmit t ~round =
+  note_round t round;
+  t.c_retransmits <- t.c_retransmits + 1
+
 let sink t = Sink.make (observe t)
 
 let summary t =

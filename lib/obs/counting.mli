@@ -50,6 +50,38 @@ val create : unit -> t
 val observe : t -> Event.t -> unit
 (** Fold one event into the counters. *)
 
+(** {2 Allocation-free counting}
+
+    Each [note_*] function applies exactly the [observe] arm of the
+    corresponding event kind without requiring the caller to build an
+    {!Event.t}.  They exist for the runner's sink-less hot path: with no
+    sinks attached, a million-message run counts through these and
+    allocates no event records at all, yet lands on counters bit-identical
+    to a traced run (the scale tests assert it).  [round] is the event's
+    round stamp — every note folds it into [rounds] exactly like
+    [observe] does. *)
+
+val note_send : t -> round:int -> cls:Event.msg_class -> bits:int -> unit
+(** The [Send] arm of [observe]: bumps [sent], the class counter and
+    [bits_on_wire]. *)
+
+val note_deliver : t -> round:int -> depth:int -> unit
+(** The [Deliver] arm: bumps [delivered], folds [depth] into
+    [causal_depth]. *)
+
+val note_wake : t -> round:int -> unit
+(** The [Wake] arm: bumps [wakes]. *)
+
+val note_advice : t -> round:int -> bits:int -> unit
+(** The [Advice_read] arm: adds [bits] to [advice_bits]. *)
+
+val note_fault : t -> round:int -> Event.fault -> unit
+(** The [Fault] arm: bumps [faults] and, for drops/duplicates, the
+    matching sub-counter. *)
+
+val note_retransmit : t -> round:int -> unit
+(** The [Recover Msg_retransmitted] arm: bumps [retransmits]. *)
+
 val sink : t -> Sink.t
 (** [observe] packaged as a {!Sink.t} (closing it is a no-op). *)
 

@@ -31,6 +31,10 @@ type result = {
   per_node_sent : int array;
 }
 
+(* A message taken off the fast path: the scheduler queue itself is a
+   struct-of-arrays ring buffer (see [run]) and never materialises these;
+   records exist only while a message sits in the fault machinery — the
+   reorder stage, the delay wheel, or the retransmit wheel. *)
 type in_flight = {
   f_src : int;
   f_src_port : int;
@@ -39,7 +43,6 @@ type in_flight = {
   f_msg : Message.t;
   f_informed : bool;
   f_seq : int;
-  f_sent_round : int;
   f_depth : int;
 }
 
@@ -73,38 +76,41 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
   (* All counters are derived from the telemetry event stream: the runner
      folds every event through its own counting sink and fans it out to the
      caller's sinks, so an external [Obs.Counting] attached via [sinks] is
-     the same fold over the same stream as [result.stats]. *)
+     the same fold over the same stream as [result.stats].
+
+     With no sinks attached, the fold runs through the allocation-free
+     [Obs.Counting.note_*] mutators instead — each is by contract the
+     [observe] arm of its event kind, so the counters land bit-identical
+     without an [Obs.Event.t] ever being built (the scale tests assert
+     the bit-identity across the fault/retry grid). *)
   let counts = Obs.Counting.create () in
-  let observe =
-    match sinks with
-    | [] -> fun ev -> Obs.Counting.observe counts ev
-    | sinks ->
-      fun ev ->
-        Obs.Counting.observe counts ev;
-        List.iter (fun s -> Obs.Sink.emit s ev) sinks
+  let sinks_empty = sinks = [] in
+  let observe ev =
+    Obs.Counting.observe counts ev;
+    List.iter (fun s -> Obs.Sink.emit s ev) sinks
   in
   let seq = ref 0 in
-  let advices = Array.init n advice in
-  for v = 0 to n - 1 do
-    observe
-      {
-        Obs.Event.seq = 0;
-        round = 0;
-        kind = Obs.Event.Advice_read (v, Bitstring.Bitbuf.length advices.(v));
-      }
-  done;
-  informed.(source) <- true;
-  observe { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Wake source };
+  (* One pass instantiates every node and accounts its advice; the
+     [History] record is handed to the factory and dies young unless the
+     scheme itself retains it.  Stream order is unchanged: all the
+     [Advice_read]s (factories emit nothing), then the source [Wake]. *)
   let nodes =
     Array.init n (fun v ->
+        let a = advice v in
+        let bits = Bitstring.Bitbuf.length a in
+        (if sinks_empty then Obs.Counting.note_advice counts ~round:0 ~bits
+         else observe { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Advice_read (v, bits) });
         factory
           {
-            History.advice = advices.(v);
+            History.advice = a;
             is_source = v = source;
             id = Graph.label g v;
             degree = Graph.degree g v;
           })
   in
+  informed.(source) <- true;
+  if sinks_empty then Obs.Counting.note_wake counts ~round:0
+  else observe { Obs.Event.seq = 0; round = 0; kind = Obs.Event.Wake source };
   let per_node_sent = Array.make n 0 in
   let trace = ref [] in
   let rand =
@@ -112,49 +118,79 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
     | Scheduler.Async_random seed -> Some (Random.State.make [| seed |])
     | Scheduler.Synchronous | Scheduler.Async_fifo | Scheduler.Async_lifo -> None
   in
-  (* In-flight messages.  FIFO/synchronous use a queue-like pair of
-     lists; LIFO a stack; random an array-backed bag with swap-remove so
-     each pop is O(1). *)
-  let pending : in_flight list ref = ref [] in
-  let pending_rev : in_flight list ref = ref [] in
-  let bag = ref [||] in
-  let bag_len = ref 0 in
-  let bag_push ev =
-    if !bag_len = Array.length !bag then begin
-      let grown = Array.make (max 16 (2 * Array.length !bag)) ev in
-      Array.blit !bag 0 grown 0 !bag_len;
-      bag := grown
-    end;
-    !bag.(!bag_len) <- ev;
-    incr bag_len
+  (* In-flight messages: one struct-of-arrays ring buffer serves all four
+     scheduler modes — FIFO pops the head, LIFO pops the tail, random
+     swap-removes against the tail (exactly the old bag: same index draw,
+     same swap), synchronous pops the head a round-sized batch at a time.
+     [head]/[tail] are virtual (monotone) indices; the storage slot is
+     [index land mask].  Steady state costs eight scalar writes per push
+     and eight reads per pop: no list cells, no records. *)
+  let cap = ref 256 in
+  let mask = ref (!cap - 1) in
+  let q_src = ref (Array.make !cap 0) in
+  let q_sport = ref (Array.make !cap 0) in
+  let q_dst = ref (Array.make !cap 0) in
+  let q_dport = ref (Array.make !cap 0) in
+  let q_seq = ref (Array.make !cap 0) in
+  let q_depth = ref (Array.make !cap 0) in
+  let q_msg = ref (Array.make !cap Message.Hello) in
+  let q_inf = ref (Bytes.make !cap '\000') in
+  let head = ref 0 in
+  let tail = ref 0 in
+  let ring_grow () =
+    let len = !tail - !head in
+    let ncap = 2 * !cap in
+    let nsrc = Array.make ncap 0
+    and nsport = Array.make ncap 0
+    and ndst = Array.make ncap 0
+    and ndport = Array.make ncap 0
+    and nseq = Array.make ncap 0
+    and ndepth = Array.make ncap 0
+    and nmsg = Array.make ncap Message.Hello
+    and ninf = Bytes.make ncap '\000' in
+    for i = 0 to len - 1 do
+      let j = (!head + i) land !mask in
+      nsrc.(i) <- !q_src.(j);
+      nsport.(i) <- !q_sport.(j);
+      ndst.(i) <- !q_dst.(j);
+      ndport.(i) <- !q_dport.(j);
+      nseq.(i) <- !q_seq.(j);
+      ndepth.(i) <- !q_depth.(j);
+      nmsg.(i) <- !q_msg.(j);
+      Bytes.set ninf i (Bytes.get !q_inf j)
+    done;
+    q_src := nsrc;
+    q_sport := nsport;
+    q_dst := ndst;
+    q_dport := ndport;
+    q_seq := nseq;
+    q_depth := ndepth;
+    q_msg := nmsg;
+    q_inf := ninf;
+    cap := ncap;
+    mask := ncap - 1;
+    head := 0;
+    tail := len
   in
-  let push ev =
-    match scheduler with
-    | Scheduler.Async_lifo -> pending := ev :: !pending
-    | Scheduler.Async_random _ -> bag_push ev
-    | Scheduler.Synchronous | Scheduler.Async_fifo -> pending_rev := ev :: !pending_rev
+  (* Slot indices are always [index land mask], so they are in range by
+     construction; the unsafe accessors drop sixteen bounds checks from
+     each push/pop pair on the hot path. *)
+  let ring_push ~src ~src_port ~dst ~dst_port ~msg ~inf ~sq ~depth =
+    if !tail - !head = !cap then ring_grow ();
+    let i = !tail land !mask in
+    Array.unsafe_set !q_src i src;
+    Array.unsafe_set !q_sport i src_port;
+    Array.unsafe_set !q_dst i dst;
+    Array.unsafe_set !q_dport i dst_port;
+    Array.unsafe_set !q_seq i sq;
+    Array.unsafe_set !q_depth i depth;
+    Array.unsafe_set !q_msg i msg;
+    Bytes.unsafe_set !q_inf i (if inf then '\001' else '\000');
+    incr tail
   in
-  let pop_fifo () =
-    (match !pending with
-    | [] ->
-      pending := List.rev !pending_rev;
-      pending_rev := []
-    | _ :: _ -> ());
-    match !pending with
-    | [] -> None
-    | ev :: rest ->
-      pending := rest;
-      Some ev
-  in
-  let pop_random st =
-    if !bag_len = 0 then None
-    else begin
-      let i = Random.State.int st !bag_len in
-      let ev = !bag.(i) in
-      decr bag_len;
-      !bag.(i) <- !bag.(!bag_len);
-      Some ev
-    end
+  let push_fl fl =
+    ring_push ~src:fl.f_src ~src_port:fl.f_src_port ~dst:fl.f_dst ~dst_port:fl.f_dst_port
+      ~msg:fl.f_msg ~inf:fl.f_informed ~sq:fl.f_seq ~depth:fl.f_depth
   in
   let loss_state =
     match loss with
@@ -173,20 +209,26 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
      seeded stream, so enabling one channel never perturbs another and
      identical plan + seed + scheduler replays bit-identically. *)
   let plan = if Fault_plan.is_none faults then None else Some faults in
-  let crashed = Array.make n false in
-  let dead = Array.make n false in
+  (* One byte per node, not two bool arrays: the liveness check is on
+     the delivery hot path, and a [Bytes.t] is an eighth of the major
+     heap churn that two word-per-element arrays cost every run.
+     '\000' live, '\001' dead at start-up, '\002' crash-stopped; no
+     consumer distinguishes the failure modes, only zero vs not. *)
+  let failed = Bytes.make n '\000' in
+  let is_failed v = Bytes.unsafe_get failed v <> '\000' in
   let drop_st = Random.State.make [| faults.Fault_plan.seed; 0xd09 |] in
   let dup_st = Random.State.make [| faults.Fault_plan.seed; 0xd4b |] in
   let delay_st = Random.State.make [| faults.Fault_plan.seed; 0xde1 |] in
   let observe_fault ~sq round f =
-    observe { Obs.Event.seq = sq; round; kind = Obs.Event.Fault f }
+    if sinks_empty then Obs.Counting.note_fault counts ~round f
+    else observe { Obs.Event.seq = sq; round; kind = Obs.Event.Fault f }
   in
   let stage : in_flight list ref = ref [] in
   let stage_len = ref 0 in
   let flush_stage () =
     (* The staged burst is newest-first, so releasing it in list order
        reverses arrival order — that is the reordering. *)
-    List.iter push !stage;
+    List.iter push_fl !stage;
     stage := [];
     stage_len := 0
   in
@@ -199,19 +241,14 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
         observe_fault ~sq:ev.f_seq round (Obs.Event.Msg_reordered p.Fault_plan.reorder_every);
         flush_stage ()
       end
-    | _ -> push ev
+    | _ -> push_fl ev
   in
-  (* Delayed messages sit out [k] scheduler steps, then rejoin the
-     scheduler's own order (oldest release first). *)
-  let delayed : (int * in_flight) list ref = ref [] in
-  let tick_delayed () =
-    match !delayed with
-    | [] -> ()
-    | _ ->
-      let due, held = List.partition (fun (r, _) -> r <= 1) !delayed in
-      delayed := List.map (fun (r, ev) -> (r - 1, ev)) held;
-      List.iter (fun (_, ev) -> push ev) (List.rev due)
-  in
+  (* Delayed messages sit out their rounds on a timer wheel keyed by the
+     absolute release round, then rejoin the scheduler's own order
+     (oldest release first).  A delay of k rounds costs two O(1) wheel
+     operations, not a queue rescan on each of the k rounds between. *)
+  let delayed_w : in_flight Timer_wheel.t = Timer_wheel.create () in
+  let tick_delayed round = Timer_wheel.drain delayed_w ~now:round push_fl in
   (* The ack/retransmit channel.  Each destroyed copy of a message (plan
      drop, [?loss], or a failed receiver) arms the sender's per-message
      timer; when it fires the channel re-enqueues a fresh copy, at most
@@ -221,49 +258,69 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
      copies the channel consumes one retry and fires the sender's timer
      as a [Message.timeout] delivery.  Retransmissions are [Recover]
      events, never [Send]s: repair traffic is invisible to the paper's
-     message complexity and budgeted separately by [Fault.Verdict]. *)
-  let attempts_of_seq = Hashtbl.create 16 in
-  let recovery : (int * int * in_flight) list ref = ref [] in
-  let node_failed v = crashed.(v) || dead.(v) in
-  let schedule_retransmit fl =
+     message complexity and budgeted separately by [Fault.Verdict].
+
+     Timers live on their own wheel, keyed by the absolute firing round;
+     per-message bookkeeping (attempts used, timeout already signalled)
+     is flat arrays indexed by sequence number — no hashing on the
+     failure path, and nothing allocated until the channel actually
+     fires. *)
+  let recovery_w : (int * in_flight) Timer_wheel.t = Timer_wheel.create () in
+  let attempts = ref [||] in
+  let att_get s = if s < Array.length !attempts then !attempts.(s) else 0 in
+  let att_set s v =
+    if s >= Array.length !attempts then begin
+      let ncap = ref (max 64 (2 * Array.length !attempts)) in
+      while !ncap <= s do
+        ncap := 2 * !ncap
+      done;
+      let a = Array.make !ncap 0 in
+      Array.blit !attempts 0 a 0 (Array.length !attempts);
+      attempts := a
+    end;
+    !attempts.(s) <- v
+  in
+  let t_signalled = ref Bytes.empty in
+  let ts_get s = s < Bytes.length !t_signalled && Bytes.get !t_signalled s <> '\000' in
+  let ts_set s =
+    if s >= Bytes.length !t_signalled then begin
+      let ncap = ref (max 64 (2 * Bytes.length !t_signalled)) in
+      while !ncap <= s do
+        ncap := 2 * !ncap
+      done;
+      let b = Bytes.make !ncap '\000' in
+      Bytes.blit !t_signalled 0 b 0 (Bytes.length !t_signalled);
+      t_signalled := b
+    end;
+    Bytes.set !t_signalled s '\001'
+  in
+  let schedule_retransmit round fl =
     if retry > 0 && not (Message.is_timeout fl.f_msg) then begin
-      let used =
-        match Hashtbl.find_opt attempts_of_seq fl.f_seq with Some u -> u | None -> 0
-      in
+      let used = att_get fl.f_seq in
       if used < retry then begin
-        Hashtbl.replace attempts_of_seq fl.f_seq (used + 1);
-        recovery := (1 lsl min used 16, used + 1, fl) :: !recovery
+        att_set fl.f_seq (used + 1);
+        Timer_wheel.add recovery_w ~now:round ~due:(round + (1 lsl min used 16)) (used + 1, fl)
       end
     end
   in
-  let timeout_signalled = Hashtbl.create 4 in
-  let schedule_timeout fl =
-    if
-      retry > 0
-      && (not (Message.is_timeout fl.f_msg))
-      && not (Hashtbl.mem timeout_signalled fl.f_seq)
-    then begin
-      Hashtbl.add timeout_signalled fl.f_seq ();
-      let used =
-        match Hashtbl.find_opt attempts_of_seq fl.f_seq with Some u -> u | None -> 0
-      in
+  let schedule_timeout round ~src ~src_port ~dst ~dst_port ~msg ~sq ~depth =
+    if retry > 0 && (not (Message.is_timeout msg)) && not (ts_get sq) then begin
+      ts_set sq;
+      let used = att_get sq in
       if used < retry then begin
-        Hashtbl.replace attempts_of_seq fl.f_seq (used + 1);
-        recovery :=
-          ( 1,
-            used + 1,
+        att_set sq (used + 1);
+        Timer_wheel.add recovery_w ~now:round ~due:(round + 1)
+          ( used + 1,
             {
-              f_src = fl.f_dst;
-              f_src_port = fl.f_dst_port;
-              f_dst = fl.f_src;
-              f_dst_port = fl.f_src_port;
+              f_src = dst;
+              f_src_port = dst_port;
+              f_dst = src;
+              f_dst_port = src_port;
               f_msg = Message.timeout;
               f_informed = false;
-              f_seq = fl.f_seq;
-              f_sent_round = fl.f_sent_round;
-              f_depth = fl.f_depth + 1;
+              f_seq = sq;
+              f_depth = depth + 1;
             } )
-          :: !recovery
       end
     end
   in
@@ -272,15 +329,17 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
      the timer fires as a [Message.timeout] delivery at each live
      neighbor.  This is what catches a node that failed {e after} its
      advised traffic completed — no further message would ever be
-     addressed to it, so no per-message timer exists to notice. *)
+     addressed to it, so no per-message timer exists to notice.  The
+     timers fire at the crash round's own wheel drain (which runs right
+     after crash processing); for nodes dead at start-up, at round 1,
+     the first round that ticks. *)
   let signal_failure v round =
     if retry > 0 then
       List.iter
         (fun (p, u, up) ->
-          if not (node_failed u) then
-            recovery :=
+          if not (is_failed u) then
+            Timer_wheel.add recovery_w ~now:round ~due:(max 1 round)
               ( 1,
-                1,
                 {
                   f_src = v;
                   f_src_port = p;
@@ -289,10 +348,8 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
                   f_msg = Message.timeout;
                   f_informed = false;
                   f_seq = 0;
-                  f_sent_round = round;
                   f_depth = 1;
-                } )
-              :: !recovery)
+                } ))
         (Graph.neighbors g v)
   in
   let process_crashes step =
@@ -301,8 +358,8 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
     | Some p ->
       List.iter
         (fun (v, s) ->
-          if s = step && v >= 0 && v < n && (not crashed.(v)) && not dead.(v) then begin
-            crashed.(v) <- true;
+          if s = step && v >= 0 && v < n && not (is_failed v) then begin
+            Bytes.set failed v '\002';
             observe_fault ~sq:!seq step (Obs.Event.Crashed v);
             signal_failure v step
           end)
@@ -310,7 +367,7 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
   in
   let inject round fl =
     match plan with
-    | None -> push fl
+    | None -> push_fl fl
     | Some p ->
       (* Each enabled channel draws exactly once per scheme-produced
          message, whatever the other channels decide, so the streams
@@ -327,12 +384,12 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
       in
       if dropped then begin
         observe_fault ~sq:fl.f_seq round Obs.Event.Msg_dropped;
-        schedule_retransmit fl
+        schedule_retransmit round fl
       end
       else begin
         if delay_by > 0 then begin
           observe_fault ~sq:fl.f_seq round (Obs.Event.Msg_delayed delay_by);
-          delayed := (delay_by, fl) :: !delayed
+          Timer_wheel.add delayed_w ~now:round ~due:(round + delay_by) fl
         end
         else stage_push round fl;
         if dup then begin
@@ -347,72 +404,81 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
   let transmit round fl =
     if lost () then begin
       observe_fault ~sq:fl.f_seq round Obs.Event.Msg_dropped;
-      schedule_retransmit fl
+      schedule_retransmit round fl
     end
     else inject round fl
   in
   let tick_recovery round =
-    match !recovery with
-    | [] -> ()
-    | _ ->
-      let due, held = List.partition (fun (c, _, _) -> c <= 1) !recovery in
-      recovery := List.map (fun (c, a, fl) -> (c - 1, a, fl)) held;
-      List.iter
-        (fun (_, attempt, fl) ->
-          (* Crash-stop: a failed node retransmits nothing, and a failed
-             sender no longer owns a timer to be notified by. *)
-          let actor = if Message.is_timeout fl.f_msg then fl.f_dst else fl.f_src in
-          if not (node_failed actor) then begin
-            observe
-              {
-                Obs.Event.seq = fl.f_seq;
-                round;
-                kind = Obs.Event.Recover (Obs.Event.Msg_retransmitted attempt);
-              };
-            if Message.is_timeout fl.f_msg then push fl else transmit round fl
-          end)
-        (List.rev due)
+    Timer_wheel.drain recovery_w ~now:round (fun (attempt, fl) ->
+        (* Crash-stop: a failed node retransmits nothing, and a failed
+           sender no longer owns a timer to be notified by. *)
+        let actor = if Message.is_timeout fl.f_msg then fl.f_dst else fl.f_src in
+        if not (is_failed actor) then begin
+          (if sinks_empty then Obs.Counting.note_retransmit counts ~round
+           else
+             observe
+               {
+                 Obs.Event.seq = fl.f_seq;
+                 round;
+                 kind = Obs.Event.Recover (Obs.Event.Msg_retransmitted attempt);
+               });
+          if Message.is_timeout fl.f_msg then push_fl fl else transmit round fl
+        end)
   in
-  let emit v round ~depth sends =
-    List.iter
-      (fun (msg, port) ->
-        if port < 0 || port >= Graph.degree g v then
-          invalid_arg
-            (Printf.sprintf "Runner: node %d (degree %d) sends on port %d" v (Graph.degree g v)
-               port);
-        let dst, dst_port = Graph.endpoint g v port in
-        per_node_sent.(v) <- per_node_sent.(v) + 1;
-        observe
-          {
-            Obs.Event.seq = !seq;
-            round;
-            kind =
-              Obs.Event.Send
-                {
-                  Obs.Event.src = v;
-                  src_port = port;
-                  dst;
-                  dst_port;
-                  cls = msg_class msg;
-                  bits = Message.size_bits msg;
-                  informed = informed.(v);
-                  depth;
-                };
-          };
-        transmit round
-          {
-            f_src = v;
-            f_src_port = port;
-            f_dst = dst;
-            f_dst_port = dst_port;
-            f_msg = msg;
-            f_informed = informed.(v);
-            f_seq = !seq;
-            f_sent_round = round;
-            f_depth = depth;
-          };
-        incr seq)
-      sends
+  (* With neither a fault plan nor a loss knob, nothing between a send
+     and its delivery can touch a message: sends go straight onto the
+     ring, no [in_flight] record exists, and a steady-state round
+     allocates nothing beyond what the scheme itself returns. *)
+  let fast_wire = plan = None && loss_state = None in
+  (* A plain recursive walk, not [List.iter f]: building the closure for
+     [f] on every call put seven words on the minor heap per delivery
+     (and per [on_start]), for nothing. *)
+  let rec emit v round ~depth sends =
+    match sends with
+    | [] -> ()
+    | (msg, port) :: rest ->
+      if port < 0 || port >= Graph.degree g v then
+        invalid_arg
+          (Printf.sprintf "Runner: node %d (degree %d) sends on port %d" v (Graph.degree g v)
+             port);
+      let dst, dst_port = Graph.endpoint g v port in
+      per_node_sent.(v) <- per_node_sent.(v) + 1;
+      let inf = informed.(v) in
+      (if sinks_empty then
+         Obs.Counting.note_send counts ~round ~cls:(msg_class msg) ~bits:(Message.size_bits msg)
+       else
+         observe
+           {
+             Obs.Event.seq = !seq;
+             round;
+             kind =
+               Obs.Event.Send
+                 {
+                   Obs.Event.src = v;
+                   src_port = port;
+                   dst;
+                   dst_port;
+                   cls = msg_class msg;
+                   bits = Message.size_bits msg;
+                   informed = inf;
+                   depth;
+                 };
+           });
+      (if fast_wire then ring_push ~src:v ~src_port:port ~dst ~dst_port ~msg ~inf ~sq:!seq ~depth
+       else
+         transmit round
+           {
+             f_src = v;
+             f_src_port = port;
+             f_dst = dst;
+             f_dst_port = dst_port;
+             f_msg = msg;
+             f_informed = inf;
+             f_seq = !seq;
+             f_depth = depth;
+           });
+      incr seq;
+      emit v round ~depth rest
   in
   (* Initially-dead nodes never start, never receive; a dead (or
      out-of-range) source is ignored — the plan is graph-independent
@@ -422,8 +488,8 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
   | Some p ->
     List.iter
       (fun v ->
-        if v >= 0 && v < n && v <> source && not dead.(v) then begin
-          dead.(v) <- true;
+        if v >= 0 && v < n && v <> source && not (is_failed v) then begin
+          Bytes.set failed v '\001';
           observe_fault ~sq:0 0 (Obs.Event.Dead v);
           signal_failure v 0
         end)
@@ -431,66 +497,60 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
   process_crashes 0;
   (* Start-up: the paper's scheme on the empty history, at every node. *)
   for v = 0 to n - 1 do
-    if not (dead.(v) || crashed.(v)) then emit v 0 ~depth:1 (nodes.(v).Scheme.on_start ())
+    if not (is_failed v) then emit v 0 ~depth:1 (nodes.(v).Scheme.on_start ())
   done;
-  let deliver ev round =
-    if dead.(ev.f_dst) || crashed.(ev.f_dst) then begin
+  let deliver ~src ~src_port ~dst ~dst_port ~msg ~inf ~sq ~depth round =
+    if is_failed dst then begin
       (* Swallowed by a failed receiver: recorded as a drop so replay's
          in-flight balance still closes, but no [Deliver] is emitted.
          With the retransmit channel on, the failure is detectable — the
          sender's timer will fire instead of more futile copies. *)
-      observe_fault ~sq:ev.f_seq round Obs.Event.Msg_dropped;
-      schedule_timeout ev;
+      observe_fault ~sq round Obs.Event.Msg_dropped;
+      schedule_timeout round ~src ~src_port ~dst ~dst_port ~msg ~sq ~depth;
       []
     end
     else begin
-    observe
-      {
-        Obs.Event.seq = ev.f_seq;
-        round;
-        kind =
-          Obs.Event.Deliver
-            {
-              Obs.Event.src = ev.f_src;
-              src_port = ev.f_src_port;
-              dst = ev.f_dst;
-              dst_port = ev.f_dst_port;
-              cls = msg_class ev.f_msg;
-              bits = Message.size_bits ev.f_msg;
-              informed = ev.f_informed;
-              depth = ev.f_depth;
-            };
-      };
-    if ev.f_informed && not informed.(ev.f_dst) then begin
-      informed.(ev.f_dst) <- true;
-      observe { Obs.Event.seq = ev.f_seq; round; kind = Obs.Event.Wake ev.f_dst }
-    end;
-    if record_trace then
-      trace :=
-        {
-          src = ev.f_src;
-          src_port = ev.f_src_port;
-          dst = ev.f_dst;
-          dst_port = ev.f_dst_port;
-          msg = ev.f_msg;
-          informed_sender = ev.f_informed;
-          round;
-          seq = ev.f_seq;
-        }
-        :: !trace;
-      nodes.(ev.f_dst).Scheme.on_receive ev.f_msg ~port:ev.f_dst_port
+      (if sinks_empty then Obs.Counting.note_deliver counts ~round ~depth
+       else
+         observe
+           {
+             Obs.Event.seq = sq;
+             round;
+             kind =
+               Obs.Event.Deliver
+                 {
+                   Obs.Event.src;
+                   src_port;
+                   dst;
+                   dst_port;
+                   cls = msg_class msg;
+                   bits = Message.size_bits msg;
+                   informed = inf;
+                   depth;
+                 };
+           });
+      if inf && not informed.(dst) then begin
+        informed.(dst) <- true;
+        if sinks_empty then Obs.Counting.note_wake counts ~round
+        else observe { Obs.Event.seq = sq; round; kind = Obs.Event.Wake dst }
+      end;
+      if record_trace then
+        trace :=
+          { src; src_port; dst; dst_port; msg; informed_sender = inf; round; seq = sq } :: !trace;
+      nodes.(dst).Scheme.on_receive msg ~port:dst_port
     end
   in
+  let wheels_empty () = Timer_wheel.is_empty delayed_w && Timer_wheel.is_empty recovery_w in
   let rounds = ref 0 in
   let cutoff = ref false in
   (match scheduler with
   | Scheduler.Synchronous ->
-    (* Round r+1 delivers exactly the messages sent during round r. *)
+    (* Round r+1 delivers exactly the messages sent during round r: the
+       batch is the ring's population at the top of the round; wheel
+       releases and response sends queue behind it, for round r+2. *)
     let rec round_loop () =
-      let batch = List.rev !pending_rev in
-      pending_rev := [];
-      match batch with
-      | [] ->
+      let batch = !tail - !head in
+      if batch = 0 then begin
         (* A drained round may still owe messages to the adversary:
            release a partial reorder burst, or advance time until a
            delayed message comes due. *)
@@ -498,57 +558,107 @@ let run ?(scheduler = Scheduler.Async_fifo) ?(max_messages = 1_000_000) ?(record
           flush_stage ();
           round_loop ()
         end
-        else if !delayed <> [] || !recovery <> [] then begin
+        else if not (wheels_empty ()) then begin
           incr rounds;
           process_crashes !rounds;
-          tick_delayed ();
+          tick_delayed !rounds;
           tick_recovery !rounds;
           round_loop ()
         end
-      | _ :: _ ->
+      end
+      else begin
         incr rounds;
         process_crashes !rounds;
-        tick_delayed ();
+        tick_delayed !rounds;
         tick_recovery !rounds;
-        let responses =
-          List.map
-            (fun ev ->
-              let sends = deliver ev !rounds in
-              (ev.f_dst, ev.f_depth, sends))
-            batch
-        in
-        List.iter (fun (v, depth, sends) -> emit v !rounds ~depth:(depth + 1) sends) responses;
+        (* Two-phase: deliver the whole batch first (collecting each
+           receiver's response), then hand the responses to the network,
+           so no node reacts to a message from its own round. *)
+        let responses = ref [] in
+        for _ = 1 to batch do
+          let i = !head land !mask in
+          incr head;
+          let src = Array.unsafe_get !q_src i
+          and src_port = Array.unsafe_get !q_sport i
+          and dst = Array.unsafe_get !q_dst i
+          and dst_port = Array.unsafe_get !q_dport i
+          and sq = Array.unsafe_get !q_seq i
+          and depth = Array.unsafe_get !q_depth i
+          and msg = Array.unsafe_get !q_msg i
+          and inf = Bytes.unsafe_get !q_inf i <> '\000' in
+          let sends = deliver ~src ~src_port ~dst ~dst_port ~msg ~inf ~sq ~depth !rounds in
+          responses := (dst, depth, sends) :: !responses
+        done;
+        List.iter
+          (fun (v, depth, sends) -> emit v !rounds ~depth:(depth + 1) sends)
+          (List.rev !responses);
         if Obs.Counting.sent counts > max_messages then cutoff := true else round_loop ()
+      end
     in
     round_loop ()
   | Scheduler.Async_fifo | Scheduler.Async_lifo | Scheduler.Async_random _ ->
-    let pop () =
-      match rand with
-      | Some st -> pop_random st
-      | None -> pop_fifo ()
-    in
     let rec loop () =
-      match pop () with
-      | None ->
+      if !tail = !head then begin
         if !stage_len > 0 then begin
           flush_stage ();
           loop ()
         end
-        else if !delayed <> [] || !recovery <> [] then begin
+        else if not (wheels_empty ()) then begin
           incr rounds;
           process_crashes !rounds;
-          tick_delayed ();
+          tick_delayed !rounds;
           tick_recovery !rounds;
           loop ()
         end
-      | Some ev ->
+      end
+      else begin
+        (* Pop per scheduler mode, reading the slot before anything can
+           reuse it (a wheel release pushes into the ring and, for LIFO,
+           lands exactly on the slot just vacated). *)
+        let i =
+          match rand with
+          | Some st -> (!head + Random.State.int st (!tail - !head)) land !mask
+          | None -> (
+            match scheduler with
+            | Scheduler.Async_lifo ->
+              decr tail;
+              !tail land !mask
+            | _ ->
+              let i = !head land !mask in
+              incr head;
+              i)
+        in
+        let src = Array.unsafe_get !q_src i
+        and src_port = Array.unsafe_get !q_sport i
+        and dst = Array.unsafe_get !q_dst i
+        and dst_port = Array.unsafe_get !q_dport i
+        and sq = Array.unsafe_get !q_seq i
+        and depth = Array.unsafe_get !q_depth i
+        and msg = Array.unsafe_get !q_msg i
+        and inf = Bytes.unsafe_get !q_inf i <> '\000' in
+        (match rand with
+        | Some _ ->
+          (* Complete the bag's swap-remove: the tail element fills the
+             hole (a no-op when the popped element was the tail). *)
+          let last = (!tail - 1) land !mask in
+          Array.unsafe_set !q_src i (Array.unsafe_get !q_src last);
+          Array.unsafe_set !q_sport i (Array.unsafe_get !q_sport last);
+          Array.unsafe_set !q_dst i (Array.unsafe_get !q_dst last);
+          Array.unsafe_set !q_dport i (Array.unsafe_get !q_dport last);
+          Array.unsafe_set !q_seq i (Array.unsafe_get !q_seq last);
+          Array.unsafe_set !q_depth i (Array.unsafe_get !q_depth last);
+          Array.unsafe_set !q_msg i (Array.unsafe_get !q_msg last);
+          Bytes.unsafe_set !q_inf i (Bytes.unsafe_get !q_inf last);
+          decr tail
+        | None -> ());
         incr rounds;
         process_crashes !rounds;
-        tick_delayed ();
+        tick_delayed !rounds;
         tick_recovery !rounds;
-        let sends = deliver ev !rounds in
-        emit ev.f_dst !rounds ~depth:(ev.f_depth + 1) sends;
+        let sends = deliver ~src ~src_port ~dst ~dst_port ~msg ~inf ~sq ~depth !rounds in
+        emit dst !rounds ~depth:(depth + 1) sends;
         if Obs.Counting.sent counts > max_messages then cutoff := true else loop ()
+      end
     in
     loop ());
   let c = Obs.Counting.summary counts in

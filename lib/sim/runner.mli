@@ -76,6 +76,18 @@ val run :
     along, as in the paper).  [all_informed] is the broadcast/wakeup
     success criterion.
 
+    [record_trace] (default [false]) grows the in-memory [deliveries]
+    trace.  Off, and with no [sinks], the runner takes its
+    allocation-free path: messages ride a struct-of-arrays ring buffer,
+    delays and retransmit timers a round-indexed timer wheel, and the
+    counters advance through {!Obs.Counting}'s [note_*] mutators, so a
+    steady-state round allocates nothing beyond the payloads the scheme
+    itself builds.  Tracing is an observer choice, never a semantics
+    choice: every field of [result] is bit-identical either way (the
+    scale tests assert it across fault plans, schedulers and retry
+    budgets).  [DESIGN.md] §"Performance model" has the inventory;
+    [dune build @perf] tracks the numbers.
+
     [sinks] (default [[]]) receive the telemetry stream, in emission
     order: one [Advice_read] per node and the source's [Wake] (round 0),
     then a [Send] per message — lost messages included, when [loss] is

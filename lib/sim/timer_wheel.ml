@@ -1,0 +1,70 @@
+(* A round-indexed timer wheel.
+
+   Entries are keyed by the absolute round at which they come due; the
+   wheel is an array of buckets indexed by [due land mask].  As long as
+   every live entry is within [size] rounds of the current clock — the
+   wheel grows to maintain this — two live entries can share a bucket
+   only when they share a due round, so ticking round [r] drains exactly
+   bucket [r land mask], whole.  Enqueue is O(1); a tick costs O(due
+   entries) plus an O(1) bucket probe, so a message delayed by k rounds
+   costs nothing during the k-1 rounds in between (the list-based queue
+   it replaces rescanned every entry every round). *)
+
+type 'a t = {
+  mutable buckets : (int * 'a) list array;
+      (* bucket lists are newest-first; [drain] reverses, so release
+         order is insertion order, matching the list queues of old. *)
+  mutable mask : int;
+  mutable count : int;
+}
+
+let create () = { buckets = Array.make 16 []; mask = 15; count = 0 }
+
+let is_empty t = t.count = 0
+
+let length t = t.count
+
+let grow t ~span =
+  let size = ref (2 * (t.mask + 1)) in
+  while !size <= span do
+    size := 2 * !size
+  done;
+  let buckets = Array.make !size [] in
+  let mask = !size - 1 in
+  (* Entries sharing an old bucket share a new one only when they share
+     a due round (all live dues fit in a window smaller than either
+     size), so rehashing bucket by bucket, oldest entry first, preserves
+     per-bucket insertion order. *)
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun ((due, _) as e) -> buckets.(due land mask) <- e :: buckets.(due land mask))
+        (List.rev l))
+    t.buckets;
+  t.buckets <- buckets;
+  t.mask <- mask
+
+let add t ~now ~due x =
+  if due < now then invalid_arg "Timer_wheel.add: due round in the past";
+  if due - now > t.mask then grow t ~span:(due - now);
+  let i = due land t.mask in
+  t.buckets.(i) <- (due, x) :: t.buckets.(i);
+  t.count <- t.count + 1
+
+let drain t ~now f =
+  if t.count > 0 then begin
+    let i = now land t.mask in
+    match t.buckets.(i) with
+    | [] -> ()
+    | l ->
+      t.buckets.(i) <- [];
+      (* [f] may re-arm the wheel (a retransmitted copy dropped again);
+         the bucket is detached first, and new entries are strictly in
+         the future, so they land in other buckets — or in this one only
+         for a later lap, after a grow keeps the window invariant. *)
+      List.iter
+        (fun (_, x) ->
+          t.count <- t.count - 1;
+          f x)
+        (List.rev l)
+  end

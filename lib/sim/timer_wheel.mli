@@ -1,0 +1,30 @@
+(** A round-indexed timer wheel: O(1) enqueue, O(due) dequeue.
+
+    The runner uses one wheel for adversarially delayed messages and one
+    for the ack/retransmit channel, replacing list queues that were
+    rescanned (partition + decrement) on every round.  Entries are keyed
+    by the {e absolute} round at which they come due; ticking a round
+    releases exactly that round's entries, in insertion order, and costs
+    nothing for entries still in the future. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty wheel (initial capacity 16 rounds; grows on demand). *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of armed entries. *)
+
+val add : 'a t -> now:int -> due:int -> 'a -> unit
+(** Arm [x] to be released by [drain ~now:due].  The wheel grows so that
+    [due - now] always fits its window.  Raises [Invalid_argument] if
+    [due < now].  [due = now] is allowed: the entry releases at the
+    current round's drain, if that drain has not already run. *)
+
+val drain : 'a t -> now:int -> ('a -> unit) -> unit
+(** Release every entry due at round [now], in insertion order.  Must be
+    called for every round in increasing order — skipping a round would
+    strand its entries.  [f] may [add] further entries (they are due
+    strictly later, so never released within the same drain). *)

@@ -50,6 +50,88 @@ let test_counting_pipeline_large () =
   let q17 = q 131072 and q18 = q 262144 in
   check_bool "superlinear at scale" true (q18 > 2 * q17)
 
+let test_wakeup_100k () =
+  (* Theorem 2.1's exact count at n = 10^5: the ring-buffer/timer-wheel
+     hot path must land on exactly n-1 messages, everyone informed,
+     queue drained. *)
+  let n = 100_000 in
+  let g = Netgraph.Gen.path n in
+  let o = Wakeup.run g ~source:0 in
+  let r = o.Wakeup.result in
+  check_bool "informed" true r.Sim.Runner.all_informed;
+  check_bool "quiescent" true r.Sim.Runner.quiescent;
+  check_int "n-1 messages" (n - 1) r.Sim.Runner.stats.Sim.Runner.sent
+
+let test_broadcast_100k () =
+  let n = 100_000 in
+  let g = Netgraph.Gen.path n in
+  let o = Broadcast.run g ~source:0 in
+  let r = o.Broadcast.result in
+  check_bool "informed" true r.Sim.Runner.all_informed;
+  check_bool "quiescent" true r.Sim.Runner.quiescent;
+  check_int "n-1 source messages" (n - 1) r.Sim.Runner.stats.Sim.Runner.source_sent;
+  check_bool "< 3n messages" true (r.Sim.Runner.stats.Sim.Runner.sent < 3 * n)
+
+let test_untraced_bit_identical () =
+  (* The allocation-free path is an observer choice, not a semantics
+     choice: with [record_trace:false] and no sinks the runner takes its
+     no-allocation counting path, and every statistic must come out
+     bit-identical to a fully traced run with a live counting sink —
+     across fault plans (exercising the delay and retransmit timer
+     wheels), schedulers and retry budgets. *)
+  let g = big_sparse 512 in
+  let no_advice _ = Bitstring.Bitbuf.create () in
+  let configs =
+    [
+      ("none", 0);
+      ("drop=0.1,seed=5", 3);
+      ("delay=0.3:7,seed=9", 0);
+      ("dup=0.05,reorder=3,seed=11", 0);
+      ("drop=0.15,delay=0.2:5,crash=7@40,seed=13", 2);
+    ]
+  in
+  List.iter
+    (fun (spec, retry) ->
+      let faults = Sim.Fault_plan.of_string_exn spec in
+      List.iter
+        (fun sched ->
+          let name =
+            Printf.sprintf "%s/%s/retry=%d" spec (Sim.Scheduler.name sched) retry
+          in
+          let collect, collected = Obs.Sink.collect () in
+          let counts = Obs.Counting.create () in
+          let traced =
+            Sim.Runner.run ~scheduler:sched ~record_trace:true
+              ~sinks:[ collect; Obs.Counting.sink counts ]
+              ~faults ~retry ~advice:no_advice g ~source:0 Sim.Scheme.flooding
+          in
+          let bare =
+            Sim.Runner.run ~scheduler:sched ~faults ~retry ~advice:no_advice g ~source:0
+              Sim.Scheme.flooding
+          in
+          check_bool (name ^ ": stats identical") true
+            (bare.Sim.Runner.stats = traced.Sim.Runner.stats);
+          check_bool (name ^ ": informed identical") true
+            (bare.Sim.Runner.informed = traced.Sim.Runner.informed);
+          check_bool (name ^ ": quiescent identical") true
+            (bare.Sim.Runner.quiescent = traced.Sim.Runner.quiescent);
+          check_bool (name ^ ": load identical") true
+            (bare.Sim.Runner.per_node_sent = traced.Sim.Runner.per_node_sent);
+          check_bool (name ^ ": untraced run records no deliveries") true
+            (bare.Sim.Runner.deliveries = []);
+          check_int (name ^ ": trace length = deliveries")
+            (List.length traced.Sim.Runner.deliveries)
+            (Obs.Counting.summary counts).Obs.Counting.delivered;
+          (* The replay audit closes the loop: the event stream alone
+             reproduces the counters and balances the in-flight ledger. *)
+          let r = Obs.Replay.replay ~n:(Graph.n g) (collected ()) in
+          check_bool (name ^ ": replay counters") true
+            (r.Obs.Replay.summary = Obs.Counting.summary counts);
+          if traced.Sim.Runner.quiescent then
+            check_int (name ^ ": replay in-flight balance") 0 r.Obs.Replay.in_flight)
+        Sim.Scheduler.default_suite)
+    configs
+
 let test_separation_2048 () =
   let m = Separation.measure Netgraph.Families.Sparse_random ~n:2048 ~seed:227 in
   check_bool "wakeup ok" true m.Separation.wakeup_ok;
@@ -64,4 +146,7 @@ let suite =
     Alcotest.test_case "gossip at n=2048" `Slow test_gossip_2048;
     Alcotest.test_case "counting pipeline at n=2^18" `Slow test_counting_pipeline_large;
     Alcotest.test_case "separation at n=2048" `Slow test_separation_2048;
+    Alcotest.test_case "wakeup at n=10^5" `Slow test_wakeup_100k;
+    Alcotest.test_case "broadcast at n=10^5" `Slow test_broadcast_100k;
+    Alcotest.test_case "untraced = traced, bit-identical" `Slow test_untraced_bit_identical;
   ]
