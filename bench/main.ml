@@ -916,6 +916,59 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* One adversarial run of the stress grid: returns the serialized JSONL
+   row plus the aggregates the summary table needs.  Runs on a pool
+   worker, so it touches no shared mutable state: the graph is immutable,
+   the raw advice comes from the worker's own cache, and the row string
+   is written by the main domain after the join. *)
+type stress_task = {
+  st_proto : Fault.Harness.protocol;
+  st_plan_name : string;
+  st_plan : Fault.Plan.t;
+  st_gname : string;
+  st_graph : Graph.t;
+  st_sched : Sim.Scheduler.t;
+}
+
+type grid_row = { row_line : string; row_class : string; row_acceptable : bool }
+
+let class_of_verdict = function
+  | Fault.Verdict.Completed -> "completed"
+  | Fault.Verdict.Degraded _ -> "degraded"
+  | Fault.Verdict.Stalled _ -> "stalled"
+  | Fault.Verdict.Violated _ -> "violated"
+
+let stress_run advice_cache t =
+  let raw_advice =
+    Sim.Sweep.Cache.find advice_cache
+      (Fault.Harness.protocol_name t.st_proto, t.st_gname)
+      (fun () -> Fault.Harness.advise t.st_proto t.st_graph ~source:0)
+  in
+  let o =
+    Fault.Harness.run ~scheduler:t.st_sched ~plan:t.st_plan ~raw_advice t.st_proto t.st_graph
+      ~source:0
+  in
+  let cls = class_of_verdict o.Fault.Harness.verdict in
+  let r = o.Fault.Harness.result in
+  let informed =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
+  in
+  let recov = Obs.Counting.of_events o.Fault.Harness.events in
+  let line =
+    Printf.sprintf
+      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
+      (Fault.Harness.protocol_name t.st_proto)
+      (json_escape t.st_gname) (Graph.n t.st_graph) (Graph.m t.st_graph)
+      (json_escape (Sim.Scheduler.name t.st_sched))
+      (json_escape t.st_plan_name) r.Sim.Runner.stats.Sim.Runner.sent
+      r.Sim.Runner.stats.Sim.Runner.faults
+      (List.length o.Fault.Harness.fallbacks)
+      (List.length o.Fault.Harness.tampered)
+      recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits informed cls
+      (json_escape (Fault.Verdict.to_string o.Fault.Harness.verdict))
+  in
+  { row_line = line; row_class = cls; row_acceptable = Fault.Verdict.acceptable o.Fault.Harness.verdict }
+
 let stress () =
   let graphs =
     [
@@ -925,72 +978,96 @@ let stress () =
     ]
   in
   let protocols = [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ] in
+  (* Task order IS the emission order: the exact nesting of the old
+     sequential loops, so stress.jsonl is byte-identical at any job
+     count (the CI determinism gate diffs -j 1 against -j 2). *)
+  let tasks =
+    List.concat_map
+      (fun proto ->
+        List.concat_map
+          (fun (plan_name, plan) ->
+            List.concat_map
+              (fun (gname, g) ->
+                List.map
+                  (fun scheduler ->
+                    {
+                      st_proto = proto;
+                      st_plan_name = plan_name;
+                      st_plan = plan;
+                      st_gname = gname;
+                      st_graph = g;
+                      st_sched = scheduler;
+                    })
+                  Sim.Scheduler.default_suite)
+              graphs)
+          Fault.Plan.builtins)
+      protocols
+    |> Array.of_list
+  in
+  let jobs = Sim.Pool.default_jobs () in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let results =
+    Sim.Sweep.map ~jobs
+      ~local:(fun () -> Sim.Sweep.Cache.create ())
+      ~f:(fun cache _i t -> stress_run cache t)
+      tasks
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  (* Single ordered pass after the join: JSONL rows and table aggregates
+     both replay canonical task order on the main domain. *)
   let oc = open_out !stress_out in
   let runs = ref 0 in
   let graceful = ref 0 in
+  let counters = Hashtbl.create 32 in
+  let count key cls =
+    let completed, degraded, stalled, violated =
+      match Hashtbl.find_opt counters key with Some c -> c | None -> (0, 0, 0, 0)
+    in
+    Hashtbl.replace counters key
+      (match cls with
+      | "completed" -> (completed + 1, degraded, stalled, violated)
+      | "degraded" -> (completed, degraded + 1, stalled, violated)
+      | "stalled" -> (completed, degraded, stalled + 1, violated)
+      | _ -> (completed, degraded, stalled, violated + 1))
+  in
+  Array.iteri
+    (fun i -> function
+      | Error msg ->
+        Printf.eprintf "stress: task %d (%s/%s/%s) failed: %s\n" i
+          (Fault.Harness.protocol_name tasks.(i).st_proto)
+          tasks.(i).st_gname tasks.(i).st_plan_name msg;
+        exit 1
+      | Ok row ->
+        incr runs;
+        if row.row_acceptable then incr graceful;
+        count (Fault.Harness.protocol_name tasks.(i).st_proto, tasks.(i).st_plan_name) row.row_class;
+        output_string oc row.row_line;
+        output_char oc '\n')
+    results;
+  close_out oc;
   let rows =
     List.concat_map
       (fun proto ->
         List.map
-          (fun (plan_name, plan) ->
-            let completed = ref 0 in
-            let degraded = ref 0 in
-            let stalled = ref 0 in
-            let violated = ref 0 in
-            List.iter
-              (fun (gname, g) ->
-                List.iter
-                  (fun scheduler ->
-                    let o = Fault.Harness.run ~scheduler ~plan proto g ~source:0 in
-                    incr runs;
-                    if Fault.Verdict.acceptable o.Fault.Harness.verdict then incr graceful;
-                    let cls =
-                      match o.Fault.Harness.verdict with
-                      | Fault.Verdict.Completed ->
-                        incr completed;
-                        "completed"
-                      | Fault.Verdict.Degraded _ ->
-                        incr degraded;
-                        "degraded"
-                      | Fault.Verdict.Stalled _ ->
-                        incr stalled;
-                        "stalled"
-                      | Fault.Verdict.Violated _ ->
-                        incr violated;
-                        "violated"
-                    in
-                    let r = o.Fault.Harness.result in
-                    let informed =
-                      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
-                    in
-                    let recov = Obs.Counting.of_events o.Fault.Harness.events in
-                    Printf.fprintf oc
-                      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
-                      (Fault.Harness.protocol_name proto)
-                      (json_escape gname) (Graph.n g) (Graph.m g)
-                      (json_escape (Sim.Scheduler.name scheduler))
-                      (json_escape plan_name) r.Sim.Runner.stats.Sim.Runner.sent
-                      r.Sim.Runner.stats.Sim.Runner.faults
-                      (List.length o.Fault.Harness.fallbacks)
-                      (List.length o.Fault.Harness.tampered)
-                      recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits
-                      informed cls
-                      (json_escape (Fault.Verdict.to_string o.Fault.Harness.verdict));
-                    output_char oc '\n')
-                  Sim.Scheduler.default_suite)
-              graphs;
+          (fun (plan_name, _) ->
+            let completed, degraded, stalled, violated =
+              match Hashtbl.find_opt counters (Fault.Harness.protocol_name proto, plan_name) with
+              | Some c -> c
+              | None -> (0, 0, 0, 0)
+            in
             [
               Fault.Harness.protocol_name proto;
               plan_name;
-              Table.i !completed;
-              Table.i !degraded;
-              Table.i !stalled;
-              Table.i !violated;
+              Table.i completed;
+              Table.i degraded;
+              Table.i stalled;
+              Table.i violated;
             ])
           Fault.Plan.builtins)
       protocols
   in
-  close_out oc;
   Table.render
     ~title:
       "Stress: verdicts per fault plan over 5 schedulers x 3 graphs (tree, sparse, G_{n,S}) — \
@@ -998,12 +1075,58 @@ let stress () =
     ~header:[ "protocol"; "plan"; "completed"; "degraded"; "stalled"; "violated" ]
     ~aligns:[ Table.L; L; R; R; R; R ]
     rows;
-  Printf.printf "stress: %d adversarial runs -> %s; graceful (completed or degraded): %d/%d\n"
-    !runs !stress_out !graceful !runs
+  Printf.printf
+    "stress: %d adversarial runs -> %s; graceful (completed or degraded): %d/%d (jobs=%d \
+     wall=%.2fs cpu=%.2fs)\n"
+    !runs !stress_out !graceful !runs jobs wall cpu
 
 (* {1 Resilience — the recovery frontier: corruption x protection x retry} *)
 
 let resilience_out = ref "resilience.jsonl"
+
+type resilience_task = {
+  rt_plan_name : string;
+  rt_plan : Fault.Plan.t;
+  rt_protect : Bitstring.Ecc.level;
+  rt_retry : int;
+  rt_proto : Fault.Harness.protocol;
+  rt_gname : string;
+  rt_graph : Graph.t;
+}
+
+let resilience_run advice_cache t =
+  let raw_advice =
+    (* Advice depends only on (protocol, graph): one cache entry serves
+       the whole plan x protection x retry frontier over it. *)
+    Sim.Sweep.Cache.find advice_cache
+      (Fault.Harness.protocol_name t.rt_proto, t.rt_gname)
+      (fun () -> Fault.Harness.advise t.rt_proto t.rt_graph ~source:0)
+  in
+  let o =
+    Fault.Harness.run ~plan:t.rt_plan ~protect:t.rt_protect ~retry:t.rt_retry ~raw_advice
+      t.rt_proto t.rt_graph ~source:0
+  in
+  let cls = class_of_verdict o.Fault.Harness.verdict in
+  let r = o.Fault.Harness.result in
+  let recov = Obs.Counting.of_events o.Fault.Harness.events in
+  let raw = o.Fault.Harness.raw_advice_bits in
+  let overhead =
+    if raw = 0 then 1.0 else float_of_int o.Fault.Harness.advice_bits /. float_of_int raw
+  in
+  let line =
+    Printf.sprintf
+      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"plan":"%s","protect":"%s","retry":%d,"raw_bits":%d,"protected_bits":%d,"overhead":%.3f,"sent":%d,"retransmits":%d,"corrected_bits":%d,"fallbacks":%d,"class":"%s"}|}
+      (Fault.Harness.protocol_name t.rt_proto)
+      (json_escape t.rt_gname) (Graph.n t.rt_graph) (Graph.m t.rt_graph)
+      (json_escape t.rt_plan_name)
+      (Bitstring.Ecc.name t.rt_protect) t.rt_retry raw o.Fault.Harness.advice_bits overhead
+      r.Sim.Runner.stats.Sim.Runner.sent recov.Obs.Counting.retransmits
+      recov.Obs.Counting.corrected_bits
+      (List.length o.Fault.Harness.fallbacks)
+      cls
+  in
+  ( { row_line = line; row_class = cls; row_acceptable = Fault.Verdict.acceptable o.Fault.Harness.verdict },
+    overhead )
 
 let resilience () =
   let graphs =
@@ -1023,76 +1146,96 @@ let resilience () =
   let levels = Bitstring.Ecc.all in
   let retries = [ 0; 2 ] in
   let protocols = [ Fault.Harness.Wakeup; Fault.Harness.Broadcast ] in
-  let oc = open_out !resilience_out in
-  let runs = ref 0 in
-  let graceful = ref 0 in
-  let rows =
+  (* Canonical order = the old sequential nesting (plans, levels, retries,
+     protocols, graphs); emission replays it after the join. *)
+  let tasks =
     List.concat_map
       (fun plan_name ->
         let plan = Fault.Plan.of_string_exn plan_name in
         List.concat_map
           (fun protect ->
+            List.concat_map
+              (fun retry ->
+                List.concat_map
+                  (fun proto ->
+                    List.map
+                      (fun (gname, g) ->
+                        {
+                          rt_plan_name = plan_name;
+                          rt_plan = plan;
+                          rt_protect = protect;
+                          rt_retry = retry;
+                          rt_proto = proto;
+                          rt_gname = gname;
+                          rt_graph = g;
+                        })
+                      graphs)
+                  protocols)
+              retries)
+          levels)
+      plans
+    |> Array.of_list
+  in
+  let jobs = Sim.Pool.default_jobs () in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let results =
+    Sim.Sweep.map ~jobs
+      ~local:(fun () -> Sim.Sweep.Cache.create ())
+      ~f:(fun cache _i t -> resilience_run cache t)
+      tasks
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  let oc = open_out !resilience_out in
+  let runs = ref 0 in
+  let graceful = ref 0 in
+  let counters = Hashtbl.create 64 in
+  Array.iteri
+    (fun i -> function
+      | Error msg ->
+        Printf.eprintf "resilience: task %d (%s/%s/%s) failed: %s\n" i
+          (Fault.Harness.protocol_name tasks.(i).rt_proto)
+          tasks.(i).rt_gname tasks.(i).rt_plan_name msg;
+        exit 1
+      | Ok (row, overhead) ->
+        incr runs;
+        if row.row_acceptable then incr graceful;
+        let key = (tasks.(i).rt_plan_name, tasks.(i).rt_protect, tasks.(i).rt_retry) in
+        let completed, degraded, stalled, violated, worst =
+          match Hashtbl.find_opt counters key with Some c -> c | None -> (0, 0, 0, 0, 1.0)
+        in
+        let worst = max worst overhead in
+        Hashtbl.replace counters key
+          (match row.row_class with
+          | "completed" -> (completed + 1, degraded, stalled, violated, worst)
+          | "degraded" -> (completed, degraded + 1, stalled, violated, worst)
+          | "stalled" -> (completed, degraded, stalled + 1, violated, worst)
+          | _ -> (completed, degraded, stalled, violated + 1, worst));
+        output_string oc row.row_line;
+        output_char oc '\n')
+    results;
+  let rows =
+    List.concat_map
+      (fun plan_name ->
+        List.concat_map
+          (fun protect ->
             List.map
               (fun retry ->
-                let completed = ref 0 in
-                let degraded = ref 0 in
-                let stalled = ref 0 in
-                let violated = ref 0 in
-                let overheads = ref [] in
-                List.iter
-                  (fun proto ->
-                    List.iter
-                      (fun (gname, g) ->
-                        let o =
-                          Fault.Harness.run ~plan ~protect ~retry proto g ~source:0
-                        in
-                        incr runs;
-                        if Fault.Verdict.acceptable o.Fault.Harness.verdict then incr graceful;
-                        let cls =
-                          match o.Fault.Harness.verdict with
-                          | Fault.Verdict.Completed ->
-                            incr completed;
-                            "completed"
-                          | Fault.Verdict.Degraded _ ->
-                            incr degraded;
-                            "degraded"
-                          | Fault.Verdict.Stalled _ ->
-                            incr stalled;
-                            "stalled"
-                          | Fault.Verdict.Violated _ ->
-                            incr violated;
-                            "violated"
-                        in
-                        let r = o.Fault.Harness.result in
-                        let recov = Obs.Counting.of_events o.Fault.Harness.events in
-                        let raw = o.Fault.Harness.raw_advice_bits in
-                        let overhead =
-                          if raw = 0 then 1.0
-                          else float_of_int o.Fault.Harness.advice_bits /. float_of_int raw
-                        in
-                        overheads := overhead :: !overheads;
-                        Printf.fprintf oc
-                          {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"plan":"%s","protect":"%s","retry":%d,"raw_bits":%d,"protected_bits":%d,"overhead":%.3f,"sent":%d,"retransmits":%d,"corrected_bits":%d,"fallbacks":%d,"class":"%s"}|}
-                          (Fault.Harness.protocol_name proto)
-                          (json_escape gname) (Graph.n g) (Graph.m g) (json_escape plan_name)
-                          (Bitstring.Ecc.name protect) retry raw o.Fault.Harness.advice_bits
-                          overhead r.Sim.Runner.stats.Sim.Runner.sent
-                          recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits
-                          (List.length o.Fault.Harness.fallbacks)
-                          cls;
-                        output_char oc '\n')
-                      graphs)
-                  protocols;
-                let worst_overhead = List.fold_left max 1.0 !overheads in
+                let completed, degraded, stalled, violated, worst_overhead =
+                  match Hashtbl.find_opt counters (plan_name, protect, retry) with
+                  | Some c -> c
+                  | None -> (0, 0, 0, 0, 1.0)
+                in
                 [
                   plan_name;
                   Bitstring.Ecc.name protect;
                   Table.i retry;
                   Table.f2 worst_overhead;
-                  Table.i !completed;
-                  Table.i !degraded;
-                  Table.i !stalled;
-                  Table.i !violated;
+                  Table.i completed;
+                  Table.i degraded;
+                  Table.i stalled;
+                  Table.i violated;
                 ])
               retries)
           levels)
@@ -1107,8 +1250,8 @@ let resilience () =
       [ "plan"; "protect"; "retry"; "bit overhead"; "completed"; "degraded"; "stalled"; "violated" ]
     ~aligns:[ Table.L; L; R; R; R; R; R; R ]
     rows;
-  Printf.printf "resilience: %d adversarial runs -> %s; graceful: %d/%d\n" !runs !resilience_out
-    !graceful !runs
+  Printf.printf "resilience: %d adversarial runs -> %s; graceful: %d/%d (jobs=%d wall=%.2fs cpu=%.2fs)\n"
+    !runs !resilience_out !graceful !runs jobs wall cpu
 
 (* {1 Micro-benchmarks (Bechamel)} *)
 

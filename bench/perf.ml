@@ -2,17 +2,27 @@
 
    [dune build @perf] produces BENCH_perf.json: messages/sec, rounds/sec
    and GC minor words per delivered message for the wakeup and broadcast
-   schemes on the path / clique / G_{n,S} families, at sizes up to
-   n = 10^6 (PERF_MAX_N caps the sweep; CI runs it at 10^4).  The
-   checked-in copy at the repository root is the baseline future PRs
+   schemes on the path / clique / G_{n,S} / sparse-random families, at
+   sizes up to n = 10^6 (PERF_MAX_N caps the sweep; CI runs it at 10^4).
+   The checked-in copy at the repository root is the baseline future PRs
    regress against: --baseline=FILE fails the run (exit 1) if any
    matching row's messages/sec drops below half the recorded value.
 
-   Schema ("oracle-size/perf/v1"): a top-level object with "schema",
-   "max_n" and "rows"; each row carries protocol, family, n, m,
-   advice_bits, messages, rounds, reps, seconds, msgs_per_sec,
-   rounds_per_sec, minor_words_per_msg, all_informed, quiescent.
-   The row set may grow in later versions; field meanings may not change.
+   Schema ("oracle-size/perf/v2"): a top-level object with "schema",
+   "max_n", "jobs", "wall_seconds", "cpu_seconds" and "rows"; each row
+   carries protocol, family, n, m, advice_bits, messages, rounds, reps,
+   seconds, msgs_per_sec, rounds_per_sec, minor_words_per_msg,
+   all_informed, quiescent — unchanged from v1, so v1 baseline files
+   still compare.  The row set may grow in later versions; field
+   meanings may not change.
+
+   The grid executes on a Sim.Pool ([--jobs=N] / ORACLE_SIZE_JOBS;
+   default 1).  Every deterministic row field is identical at any job
+   count — graphs are cached per worker but keyed only by coordinates,
+   and rows are emitted in one ordered pass after the join; only the
+   timing fields move.  At jobs = 1 timing is CPU time best-of-three
+   (the baseline-comparable configuration); at jobs > 1 rows are timed
+   by wall clock, since [Sys.time] sums CPU across all domains.
 
    Wakeup rows double as a correctness gate: the paper's Theorem 2.1
    count (exactly n-1 messages, every node informed, quiescent) is
@@ -41,18 +51,27 @@ type row = {
 
 (* {1 Workloads} *)
 
-let build_family = function
-  | "path" -> fun n -> Netgraph.Gen.path n
-  | "clique" -> fun n -> Netgraph.Gen.complete n
-  | "gns" -> fun n -> fst (Oracle_core.Lower_bound.wakeup_hard_graph ~n ~seed)
+let build_family family n =
+  match family with
+  | "path" -> Netgraph.Gen.path n
+  | "clique" -> Netgraph.Gen.complete n
+  | "gns" -> fst (Oracle_core.Lower_bound.wakeup_hard_graph ~n ~seed)
+  | "sparse" ->
+    let st = Random.State.make [| seed; n |] in
+    Netgraph.Gen.random_connected ~n ~p:(min 1.0 (4.0 /. float_of_int n)) st
   | f -> invalid_arg ("perf: unknown family " ^ f)
 
-(* Per-family size caps below the sweep ceiling: a 10^4 clique already
-   carries 5*10^7 edges (the quadratic families bound memory, not the
-   runner), so quadratic families stop at 10^3 and the cap is logged
-   rather than silently dropped. *)
-let families = [ ("path", 1_000_000); ("clique", 1_000); ("gns", 1_000) ]
-let sizes = [ 1_000; 10_000; 100_000; 1_000_000 ]
+(* Per-family size caps below the sweep ceiling: the quadratic families
+   bound memory, not the runner — a clique at n = 2*10^3 already carries
+   ~2*10^6 edges, and n = 10^4 would need ~5*10^7 (gigabytes of adjacency
+   tuples) — so they stop at 2*10^3 and the cap is logged rather than
+   silently dropped.  Sparse-random runs the full ceiling now that
+   sampling is O(m + n) skip-sampling instead of the old all-pairs
+   loop. *)
+let families =
+  [ ("path", 1_000_000); ("clique", 2_000); ("gns", 2_000); ("sparse", 1_000_000) ]
+
+let sizes = [ 1_000; 2_000; 10_000; 100_000; 1_000_000 ]
 
 let wakeup_workload g =
   let o = Oracle_core.Wakeup.oracle () in
@@ -68,7 +87,7 @@ let workloads = [ ("wakeup", wakeup_workload); ("broadcast", broadcast_workload)
 
 (* {1 Measurement} *)
 
-let measure ~protocol ~family g =
+let measure ~clock ~protocol ~family g =
   let n = Graph.n g in
   let advice_bits, advice, factory =
     (List.assoc protocol workloads) g
@@ -76,16 +95,17 @@ let measure ~protocol ~family g =
   let run () =
     Sim.Runner.run ~max_messages:(5 * n) ~advice g ~source:0 factory
   in
-  (* Timing is CPU time ([Sys.time]), not wall clock: the benchmark is
+  (* At jobs = 1, [clock] is CPU time ([Sys.time]): the row is
      single-threaded and does no I/O inside the timed region, so CPU
      time is the quantity we are optimising, and it is immune to the
      preemption noise of a shared machine (where a wall-clock pass can
-     eat a 2x scheduling hit).  Repeat small runs so each pass covers
-     >= ~2*10^5 messages, and take the best of three passes.
-     [Gc.compact] first, so heap state left over from earlier rows (a
-     fragmented major heap measurably distorts the smaller sizes) never
-     leaks into this one; one warmup run re-primes code paths and
-     allocator state. *)
+     eat a 2x scheduling hit).  At jobs > 1 it is wall clock, because
+     [Sys.time] is process-wide across domains.  Repeat small runs so
+     each pass covers >= ~2*10^5 messages, and take the best of three
+     passes.  [Gc.compact] first, so heap state left over from earlier
+     rows (a fragmented major heap measurably distorts the smaller
+     sizes) never leaks into this one; one warmup run re-primes code
+     paths and allocator state. *)
   let reps = max 1 (200_000 / n) in
   Gc.compact ();
   ignore (run ());
@@ -94,11 +114,11 @@ let measure ~protocol ~family g =
   let minor = Gc.minor_words () -. minor0 in
   let dt = ref infinity in
   for _ = 1 to 3 do
-    let t0 = Sys.time () in
+    let t0 = clock () in
     for _ = 1 to reps do
       last := run ()
     done;
-    let d = Sys.time () -. t0 in
+    let d = clock () -. t0 in
     if d < !dt then dt := d
   done;
   let dt = !dt in
@@ -146,10 +166,17 @@ let row_to_json r =
     r.protocol r.family r.n r.m r.advice_bits r.messages r.rounds r.reps r.seconds
     r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg r.all_informed r.quiescent
 
-let write_json file ~max_n rows =
+let write_json file ~max_n ~jobs ~wall_seconds ~cpu_seconds rows =
   let oc = open_out file in
-  Printf.fprintf oc "{\n  \"schema\": \"oracle-size/perf/v1\",\n  \"max_n\": %d,\n  \"rows\": [\n"
-    max_n;
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"oracle-size/perf/v2\",\n\
+    \  \"max_n\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"wall_seconds\": %.3f,\n\
+    \  \"cpu_seconds\": %.3f,\n\
+    \  \"rows\": [\n"
+    max_n jobs wall_seconds cpu_seconds;
   List.iteri
     (fun i r ->
       output_string oc ("    " ^ row_to_json r);
@@ -235,10 +262,13 @@ let check_baseline file rows =
 
 (* {1 Driver} *)
 
+type task = { t_family : string; t_n : int; t_protocol : string }
+
 let () =
   let out = ref "BENCH_perf.json" in
   let max_n = ref 1_000_000 in
   let baseline = ref "" in
+  let jobs_arg = ref None in
   List.iter
     (fun a ->
       let with_prefix p f =
@@ -252,36 +282,75 @@ let () =
         not
           (with_prefix "--out=" (fun v -> out := v)
           || with_prefix "--max-n=" (fun v -> max_n := int_of_string v)
-          || with_prefix "--baseline=" (fun v -> baseline := v))
+          || with_prefix "--baseline=" (fun v -> baseline := v)
+          || with_prefix "--jobs=" (fun v -> jobs_arg := Some (int_of_string v)))
       then begin
-        Printf.eprintf "usage: perf [--out=FILE] [--max-n=N] [--baseline=FILE]\n";
+        Printf.eprintf "usage: perf [--out=FILE] [--max-n=N] [--baseline=FILE] [--jobs=N]\n";
         exit 2
       end)
     (List.tl (Array.to_list Sys.argv));
-  let rows = ref [] in
+  (* Default 1, not recommended_domain_count: the checked-in baseline is
+     the single-job CPU-time configuration, and timing semantics switch
+     with the job count (see [measure]). *)
+  let jobs =
+    match !jobs_arg with
+    | Some j -> max 1 j
+    | None -> (
+      match Sys.getenv_opt "ORACLE_SIZE_JOBS" with
+      | Some s -> ( match int_of_string_opt (String.trim s) with Some j -> max 1 j | None -> 1)
+      | None -> 1)
+  in
+  let clock = if jobs = 1 then Sys.time else Unix.gettimeofday in
+  (* The task list is the canonical emission order: families (outer),
+     sizes, protocols — identical to the old sequential nesting, so v1
+     consumers see rows in the same order at any job count. *)
+  let tasks = ref [] in
   List.iter
     (fun (family, cap) ->
-      let build = build_family family in
       List.iter
         (fun n ->
           if n > !max_n then ()
           else if n > cap then
             Printf.printf "perf: skipping %s at n=%d (family capped at %d: quadratic size)\n"
               family n cap
-          else begin
-            let g = build n in
+          else
             List.iter
-              (fun (protocol, _) ->
-                let r = measure ~protocol ~family g in
-                assert_row r;
-                Printf.printf "perf: %-9s %-6s n=%-7d %9.0f msgs/s %9.0f rounds/s %6.1f words/msg\n"
-                  r.protocol r.family r.n r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg;
-                rows := r :: !rows)
-              workloads
-          end)
+              (fun (protocol, _) -> tasks := { t_family = family; t_n = n; t_protocol = protocol } :: !tasks)
+              workloads)
         sizes)
     families;
+  let tasks = Array.of_list (List.rev !tasks) in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let results =
+    Sim.Sweep.map ~jobs
+      ~local:(fun () -> Sim.Sweep.Cache.create ())
+      ~f:(fun graphs _i t ->
+        let g =
+          Sim.Sweep.Cache.find graphs (t.t_family, t.t_n) (fun () -> build_family t.t_family t.t_n)
+        in
+        measure ~clock ~protocol:t.t_protocol ~family:t.t_family g)
+      tasks
+  in
+  let wall_seconds = Unix.gettimeofday () -. wall0 in
+  let cpu_seconds = Sys.time () -. cpu0 in
+  (* Single ordered pass after the join: asserts, progress lines and the
+     JSON file all replay task order. *)
+  let rows = ref [] in
+  Array.iteri
+    (fun i -> function
+      | Error msg ->
+        Printf.eprintf "perf: %s/%s n=%d failed: %s\n" tasks.(i).t_protocol tasks.(i).t_family
+          tasks.(i).t_n msg;
+        exit 1
+      | Ok r ->
+        assert_row r;
+        Printf.printf "perf: %-9s %-6s n=%-7d %9.0f msgs/s %9.0f rounds/s %6.1f words/msg\n"
+          r.protocol r.family r.n r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg;
+        rows := r :: !rows)
+    results;
   let rows = List.rev !rows in
-  write_json !out ~max_n:!max_n rows;
-  Printf.printf "perf: wrote %d rows to %s\n" (List.length rows) !out;
+  write_json !out ~max_n:!max_n ~jobs ~wall_seconds ~cpu_seconds rows;
+  Printf.printf "perf: wrote %d rows to %s (jobs=%d wall=%.1fs cpu=%.1fs)\n" (List.length rows)
+    !out jobs wall_seconds cpu_seconds;
   if !baseline <> "" then check_baseline !baseline rows

@@ -95,6 +95,28 @@ let retry_arg =
            link timeout that the hardened schemes answer by re-flooding.  Default 0: \
            recovery off.  Only meaningful together with $(b,--fault).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel execution.  Defaults to $(b,ORACLE_SIZE_JOBS) when \
+           set, else this machine's recommended domain count.  Results are bit-identical \
+           for every $(docv); only the wall time changes.")
+
+let resolve_jobs = function Some j -> max 1 j | None -> Sim.Pool.default_jobs ()
+
+let suite_flag =
+  Arg.(
+    value & flag
+    & info [ "suite" ]
+        ~doc:
+          "With $(b,--fault): run the plan under every scheduler in the default adversary \
+           suite, in parallel across $(b,--jobs) worker domains, and print one verdict \
+           row per scheduler.  Overrides $(b,--scheduler); incompatible with \
+           $(b,--trace-out) (trace sinks are single-writer).")
+
 (* The adversarial path shared by wakeup and broadcast: run the hardened
    harness under the plan and report the verdict. *)
 let run_faulty protocol plan ~protect ~retry family g ~source ~scheduler sinks =
@@ -129,6 +151,50 @@ let run_faulty protocol plan ~protect ~retry family g ~source ~scheduler sinks =
   end;
   Printf.printf "verdict:      %s\n" (Fault.Verdict.to_string o.Fault.Harness.verdict);
   if not (Fault.Verdict.acceptable o.Fault.Harness.verdict) then exit 1
+
+(* [--fault --suite]: the same plan under every scheduler in the default
+   adversary suite, fanned out over a domain pool.  Advice is a pure
+   function of (protocol, graph, source), so it is computed once here and
+   shared read-only by every worker; each run protects and corrupts its
+   own copy.  Per-run trace sinks are single-writer, so suite mode runs
+   without them and prints one verdict row per scheduler instead. *)
+let run_faulty_suite protocol plan ~protect ~retry ~jobs family g ~source =
+  if retry < 0 then begin
+    Printf.eprintf "oraclesize: --retry must be non-negative\n";
+    exit 2
+  end;
+  let advs = List.map (fun s -> Sim.Adversary.make ~plan s) Sim.Scheduler.default_suite in
+  let raw_advice = Fault.Harness.advise protocol g ~source in
+  let results =
+    Sim.Adversary.map_suite ~jobs
+      ~f:(fun adv ->
+        Fault.Harness.run ~scheduler:adv.Sim.Adversary.scheduler ~plan ~protect ~retry
+          ~raw_advice protocol g ~source)
+      advs
+  in
+  Printf.printf "network:    %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
+    (Graph.m g);
+  Printf.printf "fault plan: %s  (%d schedulers, jobs=%d)\n" (Fault.Plan.to_string plan)
+    (List.length advs) jobs;
+  Printf.printf "%-18s %9s %7s %11s  %s\n" "scheduler" "messages" "faults" "retransmits"
+    "verdict";
+  let ok = ref true in
+  List.iteri
+    (fun i adv ->
+      let sched_name = Sim.Scheduler.name adv.Sim.Adversary.scheduler in
+      match results.(i) with
+      | Error msg ->
+        ok := false;
+        Printf.printf "%-18s error: %s\n" sched_name msg
+      | Ok o ->
+        let stats = o.Fault.Harness.result.Sim.Runner.stats in
+        let recov = Obs.Counting.of_events o.Fault.Harness.events in
+        if not (Fault.Verdict.acceptable o.Fault.Harness.verdict) then ok := false;
+        Printf.printf "%-18s %9d %7d %11d  %s\n" sched_name stats.Sim.Runner.sent
+          stats.Sim.Runner.faults recov.Obs.Counting.retransmits
+          (Fault.Verdict.to_string o.Fault.Harness.verdict))
+    advs;
+  if not !ok then exit 1
 
 let trace_out_arg =
   Arg.(
@@ -199,12 +265,22 @@ let wakeup_cmd =
       & opt encoding_conv Oracle_core.Wakeup.Paper
       & info [ "encoding" ] ~docv:"ENC" ~doc:"Advice encoding: paper, minimal, or gamma.")
   in
-  let run family n seed source scheduler encoding fault protect retry trace_out =
+  let run family n seed source scheduler encoding fault protect retry suite jobs trace_out =
     let g = build family n seed in
     match fault with
+    | Some plan when suite ->
+      if trace_out <> None then begin
+        Printf.eprintf "oraclesize: --suite and --trace-out cannot be combined\n";
+        exit 2
+      end;
+      run_faulty_suite Fault.Harness.Wakeup plan ~protect ~retry ~jobs:(resolve_jobs jobs)
+        family g ~source
     | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
           run_faulty Fault.Harness.Wakeup plan ~protect ~retry family g ~source ~scheduler sinks)
+    | None when suite ->
+      Printf.eprintf "oraclesize: --suite is only meaningful together with --fault\n";
+      exit 2
     | None ->
       let o =
         with_trace_sinks trace_out (fun sinks ->
@@ -223,7 +299,7 @@ let wakeup_cmd =
     (Cmd.info "wakeup" ~doc:"Run the Theorem 2.1 wakeup oracle and scheme.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ encoding_arg
-      $ fault_arg $ protect_arg $ retry_arg $ trace_out_arg)
+      $ fault_arg $ protect_arg $ retry_arg $ suite_flag $ jobs_arg $ trace_out_arg)
 
 (* {1 broadcast} *)
 
@@ -244,13 +320,24 @@ let broadcast_cmd =
       & info [ "tree" ] ~docv:"TREE"
           ~doc:"Spanning tree: light (Claim 3.1, default), bfs, or dfs.")
   in
-  let run family n seed source scheduler (tree_name, tree) fault protect retry trace_out =
+  let run family n seed source scheduler (tree_name, tree) fault protect retry suite jobs
+      trace_out =
     let g = build family n seed in
     match fault with
+    | Some plan when suite ->
+      if trace_out <> None then begin
+        Printf.eprintf "oraclesize: --suite and --trace-out cannot be combined\n";
+        exit 2
+      end;
+      run_faulty_suite Fault.Harness.Broadcast plan ~protect ~retry ~jobs:(resolve_jobs jobs)
+        family g ~source
     | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
           run_faulty Fault.Harness.Broadcast plan ~protect ~retry family g ~source ~scheduler
             sinks)
+    | None when suite ->
+      Printf.eprintf "oraclesize: --suite is only meaningful together with --fault\n";
+      exit 2
     | None ->
       let o =
         with_trace_sinks trace_out (fun sinks ->
@@ -274,7 +361,7 @@ let broadcast_cmd =
     (Cmd.info "broadcast" ~doc:"Run the Theorem 3.1 broadcast oracle and Scheme B.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ tree_arg
-      $ fault_arg $ protect_arg $ retry_arg $ trace_out_arg)
+      $ fault_arg $ protect_arg $ retry_arg $ suite_flag $ jobs_arg $ trace_out_arg)
 
 (* {1 separation} *)
 
@@ -508,22 +595,16 @@ let perf_cmd =
       value & opt string "wakeup"
       & info [ "protocol" ] ~docv:"PROTO" ~doc:"Protocol to time: wakeup or broadcast.")
   in
-  (* Unlike the other commands this one defaults to the path family:
-     perf runs invite n = 10^5..10^6, where the sparse-random default
-     would spend minutes in O(n^2) edge sampling before the first
-     timed round. *)
-  let family_arg =
-    Arg.(
-      value
-      & opt family_conv Families.Path
-      & info [ "f"; "family" ] ~docv:"FAMILY" ~doc:"Graph family (see $(b,graph --list)).")
-  in
   (* A one-row interactive version of bench/perf.ml: build oracle and
-     advice once, time only [Sim.Runner.run] in CPU seconds (immune to
-     scheduling noise), report throughput and the minor-heap allocation
-     rate.  The tracked sweep with the stable JSON schema stays in
-     [dune build @perf]; this is the quick spot check. *)
-  let run family n seed source protocol =
+     advice once, time only [Sim.Runner.run], report throughput and the
+     minor-heap allocation rate.  At jobs = 1 the reps run sequentially
+     and are timed in CPU seconds (immune to scheduling noise); at
+     jobs > 1 they fan out over a domain pool — same graph, advice and
+     factory, all read-only — and wall time is the honest clock.  The
+     tracked sweep with the stable JSON schema stays in [dune build
+     @perf]; this is the quick spot check. *)
+  let run family n seed source protocol jobs =
+    let jobs = resolve_jobs jobs in
     let g = build family n seed in
     let advice, factory =
       match protocol with
@@ -546,21 +627,29 @@ let perf_cmd =
     let minor0 = Gc.minor_words () in
     let r = run () in
     let minor = Gc.minor_words () -. minor0 in
-    let t0 = Sys.time () in
-    for _ = 1 to reps do
-      ignore (run ())
-    done;
-    let dt = (Sys.time () -. t0) /. float_of_int reps in
+    let clock = if jobs = 1 then Sys.time else Unix.gettimeofday in
+    let t0 = clock () in
+    if jobs = 1 then
+      for _ = 1 to reps do
+        ignore (run ())
+      done
+    else
+      Sim.Pool.with_pool ~jobs (fun pool ->
+          Array.iter
+            (function Ok () -> () | Error e -> raise e)
+            (Sim.Pool.map pool (fun _ -> ignore (run ())) reps));
+    let dt = (clock () -. t0) /. float_of_int reps in
     let sent = r.Sim.Runner.stats.Sim.Runner.sent in
     Printf.printf "network:       %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
       (Graph.m g);
     Printf.printf "protocol:      %s (advice %d bits)\n" protocol
       (Oracles.Advice.size_bits advice);
-    Printf.printf "messages:      %d over %d rounds (reps %d)\n" sent
-      r.Sim.Runner.stats.Sim.Runner.rounds reps;
-    Printf.printf "throughput:    %.0f messages/sec, %.0f rounds/sec (CPU time)\n"
+    Printf.printf "messages:      %d over %d rounds (reps %d, jobs %d)\n" sent
+      r.Sim.Runner.stats.Sim.Runner.rounds reps jobs;
+    Printf.printf "throughput:    %.0f messages/sec, %.0f rounds/sec (%s)\n"
       (if dt > 0.0 then float_of_int sent /. dt else 0.0)
-      (if dt > 0.0 then float_of_int r.Sim.Runner.stats.Sim.Runner.rounds /. dt else 0.0);
+      (if dt > 0.0 then float_of_int r.Sim.Runner.stats.Sim.Runner.rounds /. dt else 0.0)
+      (if jobs = 1 then "CPU time" else "wall time");
     Printf.printf "allocation:    %.1f minor words/message\n"
       (if sent > 0 then minor /. float_of_int sent else 0.0);
     Printf.printf "completed:     informed %b, quiescent %b\n" r.Sim.Runner.all_informed
@@ -569,7 +658,177 @@ let perf_cmd =
   in
   Cmd.v
     (Cmd.info "perf" ~doc:"Time the simulation hot path (messages/sec, words/message).")
-    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ protocol_arg)
+    Term.(const run $ family_arg $ n_arg $ seed_arg $ source_arg $ protocol_arg $ jobs_arg)
+
+(* {1 sweep} *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sweep_cmd =
+  let grid_conv =
+    let parse s =
+      match Sim.Sweep.of_string s with Ok g -> Ok g | Error m -> Error (`Msg m)
+    in
+    Arg.conv (parse, fun fmt g -> Format.pp_print_string fmt (Sim.Sweep.to_string g))
+  in
+  let default_grid =
+    match Sim.Sweep.of_string "" with Ok g -> g | Error _ -> assert false
+  in
+  let grid_arg =
+    Arg.(
+      value
+      & pos 0 grid_conv default_grid
+      & info [] ~docv:"GRID"
+          ~doc:
+            "Grid spec: axes separated by $(b,;), values by $(b,,) — except plans, \
+             separated by $(b,|).  E.g. \
+             $(b,protocols=wakeup;families=sparse-random;ns=24,64;scheds=sync,async-fifo;plans=none|drop=0.1,seed=7;reps=2;seed=42). \
+             Omitted axes default to protocols=wakeup,broadcast families=sparse-random \
+             ns=64 scheds=async-fifo plans=none reps=1 seed=42.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write one JSON line per grid point to $(docv) ($(b,-), the default: standard \
+             output).  Rows are emitted in canonical grid order after the parallel run \
+             joins, so the file is byte-identical for every $(b,--jobs).")
+  in
+  (* The declarative grid runner: the cross product of (protocol × plan ×
+     family × n × scheduler × rep), executed over a domain pool with
+     per-worker graph and advice caches, one adversarial harness run per
+     point.  Every seed derives from grid coordinates, results land in
+     pre-sized slots, and rows are serialized in one ordered pass after
+     the join — the JSONL is byte-identical at -j 1 and -j 8.  Verdict
+     classes are data, not failures: the exit status is 0 as long as
+     every point executed (2 on a bad spec, 1 if a point raised). *)
+  let run grid out protect retry jobs =
+    if retry < 0 then begin
+      Printf.eprintf "oraclesize: --retry must be non-negative\n";
+      exit 2
+    end;
+    let jobs = resolve_jobs jobs in
+    let protocol_of_name = function
+      | "wakeup" -> Some Fault.Harness.Wakeup
+      | "broadcast" -> Some Fault.Harness.Broadcast
+      | _ -> None
+    in
+    List.iter
+      (fun p ->
+        if protocol_of_name p = None then begin
+          Printf.eprintf "oraclesize sweep: unknown protocol %S (wakeup or broadcast)\n" p;
+          exit 2
+        end)
+      grid.Sim.Sweep.protocols;
+    let pts = Sim.Sweep.points grid in
+    let wall0 = Unix.gettimeofday () in
+    let cpu0 = Sys.time () in
+    let results =
+      Sim.Sweep.run ~jobs
+        ~local:(fun () -> (Sim.Sweep.Cache.create (), Sim.Sweep.Cache.create ()))
+        ~f:(fun (graphs, advice_cache) p ->
+          let proto =
+            match protocol_of_name p.Sim.Sweep.protocol with
+            | Some x -> x
+            | None -> assert false (* validated above *)
+          in
+          let gseed = Sim.Sweep.graph_seed grid p in
+          let gkey = (Families.name p.Sim.Sweep.family, p.Sim.Sweep.n, gseed) in
+          let g =
+            Sim.Sweep.Cache.find graphs gkey (fun () ->
+                Families.build p.Sim.Sweep.family ~n:p.Sim.Sweep.n ~seed:gseed)
+          in
+          let raw_advice =
+            Sim.Sweep.Cache.find advice_cache
+              (p.Sim.Sweep.protocol, gkey)
+              (fun () -> Fault.Harness.advise proto g ~source:0)
+          in
+          let o =
+            Fault.Harness.run ~scheduler:p.Sim.Sweep.scheduler ~plan:p.Sim.Sweep.plan ~protect
+              ~retry ~raw_advice proto g ~source:0
+          in
+          let r = o.Fault.Harness.result in
+          let informed =
+            Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
+          in
+          let recov = Obs.Counting.of_events o.Fault.Harness.events in
+          let cls =
+            match o.Fault.Harness.verdict with
+            | Fault.Verdict.Completed -> "completed"
+            | Fault.Verdict.Degraded _ -> "degraded"
+            | Fault.Verdict.Stalled _ -> "stalled"
+            | Fault.Verdict.Violated _ -> "violated"
+          in
+          let line =
+            Printf.sprintf
+              {|{"protocol":"%s","family":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","rep":%d,"seed":%d,"sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
+              (json_escape p.Sim.Sweep.protocol)
+              (json_escape (Families.name p.Sim.Sweep.family))
+              (Graph.n g) (Graph.m g)
+              (json_escape (Sim.Scheduler.name p.Sim.Sweep.scheduler))
+              (json_escape (Fault.Plan.to_string p.Sim.Sweep.plan))
+              p.Sim.Sweep.rep p.Sim.Sweep.seed r.Sim.Runner.stats.Sim.Runner.sent
+              r.Sim.Runner.stats.Sim.Runner.faults
+              (List.length o.Fault.Harness.fallbacks)
+              (List.length o.Fault.Harness.tampered)
+              recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits informed cls
+              (json_escape (Fault.Verdict.to_string o.Fault.Harness.verdict))
+          in
+          (line, cls, Fault.Verdict.acceptable o.Fault.Harness.verdict))
+        grid
+    in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let cpu = Sys.time () -. cpu0 in
+    let oc, finish =
+      match out with
+      | "-" -> (stdout, fun () -> flush stdout)
+      | file -> (
+        try
+          let oc = open_out file in
+          (oc, fun () -> close_out oc)
+        with Sys_error msg ->
+          Printf.eprintf "oraclesize sweep: cannot open output file: %s\n" msg;
+          exit 2)
+    in
+    let graceful = ref 0 in
+    let failed = ref 0 in
+    Array.iteri
+      (fun i result ->
+        match result with
+        | Error msg ->
+          incr failed;
+          Printf.eprintf "oraclesize sweep: point %s raised: %s\n"
+            (Sim.Sweep.point_label pts.(i)) msg
+        | Ok (line, _, acceptable) ->
+          if acceptable then incr graceful;
+          output_string oc line;
+          output_char oc '\n')
+      results;
+    finish ();
+    Printf.eprintf "sweep: %d points, %d graceful, %d not, jobs=%d wall=%.2fs cpu=%.2fs\n"
+      (Array.length pts) !graceful
+      (Array.length pts - !graceful)
+      jobs wall cpu;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a declarative experiment grid (protocol × plan × family × n × scheduler × \
+          rep) in parallel, one JSON row per point.")
+    Term.(const run $ grid_arg $ out_arg $ protect_arg $ retry_arg $ jobs_arg)
 
 let () =
   let doc = "oracle-size experiments: wakeup vs broadcast knowledge requirements" in
@@ -579,5 +838,5 @@ let () =
        (Cmd.group info
           [
             graph_cmd; wakeup_cmd; broadcast_cmd; separation_cmd; adversary_cmd; gossip_cmd;
-            explore_cmd; radio_cmd; mst_cmd; spanner_cmd; perf_cmd;
+            explore_cmd; radio_cmd; mst_cmd; spanner_cmd; perf_cmd; sweep_cmd;
           ]))

@@ -55,15 +55,25 @@ type outcome = {
   events : Obs.Event.t list;
 }
 
-let run ?(scheduler = Sim.Scheduler.Async_fifo) ?(plan = Plan.none) ?(sinks = []) ?max_messages
-    ?(protect = Bitstring.Ecc.Raw) ?(retry = 0) protocol g ~source =
-  let n = Graph.n g in
+let advise protocol g ~source =
   let oracle =
     match protocol with
     | Wakeup -> Oracle_core.Wakeup.oracle ()
     | Broadcast -> Oracle_core.Broadcast.oracle ()
   in
-  let raw_advice = oracle.Oracles.Oracle.advise g ~source in
+  oracle.Oracles.Oracle.advise g ~source
+
+let run ?(scheduler = Sim.Scheduler.Async_fifo) ?(plan = Plan.none) ?(sinks = []) ?max_messages
+    ?(protect = Bitstring.Ecc.Raw) ?(retry = 0) ?raw_advice protocol g ~source =
+  let n = Graph.n g in
+  (* [raw_advice] is the sweep cache hook: advice is a pure function of
+     (protocol, graph, source), so a caller sweeping many plans or
+     schedulers over one graph computes it once via [advise] and passes
+     it in.  Protection and corruption below always build fresh buffers,
+     so a cached value is never mutated. *)
+  let raw_advice =
+    match raw_advice with Some a -> a | None -> advise protocol g ~source
+  in
   let protected_advice = Oracles.Protect.advice protect raw_advice in
   let corrupted, tampered = Corrupt.apply plan protected_advice in
   let collector, collected = Obs.Sink.collect () in

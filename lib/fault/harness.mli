@@ -49,6 +49,11 @@ type outcome = {
   events : Obs.Event.t list;  (** the complete recorded stream, verdict input *)
 }
 
+val advise : protocol -> Netgraph.Graph.t -> source:int -> Oracles.Advice.t
+(** The protocol's raw oracle advice for [(g, source)] — a pure function
+    of its arguments.  Exposed so grid sweeps can compute it once per
+    graph and pass it to many {!run}s via [?raw_advice]. *)
+
 val run :
   ?scheduler:Sim.Scheduler.t ->
   ?plan:Plan.t ->
@@ -56,6 +61,7 @@ val run :
   ?max_messages:int ->
   ?protect:Bitstring.Ecc.level ->
   ?retry:int ->
+  ?raw_advice:Oracles.Advice.t ->
   protocol ->
   Netgraph.Graph.t ->
   source:int ->
@@ -64,6 +70,11 @@ val run :
     [scheduler] (default [Async_fifo]), with advice protection [protect]
     (default [Raw]: none) and retransmission budget [retry] (default
     [0]: recovery off — bit-for-bit the PR 2 behaviour).
+
+    [raw_advice] (default: computed with {!advise}) lets sweeps reuse one
+    advice assignment across the plan × scheduler × protection axes; the
+    harness never mutates it (protection and corruption copy), so a
+    cached value stays valid for any number of runs.
 
     The stream fed to [sinks] (and recorded in [events]) is, in order:
     one [Fault (Advice_tampered _)] per tamper-log entry, then the

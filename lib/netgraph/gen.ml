@@ -30,17 +30,17 @@ let star n =
 
 let complete n =
   if n < 2 then fail "Gen.complete: n = %d < 2" n;
-  let edges = ref [] in
-  for i = 0 to n - 1 do
-    for p = 0 to n - 2 do
-      let j = (i + p + 1) mod n in
-      if i < j then
-        (* Port at j back to i: q with (j + q + 1) mod n = i. *)
-        let q = ((i - j - 1) mod n + n) mod n in
-        edges := { Graph.u = i; pu = p; v = j; pv = q } :: !edges
-    done
-  done;
-  Graph.make ~n !edges
+  (* Adjacency built directly into pre-sized rows: port p at i leads to
+     (i + p + 1) mod n, and the port at j back to i is the q solving
+     (j + q + 1) mod n = i.  The edge-list path would allocate an
+     n²-record list just to have [Graph.make] tear it apart again; at
+     n = 10³ that list alone dominates grid setup. *)
+  Graph.of_port_map
+    (Array.init n (fun i ->
+         Array.init (n - 1) (fun p ->
+             let j = (i + p + 1) mod n in
+             let q = ((i - j - 1) mod n + n) mod n in
+             (j, q))))
 
 let balanced_tree ~arity ~depth =
   if arity < 1 then fail "Gen.balanced_tree: arity = %d" arity;
@@ -167,13 +167,43 @@ let random_connected ~n ~p st =
   let present = Hashtbl.create (4 * n) in
   List.iter (fun (u, v) -> Hashtbl.replace present (min u v, max u v) ()) tree;
   let extra = ref [] in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      if (not (Hashtbl.mem present (u, v))) && Random.State.float st 1.0 < p then
-        extra := (u, v) :: !extra
+  let add u v = if not (Hashtbl.mem present (u, v)) then extra := (u, v) :: !extra in
+  (* G(n,p) overlay without the Θ(n²) per-pair Bernoulli loop: walk the
+     lexicographic pair order (u < v) with geometric skips of mean 1/p
+     (Batagelj–Brandes), so sampling costs O(m + n) — the fix that makes
+     sparse families feasible at n = 10⁶.  Every pair is still included
+     independently with probability p (tree pairs are filtered through
+     the [present] hash set, which leaves the non-tree pairs iid); only
+     p = 1 keeps a dense loop, since its skip length degenerates to 1. *)
+  if p >= 1.0 then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        add u v
+      done
     done
-  done;
-  of_pairs_shuffled ~n st (tree @ !extra)
+  else if p > 0.0 then begin
+    let total = n * (n - 1) / 2 in
+    let log1mp = log (1.0 -. p) in
+    let idx = ref (-1) in
+    let u = ref 0 in
+    let row_start = ref 0 in
+    (* [row_start] is the linear index of pair (u, u+1). *)
+    let continue_ = ref true in
+    while !continue_ do
+      let r = Random.State.float st 1.0 in
+      let skip = 1 + int_of_float (log (1.0 -. r) /. log1mp) in
+      idx := !idx + skip;
+      if !idx >= total then continue_ := false
+      else begin
+        while !idx - !row_start >= n - 1 - !u do
+          row_start := !row_start + (n - 1 - !u);
+          incr u
+        done;
+        add !u (!u + 1 + (!idx - !row_start))
+      end
+    done
+  end;
+  of_pairs_shuffled ~n st (tree @ List.rev !extra)
 
 let lollipop ~clique ~tail =
   if clique < 3 then fail "Gen.lollipop: clique = %d < 3" clique;

@@ -80,6 +80,50 @@ let make ?labels ~n:size edge_list =
     adj;
   { size; node_labels; adj; label_index }
 
+let of_port_map ?labels adj =
+  let size = Array.length adj in
+  if size < 1 then fail "Graph.of_port_map: n = %d < 1" size;
+  let node_labels =
+    match labels with
+    | None -> Array.init size (fun i -> i + 1)
+    | Some a ->
+      if Array.length a <> size then
+        fail "Graph.of_port_map: %d labels for %d nodes" (Array.length a) size;
+      Array.copy a
+  in
+  let label_index =
+    if labels = None || is_default_labels node_labels then Identity
+    else begin
+      let tbl = Hashtbl.create size in
+      Array.iteri
+        (fun i l ->
+          if Hashtbl.mem tbl l then fail "Graph.of_port_map: duplicate label %d" l;
+          Hashtbl.add tbl l i)
+        node_labels;
+      Table tbl
+    end
+  in
+  (* Same invariants as [make], checked in O(n + m) straight off the port
+     map: every (u, p) -> (v, q) entry must be mirrored exactly, with no
+     self-loops and no parallel edges (shared epoch array, as in [make]). *)
+  let mark = Array.make size (-1) in
+  Array.iteri
+    (fun u row ->
+      Array.iteri
+        (fun p (v, q) ->
+          if v < 0 || v >= size then
+            fail "Graph.of_port_map: node %d port %d: neighbor %d out of range" u p v;
+          if v = u then fail "Graph.of_port_map: self-loop at node %d" u;
+          if q < 0 || q >= Array.length adj.(v) then
+            fail "Graph.of_port_map: node %d port %d: reverse port %d out of range" u p q;
+          if adj.(v).(q) <> (u, p) then
+            fail "Graph.of_port_map: asymmetric port map between %d and %d" u v;
+          if mark.(v) = u then fail "Graph.of_port_map: parallel edge between %d and %d" u v;
+          mark.(v) <- u)
+        row)
+    adj;
+  { size; node_labels; adj; label_index }
+
 let of_adjacency ?labels lists =
   let size = Array.length lists in
   (* Port of v in u's list = position; build edges once per unordered pair. *)

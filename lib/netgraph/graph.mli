@@ -31,6 +31,16 @@ val of_adjacency : ?labels:int array -> int list array -> t
 (** Build from neighbor lists, assigning ports at each node in list order.
     The neighbor lists must be symmetric. *)
 
+val of_port_map : ?labels:int array -> (int * int) array array -> t
+(** [of_port_map adj] adopts the explicit port map [adj.(u).(p) = (v, q)]
+    {e without copying}: the caller hands over ownership of the arrays and
+    must not mutate them afterwards.  All of {!make}'s invariants are
+    checked, but in a single O(n + m) pass with no per-edge allocation —
+    the fast path for dense generators (a clique builds straight into
+    pre-sized rows instead of an [n²]-record edge list).  Raises
+    [Invalid_argument] on a malformed map (asymmetry, self-loop, parallel
+    edge, out-of-range neighbor or port, duplicate label). *)
+
 val n : t -> int
 (** Number of nodes. *)
 

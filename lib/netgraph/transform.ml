@@ -27,29 +27,34 @@ let check_chosen g chosen =
 
 let subdivide g ~chosen =
   let n = Graph.n g in
-  let chosen_set = check_chosen g chosen in
+  let (_ : (int * int, unit) Hashtbl.t) = check_chosen g chosen in
   let base = max_label g in
-  let host_edges =
-    List.filter (fun e -> not (Hashtbl.mem chosen_set (edge_key e))) (Graph.edges g)
-  in
   let s = List.length chosen in
-  let new_edges =
-    List.concat
-      (List.mapi
-         (fun i e ->
-           let w = n + i in
-           let u, pu, v, pv = (e.Graph.u, e.Graph.pu, e.Graph.v, e.Graph.pv) in
-           let lu = Graph.label g u and lv = Graph.label g v in
-           (* Port 0 at the middle node towards the smaller-labeled endpoint. *)
-           let port_u_side, port_v_side = if lu < lv then (0, 1) else (1, 0) in
-           [
-             { Graph.u; pu; v = w; pv = port_u_side };
-             { Graph.u = v; pu = pv; v = w; pv = port_v_side };
-           ])
-         chosen)
+  (* Host nodes keep their port numbering, so the subdivided graph is the
+     host's port map with the two slots of each chosen edge redirected to
+     a fresh degree-2 middle node.  Building that map in place and handing
+     it to [Graph.of_port_map] skips the three m-length edge lists the
+     edge-list path would allocate — for G_{n,S} the host is a clique, so
+     those lists are the dominant setup cost. *)
+  let adj =
+    Array.init (n + s) (fun u ->
+        if u < n then Array.init (Graph.degree g u) (fun p -> Graph.endpoint g u p)
+        else Array.make 2 (-1, -1))
   in
+  List.iteri
+    (fun i e ->
+      let w = n + i in
+      let u, pu, v, pv = (e.Graph.u, e.Graph.pu, e.Graph.v, e.Graph.pv) in
+      let lu = Graph.label g u and lv = Graph.label g v in
+      (* Port 0 at the middle node towards the smaller-labeled endpoint. *)
+      let port_u_side, port_v_side = if lu < lv then (0, 1) else (1, 0) in
+      adj.(u).(pu) <- (w, port_u_side);
+      adj.(w).(port_u_side) <- (u, pu);
+      adj.(v).(pv) <- (w, port_v_side);
+      adj.(w).(port_v_side) <- (v, pv))
+    chosen;
   let labels = Array.init (n + s) (fun i -> if i < n then Graph.label g i else base + (i - n) + 1) in
-  Graph.make ~labels ~n:(n + s) (host_edges @ new_edges)
+  Graph.of_port_map ~labels adj
 
 (* Internal clique port rule: port p at local node x (0-based) leads to
    local node (x + p + 1) mod k; hence the port at x towards y is

@@ -15,3 +15,6 @@ let run ?max_messages ?record_trace ?sinks ?loss ~advice adv g ~source factory =
 
 let suite ?(schedulers = Scheduler.default_suite) plans =
   List.concat_map (fun plan -> List.map (fun s -> make ~plan s) schedulers) plans
+
+let map_suite ?jobs ~f advs =
+  Sweep.map ?jobs ~local:(fun () -> ()) ~f:(fun () _i a -> f a) (Array.of_list advs)

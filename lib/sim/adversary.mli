@@ -40,3 +40,11 @@ val suite : ?schedulers:Scheduler.t list -> Fault_plan.t list -> t list
 (** Cross product, plans major: every plan under every scheduler
     (default {!Scheduler.default_suite}) — the grid the stress bench and
     the robustness tests iterate. *)
+
+val map_suite : ?jobs:int -> f:(t -> 'a) -> t list -> ('a, string) result array
+(** Run [f] over every adversary in parallel on a {!Pool} of [jobs]
+    workers (default {!Pool.default_jobs}), returning results in input
+    order — the parallel form of iterating a {!suite}.  [f] must follow
+    the {!Sweep} determinism rules: seeds from the adversary itself, no
+    shared mutable state, no order dependence.  A raising call yields
+    [Error] in its own slot. *)

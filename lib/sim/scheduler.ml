@@ -7,3 +7,18 @@ let name = function
   | Async_random seed -> Printf.sprintf "async-random(%d)" seed
 
 let default_suite = [ Synchronous; Async_fifo; Async_lifo; Async_random 42; Async_random 7 ]
+
+let of_name s =
+  match s with
+  | "sync" -> Some Synchronous
+  | "async-fifo" -> Some Async_fifo
+  | "async-lifo" -> Some Async_lifo
+  | _ ->
+    let n = String.length s in
+    let prefix = "async-random(" in
+    let p = String.length prefix in
+    if n > p + 1 && String.sub s 0 p = prefix && s.[n - 1] = ')' then
+      match int_of_string_opt (String.sub s p (n - p - 1)) with
+      | Some seed -> Some (Async_random seed)
+      | None -> None
+    else None

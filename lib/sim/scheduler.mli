@@ -20,3 +20,7 @@ val name : t -> string
 
 val default_suite : t list
 (** The disciplines the robustness tests run under. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}: parses [sync], [async-fifo], [async-lifo], and
+    [async-random(SEED)].  Used by the sweep grid-spec parser. *)

@@ -1,0 +1,231 @@
+module Families = Netgraph.Families
+
+type point = {
+  index : int;
+  protocol : string;
+  family : Families.t;
+  n : int;
+  scheduler : Scheduler.t;
+  plan : Fault_plan.t;
+  rep : int;
+  seed : int;
+}
+
+type grid = {
+  protocols : string list;
+  families : Families.t list;
+  ns : int list;
+  schedulers : Scheduler.t list;
+  plans : Fault_plan.t list;
+  reps : int;
+  base_seed : int;
+}
+
+(* FNV-1a-style mix over the canonical token strings, kept in OCaml's
+   native int (63-bit wraparound on 64-bit platforms; the offset basis is
+   the FNV64 one truncated to fit an int literal).  Explicit rather than
+   [Hashtbl.hash] because task seeds are part of the output contract:
+   they must never change under us when the stdlib's hash does. *)
+let fnv_prime = 0x100000001b3
+
+let derive_seed base tokens =
+  let h = ref 0x3bf29ce484222325 in
+  let mix_byte b = h := (!h lxor b) * fnv_prime in
+  let mix_string s =
+    String.iter (fun c -> mix_byte (Char.code c)) s;
+    mix_byte 0xff (* token separator: ["ab";"c"] must differ from ["a";"bc"] *)
+  in
+  mix_string (string_of_int base);
+  List.iter mix_string tokens;
+  !h land max_int
+
+let point_seed ~base ~protocol ~family ~n ~scheduler ~plan ~rep =
+  derive_seed base
+    [
+      "point";
+      protocol;
+      Families.name family;
+      string_of_int n;
+      Scheduler.name scheduler;
+      Fault_plan.name plan;
+      string_of_int rep;
+    ]
+
+let graph_seed grid point =
+  derive_seed grid.base_seed
+    [ "graph"; Families.name point.family; string_of_int point.n; string_of_int point.rep ]
+
+let points grid =
+  if grid.reps < 1 then invalid_arg "Sweep.points: reps < 1";
+  let acc = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun plan ->
+          List.iter
+            (fun family ->
+              List.iter
+                (fun n ->
+                  List.iter
+                    (fun scheduler ->
+                      for rep = 0 to grid.reps - 1 do
+                        let seed =
+                          point_seed ~base:grid.base_seed ~protocol ~family ~n ~scheduler ~plan
+                            ~rep
+                        in
+                        acc :=
+                          { index = !count; protocol; family; n; scheduler; plan; rep; seed }
+                          :: !acc;
+                        incr count
+                      done)
+                    grid.schedulers)
+                grid.ns)
+            grid.families)
+        grid.plans)
+    grid.protocols;
+  let arr = Array.of_list (List.rev !acc) in
+  arr
+
+let point_label p =
+  Printf.sprintf "%s/%s/%d/%s/%s/%d" p.protocol (Families.name p.family) p.n
+    (Scheduler.name p.scheduler) (Fault_plan.name p.plan) p.rep
+
+(* Grid spec strings.  Axes separated by ';', values by ','; plan specs
+   contain commas, so plan alternatives use '|'. *)
+
+let default_grid =
+  {
+    protocols = [ "wakeup"; "broadcast" ];
+    families = [ Families.Sparse_random ];
+    ns = [ 64 ];
+    schedulers = [ Scheduler.Async_fifo ];
+    plans = [ Fault_plan.none ];
+    reps = 1;
+    base_seed = 42;
+  }
+
+let split_on sep s = String.split_on_char sep s |> List.map String.trim |> List.filter (( <> ) "")
+
+let of_string spec =
+  let ( let* ) = Result.bind in
+  let parse_axis grid kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "sweep spec: missing '=' in %S" kv)
+    | Some eq ->
+      let key = String.trim (String.sub kv 0 eq) in
+      let value = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+      let int_list () =
+        let parts = split_on ',' value in
+        if parts = [] then Error (Printf.sprintf "sweep spec: empty %s" key)
+        else
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match int_of_string_opt s with
+              | Some i -> Ok (i :: acc)
+              | None -> Error (Printf.sprintf "sweep spec: bad integer %S in %s" s key))
+            (Ok []) parts
+          |> Result.map List.rev
+      in
+      (match key with
+      | "protocols" ->
+        let ps = split_on ',' value in
+        if ps = [] then Error "sweep spec: empty protocols" else Ok { grid with protocols = ps }
+      | "families" ->
+        let* fams =
+          List.fold_left
+            (fun acc name ->
+              let* acc = acc in
+              match Families.of_name name with
+              | Some f -> Ok (f :: acc)
+              | None -> Error (Printf.sprintf "sweep spec: unknown family %S" name))
+            (Ok []) (split_on ',' value)
+        in
+        if fams = [] then Error "sweep spec: empty families"
+        else Ok { grid with families = List.rev fams }
+      | "ns" ->
+        let* ns = int_list () in
+        if List.exists (fun n -> n < 1) ns then Error "sweep spec: ns must be >= 1"
+        else Ok { grid with ns }
+      | "scheds" ->
+        let* scheds =
+          List.fold_left
+            (fun acc name ->
+              let* acc = acc in
+              match Scheduler.of_name name with
+              | Some s -> Ok (s :: acc)
+              | None -> Error (Printf.sprintf "sweep spec: unknown scheduler %S" name))
+            (Ok []) (split_on ',' value)
+        in
+        if scheds = [] then Error "sweep spec: empty scheds"
+        else Ok { grid with schedulers = List.rev scheds }
+      | "plans" ->
+        let* plans =
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match Fault_plan.of_string s with
+              | Ok p -> Ok (p :: acc)
+              | Error e -> Error (Printf.sprintf "sweep spec: plan %S: %s" s e))
+            (Ok []) (split_on '|' value)
+        in
+        if plans = [] then Error "sweep spec: empty plans"
+        else Ok { grid with plans = List.rev plans }
+      | "reps" -> (
+        match int_of_string_opt (String.trim value) with
+        | Some r when r >= 1 -> Ok { grid with reps = r }
+        | _ -> Error (Printf.sprintf "sweep spec: bad reps %S" value))
+      | "seed" -> (
+        match int_of_string_opt (String.trim value) with
+        | Some s -> Ok { grid with base_seed = s }
+        | None -> Error (Printf.sprintf "sweep spec: bad seed %S" value))
+      | _ -> Error (Printf.sprintf "sweep spec: unknown axis %S" key))
+  in
+  List.fold_left
+    (fun acc kv ->
+      let* grid = acc in
+      parse_axis grid kv)
+    (Ok default_grid) (split_on ';' spec)
+
+let to_string grid =
+  String.concat ";"
+    [
+      "protocols=" ^ String.concat "," grid.protocols;
+      "families=" ^ String.concat "," (List.map Families.name grid.families);
+      "ns=" ^ String.concat "," (List.map string_of_int grid.ns);
+      "scheds=" ^ String.concat "," (List.map Scheduler.name grid.schedulers);
+      "plans=" ^ String.concat "|" (List.map Fault_plan.name grid.plans);
+      "reps=" ^ string_of_int grid.reps;
+      "seed=" ^ string_of_int grid.base_seed;
+    ]
+
+module Cache = struct
+  type ('k, 'v) t = { tbl : ('k, 'v) Hashtbl.t; mutable hits : int; mutable misses : int }
+
+  let create () = { tbl = Hashtbl.create 32; hits = 0; misses = 0 }
+
+  let find c k build =
+    match Hashtbl.find_opt c.tbl k with
+    | Some v ->
+      c.hits <- c.hits + 1;
+      v
+    | None ->
+      c.misses <- c.misses + 1;
+      let v = build () in
+      Hashtbl.add c.tbl k v;
+      v
+
+  let hits c = c.hits
+
+  let misses c = c.misses
+end
+
+let map ?jobs ~local ~f tasks =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  Pool.with_pool ~jobs (fun pool ->
+      Pool.map_local pool ~local (fun w i -> f w i tasks.(i)) (Array.length tasks))
+  |> Array.map (function Ok v -> Ok v | Error e -> Error (Printexc.to_string e))
+
+let run ?jobs ~local ~f grid =
+  map ?jobs ~local ~f:(fun w _i p -> f w p) (points grid)

@@ -1,0 +1,110 @@
+(** Declarative experiment grids with deterministic parallel execution.
+
+    A sweep is the cross product of (protocol × fault plan × family × n ×
+    scheduler × repetition), flattened into a canonically-ordered array of
+    {!point}s and executed over a {!Pool}.  Three rules make the output
+    independent of the job count:
+
+    - every random stream a task uses is derived from the point's {e grid
+      coordinates} via {!derive_seed} — never from submission order,
+      worker identity, or wall clock;
+    - each task writes only its own pre-sized result slot (enforced by
+      {!Pool.map});
+    - serialization (JSONL/CSV) is a single ordered pass over the result
+      array {e after} the join, owned by the submitting domain.
+
+    Per-worker caches ({!Cache}) amortize setup: repeated points that
+    share a {!graph_seed} rebuild neither the graph nor (keyed further by
+    scheme) its advice.  Caching is sound precisely because seeds come
+    from coordinates: a cache hit returns a value structurally equal to
+    what a fresh build would produce. *)
+
+(** {1 Grid points} *)
+
+type point = {
+  index : int;  (** position in canonical order *)
+  protocol : string;  (** caller-interpreted scheme name, e.g. ["wakeup"] *)
+  family : Netgraph.Families.t;
+  n : int;
+  scheduler : Scheduler.t;
+  plan : Fault_plan.t;
+  rep : int;  (** repetition counter, [0 .. reps-1] *)
+  seed : int;  (** derived from all coordinates; unique per point *)
+}
+
+type grid = {
+  protocols : string list;
+  families : Netgraph.Families.t list;
+  ns : int list;
+  schedulers : Scheduler.t list;
+  plans : Fault_plan.t list;
+  reps : int;
+  base_seed : int;
+}
+
+val points : grid -> point array
+(** The cross product in canonical order: protocols (outermost), then
+    plans, families, sizes, schedulers, repetitions (innermost).  The
+    order is part of the output contract — emission replays it. *)
+
+val derive_seed : int -> string list -> int
+(** [derive_seed base tokens] hashes [base] and the token list with a
+    fixed FNV-1a-style mix into a non-negative int.  Stable across runs,
+    platforms, and job counts; collisions are harmless (seeds only need
+    to be deterministic, not unique). *)
+
+val graph_seed : grid -> point -> int
+(** Seed for building the point's graph: derived from (base seed, family,
+    n, rep) {e only}, so points differing in protocol, scheduler, or plan
+    share a graph — which is what lets the per-worker graph and advice
+    caches hit across those axes. *)
+
+val point_label : point -> string
+(** ["protocol/family/n/scheduler/plan/rep"] — stable row id for logs. *)
+
+(** {1 Grid spec strings} *)
+
+val of_string : string -> (grid, string) result
+(** Parse a spec such as
+    ["protocols=wakeup,broadcast;families=sparse-random;ns=24,64;scheds=sync,async-fifo;plans=none|drop=0.1,seed=7;reps=2;seed=42"].
+    Axes are separated by [;], values by [,] — except plans, whose specs
+    contain commas, so plan alternatives are separated by [|].  Omitted
+    axes default to: protocols [wakeup,broadcast], families
+    [sparse-random], ns [64], scheds [async-fifo], plans [none], reps 1,
+    seed 42. *)
+
+val to_string : grid -> string
+(** Canonical spec; round-trips through {!of_string}. *)
+
+(** {1 Per-worker caches} *)
+
+module Cache : sig
+  type ('k, 'v) t
+  (** A plain hash-table cache with hit/miss counters.  Not synchronized:
+      one cache belongs to one worker (create it in {!Pool.map_local}'s
+      [local] thunk). *)
+
+  val create : unit -> ('k, 'v) t
+
+  val find : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+  (** [find c k build] returns the cached value for [k], building and
+      remembering it on first use. *)
+
+  val hits : ('k, 'v) t -> int
+
+  val misses : ('k, 'v) t -> int
+end
+
+(** {1 Execution} *)
+
+val map :
+  ?jobs:int -> local:(unit -> 'w) -> f:('w -> int -> 't -> 'a) -> 't array -> ('a, string) result array
+(** [map ~local ~f tasks] runs [f worker_state index task] for each task
+    across a fresh pool of [jobs] workers (default {!Pool.default_jobs})
+    and returns results in task order.  A raising task yields [Error]
+    ([Printexc.to_string]) in its slot; the rest complete. *)
+
+val run :
+  ?jobs:int -> local:(unit -> 'w) -> f:('w -> point -> 'a) -> grid -> ('a, string) result array
+(** {!map} over {!points}: results are index-aligned with the canonical
+    point order, ready for a single ordered emission pass. *)

@@ -552,7 +552,7 @@ let test_verdict_strings_and_acceptability () =
 
 (* {1 Recovery: the ack/retransmit channel and error-protected advice} *)
 
-let sparse24 () = Families.build Families.Sparse_random ~n:24 ~seed:42
+let sparse24 () = Families.build Families.Sparse_random ~n:24 ~seed:43
 
 let test_verdict_cutoff_violates () =
   (* A run stopped by the message cutoff never drained: it must classify

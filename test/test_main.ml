@@ -34,4 +34,5 @@ let () =
       ("mst", Test_mst.suite);
       ("spanner", Test_spanner.suite);
       ("scale", Test_scale.suite);
+      ("sweep", Test_sweep.suite);
     ]
