@@ -930,15 +930,25 @@ type stress_task = {
   st_sched : Sim.Scheduler.t;
 }
 
-type grid_row = { row_line : string; row_class : string; row_acceptable : bool }
+(* Journaled bench runs: [--stress-journal=FILE] / [--resilience-journal=FILE]
+   make the grids crash-safe and resumable through the same machinery as
+   [oraclesize sweep --journal].  Bench tasks are not sweep points, so
+   each grid keys its journal by a coordinate hash of its own task
+   tokens; the superblock spec names the grid shape so a stress journal
+   can never resume a resilience run (or a reshaped grid). *)
+let stress_journal = ref None
 
-let class_of_verdict = function
-  | Fault.Verdict.Completed -> "completed"
-  | Fault.Verdict.Degraded _ -> "degraded"
-  | Fault.Verdict.Stalled _ -> "stalled"
-  | Fault.Verdict.Violated _ -> "violated"
+let resilience_journal = ref None
 
-let stress_run advice_cache t =
+let bench_journal name journal_ref =
+  Option.map (fun path -> (path, { Sim.Journal.spec = name; extra = "" })) !journal_ref
+
+let acceptable_entry (e : Sim.Journal.entry) =
+  match e.Sim.Journal.verdict_class with
+  | Sim.Journal.Completed | Sim.Journal.Degraded -> true
+  | Sim.Journal.Stalled | Sim.Journal.Violated -> false
+
+let stress_entry advice_cache t =
   let raw_advice =
     Sim.Sweep.Cache.find advice_cache
       (Fault.Harness.protocol_name t.st_proto, t.st_gname)
@@ -948,26 +958,32 @@ let stress_run advice_cache t =
     Fault.Harness.run ~scheduler:t.st_sched ~plan:t.st_plan ~raw_advice t.st_proto t.st_graph
       ~source:0
   in
-  let cls = class_of_verdict o.Fault.Harness.verdict in
-  let r = o.Fault.Harness.result in
-  let informed =
-    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
-  in
-  let recov = Obs.Counting.of_events o.Fault.Harness.events in
-  let line =
-    Printf.sprintf
-      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
-      (Fault.Harness.protocol_name t.st_proto)
-      (json_escape t.st_gname) (Graph.n t.st_graph) (Graph.m t.st_graph)
-      (json_escape (Sim.Scheduler.name t.st_sched))
-      (json_escape t.st_plan_name) r.Sim.Runner.stats.Sim.Runner.sent
-      r.Sim.Runner.stats.Sim.Runner.faults
-      (List.length o.Fault.Harness.fallbacks)
-      (List.length o.Fault.Harness.tampered)
-      recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits informed cls
-      (json_escape (Fault.Verdict.to_string o.Fault.Harness.verdict))
-  in
-  { row_line = line; row_class = cls; row_acceptable = Fault.Verdict.acceptable o.Fault.Harness.verdict }
+  Fault.Harness.journal_entry t.st_graph o
+
+let stress_key t =
+  Sim.Sweep.derive_seed 0
+    [
+      "stress";
+      Fault.Harness.protocol_name t.st_proto;
+      t.st_plan_name;
+      t.st_gname;
+      Sim.Scheduler.name t.st_sched;
+    ]
+
+(* The row is a pure function of (task, entry): a replayed point and a
+   freshly executed one print the same bytes, which the resume gate
+   checks with cmp. *)
+let stress_row t (e : Sim.Journal.entry) =
+  Printf.sprintf
+    {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
+    (Fault.Harness.protocol_name t.st_proto)
+    (json_escape t.st_gname) e.Sim.Journal.n e.Sim.Journal.m
+    (json_escape (Sim.Scheduler.name t.st_sched))
+    (json_escape t.st_plan_name) e.Sim.Journal.messages e.Sim.Journal.faults
+    e.Sim.Journal.fallbacks e.Sim.Journal.tampered e.Sim.Journal.retransmits
+    e.Sim.Journal.corrected_bits e.Sim.Journal.informed
+    (Sim.Journal.class_name e.Sim.Journal.verdict_class)
+    (json_escape e.Sim.Journal.verdict)
 
 let stress () =
   let graphs =
@@ -1007,14 +1023,6 @@ let stress () =
   let jobs = Sim.Pool.default_jobs () in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
-  let results =
-    Sim.Sweep.map ~jobs
-      ~local:(fun () -> Sim.Sweep.Cache.create ())
-      ~f:(fun cache _i t -> stress_run cache t)
-      tasks
-  in
-  let wall = Unix.gettimeofday () -. wall0 in
-  let cpu = Sys.time () -. cpu0 in
   (* Single ordered pass after the join: JSONL rows and table aggregates
      both replay canonical task order on the main domain. *)
   let oc = open_out !stress_out in
@@ -1032,21 +1040,44 @@ let stress () =
       | "stalled" -> (completed, degraded, stalled + 1, violated)
       | _ -> (completed, degraded, stalled, violated + 1))
   in
-  Array.iteri
-    (fun i -> function
-      | Error msg ->
-        Printf.eprintf "stress: task %d (%s/%s/%s) failed: %s\n" i
-          (Fault.Harness.protocol_name tasks.(i).st_proto)
-          tasks.(i).st_gname tasks.(i).st_plan_name msg;
-        exit 1
-      | Ok row ->
+  let outcome =
+    Sim.Sweep.map_journaled ~jobs
+      ?journal:(bench_journal "bench-stress-v1" stress_journal)
+      ~key:stress_key
+      ~local:(fun () -> Sim.Sweep.Cache.create ())
+      ~f:(fun cache _i t -> stress_entry cache t)
+      ~emit:(fun _i t e ->
         incr runs;
-        if row.row_acceptable then incr graceful;
-        count (Fault.Harness.protocol_name tasks.(i).st_proto, tasks.(i).st_plan_name) row.row_class;
-        output_string oc row.row_line;
+        if acceptable_entry e then incr graceful;
+        count
+          (Fault.Harness.protocol_name t.st_proto, t.st_plan_name)
+          (Sim.Journal.class_name e.Sim.Journal.verdict_class);
+        output_string oc (stress_row t e);
         output_char oc '\n')
-    results;
+      tasks
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
   close_out oc;
+  let stats =
+    match outcome with
+    | Error msg ->
+      Printf.eprintf "stress: journal: %s\n" msg;
+      exit 1
+    | Ok stats -> stats
+  in
+  List.iter
+    (fun (i, msg) ->
+      Printf.eprintf "stress: task %d (%s/%s/%s) failed: %s\n" i
+        (Fault.Harness.protocol_name tasks.(i).st_proto)
+        tasks.(i).st_gname tasks.(i).st_plan_name msg)
+    stats.Sim.Sweep.failed;
+  if stats.Sim.Sweep.failed <> [] then exit 1;
+  (match (!stress_journal, stats.Sim.Sweep.recovery) with
+  | Some path, Some r ->
+    Printf.eprintf "stress: journal %s: replayed %d, skipped %d, executed %d\n" path
+      r.Sim.Journal.replayed stats.Sim.Sweep.skipped stats.Sim.Sweep.executed
+  | _ -> ());
   let rows =
     List.concat_map
       (fun proto ->
@@ -1094,7 +1125,7 @@ type resilience_task = {
   rt_graph : Graph.t;
 }
 
-let resilience_run advice_cache t =
+let resilience_entry advice_cache t =
   let raw_advice =
     (* Advice depends only on (protocol, graph): one cache entry serves
        the whole plan x protection x retry frontier over it. *)
@@ -1106,27 +1137,33 @@ let resilience_run advice_cache t =
     Fault.Harness.run ~plan:t.rt_plan ~protect:t.rt_protect ~retry:t.rt_retry ~raw_advice
       t.rt_proto t.rt_graph ~source:0
   in
-  let cls = class_of_verdict o.Fault.Harness.verdict in
-  let r = o.Fault.Harness.result in
-  let recov = Obs.Counting.of_events o.Fault.Harness.events in
-  let raw = o.Fault.Harness.raw_advice_bits in
-  let overhead =
-    if raw = 0 then 1.0 else float_of_int o.Fault.Harness.advice_bits /. float_of_int raw
-  in
-  let line =
-    Printf.sprintf
-      {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"plan":"%s","protect":"%s","retry":%d,"raw_bits":%d,"protected_bits":%d,"overhead":%.3f,"sent":%d,"retransmits":%d,"corrected_bits":%d,"fallbacks":%d,"class":"%s"}|}
-      (Fault.Harness.protocol_name t.rt_proto)
-      (json_escape t.rt_gname) (Graph.n t.rt_graph) (Graph.m t.rt_graph)
-      (json_escape t.rt_plan_name)
-      (Bitstring.Ecc.name t.rt_protect) t.rt_retry raw o.Fault.Harness.advice_bits overhead
-      r.Sim.Runner.stats.Sim.Runner.sent recov.Obs.Counting.retransmits
-      recov.Obs.Counting.corrected_bits
-      (List.length o.Fault.Harness.fallbacks)
-      cls
-  in
-  ( { row_line = line; row_class = cls; row_acceptable = Fault.Verdict.acceptable o.Fault.Harness.verdict },
-    overhead )
+  Fault.Harness.journal_entry t.rt_graph o
+
+let resilience_key t =
+  Sim.Sweep.derive_seed 0
+    [
+      "resilience";
+      t.rt_plan_name;
+      Bitstring.Ecc.name t.rt_protect;
+      string_of_int t.rt_retry;
+      Fault.Harness.protocol_name t.rt_proto;
+      t.rt_gname;
+    ]
+
+let resilience_overhead (e : Sim.Journal.entry) =
+  if e.Sim.Journal.raw_advice_bits = 0 then 1.0
+  else float_of_int e.Sim.Journal.advice_bits /. float_of_int e.Sim.Journal.raw_advice_bits
+
+let resilience_row t (e : Sim.Journal.entry) =
+  Printf.sprintf
+    {|{"protocol":"%s","graph":"%s","n":%d,"m":%d,"plan":"%s","protect":"%s","retry":%d,"raw_bits":%d,"protected_bits":%d,"overhead":%.3f,"sent":%d,"retransmits":%d,"corrected_bits":%d,"fallbacks":%d,"class":"%s"}|}
+    (Fault.Harness.protocol_name t.rt_proto)
+    (json_escape t.rt_gname) e.Sim.Journal.n e.Sim.Journal.m
+    (json_escape t.rt_plan_name)
+    (Bitstring.Ecc.name t.rt_protect) t.rt_retry e.Sim.Journal.raw_advice_bits
+    e.Sim.Journal.advice_bits (resilience_overhead e) e.Sim.Journal.messages
+    e.Sim.Journal.retransmits e.Sim.Journal.corrected_bits e.Sim.Journal.fallbacks
+    (Sim.Journal.class_name e.Sim.Journal.verdict_class)
 
 let resilience () =
   let graphs =
@@ -1179,42 +1216,55 @@ let resilience () =
   let jobs = Sim.Pool.default_jobs () in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
-  let results =
-    Sim.Sweep.map ~jobs
-      ~local:(fun () -> Sim.Sweep.Cache.create ())
-      ~f:(fun cache _i t -> resilience_run cache t)
-      tasks
-  in
-  let wall = Unix.gettimeofday () -. wall0 in
-  let cpu = Sys.time () -. cpu0 in
   let oc = open_out !resilience_out in
   let runs = ref 0 in
   let graceful = ref 0 in
   let counters = Hashtbl.create 64 in
-  Array.iteri
-    (fun i -> function
-      | Error msg ->
-        Printf.eprintf "resilience: task %d (%s/%s/%s) failed: %s\n" i
-          (Fault.Harness.protocol_name tasks.(i).rt_proto)
-          tasks.(i).rt_gname tasks.(i).rt_plan_name msg;
-        exit 1
-      | Ok (row, overhead) ->
+  let outcome =
+    Sim.Sweep.map_journaled ~jobs
+      ?journal:(bench_journal "bench-resilience-v1" resilience_journal)
+      ~key:resilience_key
+      ~local:(fun () -> Sim.Sweep.Cache.create ())
+      ~f:(fun cache _i t -> resilience_entry cache t)
+      ~emit:(fun _i t e ->
         incr runs;
-        if row.row_acceptable then incr graceful;
-        let key = (tasks.(i).rt_plan_name, tasks.(i).rt_protect, tasks.(i).rt_retry) in
+        if acceptable_entry e then incr graceful;
+        let key = (t.rt_plan_name, t.rt_protect, t.rt_retry) in
         let completed, degraded, stalled, violated, worst =
           match Hashtbl.find_opt counters key with Some c -> c | None -> (0, 0, 0, 0, 1.0)
         in
-        let worst = max worst overhead in
+        let worst = max worst (resilience_overhead e) in
         Hashtbl.replace counters key
-          (match row.row_class with
+          (match Sim.Journal.class_name e.Sim.Journal.verdict_class with
           | "completed" -> (completed + 1, degraded, stalled, violated, worst)
           | "degraded" -> (completed, degraded + 1, stalled, violated, worst)
           | "stalled" -> (completed, degraded, stalled + 1, violated, worst)
           | _ -> (completed, degraded, stalled, violated + 1, worst));
-        output_string oc row.row_line;
+        output_string oc (resilience_row t e);
         output_char oc '\n')
-    results;
+      tasks
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  let stats =
+    match outcome with
+    | Error msg ->
+      Printf.eprintf "resilience: journal: %s\n" msg;
+      exit 1
+    | Ok stats -> stats
+  in
+  List.iter
+    (fun (i, msg) ->
+      Printf.eprintf "resilience: task %d (%s/%s/%s) failed: %s\n" i
+        (Fault.Harness.protocol_name tasks.(i).rt_proto)
+        tasks.(i).rt_gname tasks.(i).rt_plan_name msg)
+    stats.Sim.Sweep.failed;
+  if stats.Sim.Sweep.failed <> [] then exit 1;
+  (match (!resilience_journal, stats.Sim.Sweep.recovery) with
+  | Some path, Some r ->
+    Printf.eprintf "resilience: journal %s: replayed %d, skipped %d, executed %d\n" path
+      r.Sim.Journal.replayed stats.Sim.Sweep.skipped stats.Sim.Sweep.executed
+  | _ -> ());
   let rows =
     List.concat_map
       (fun plan_name ->
@@ -1330,26 +1380,25 @@ let experiments =
   ]
 
 let () =
-  let prefix = "--trace-out=" in
-  let stress_prefix = "--stress-out=" in
-  let resilience_prefix = "--resilience-out=" in
+  let take prefix store a =
+    if String.starts_with ~prefix a then begin
+      store (String.sub a (String.length prefix) (String.length a - String.length prefix));
+      true
+    end
+    else false
+  in
+  let options =
+    [
+      ("--trace-out=", fun v -> trace_out := v);
+      ("--stress-out=", fun v -> stress_out := v);
+      ("--resilience-out=", fun v -> resilience_out := v);
+      ("--stress-journal=", fun v -> stress_journal := Some v);
+      ("--resilience-journal=", fun v -> resilience_journal := Some v);
+    ]
+  in
   let args =
     List.filter
-      (fun a ->
-        if String.starts_with ~prefix a then (
-          trace_out := String.sub a (String.length prefix) (String.length a - String.length prefix);
-          false)
-        else if String.starts_with ~prefix:stress_prefix a then (
-          stress_out :=
-            String.sub a (String.length stress_prefix) (String.length a - String.length stress_prefix);
-          false)
-        else if String.starts_with ~prefix:resilience_prefix a then (
-          resilience_out :=
-            String.sub a
-              (String.length resilience_prefix)
-              (String.length a - String.length resilience_prefix);
-          false)
-        else true)
+      (fun a -> not (List.exists (fun (prefix, store) -> take prefix store a) options))
       (List.tl (Array.to_list Sys.argv))
   in
   let requested =

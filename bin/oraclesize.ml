@@ -675,13 +675,85 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let sweep_cmd =
-  let grid_conv =
-    let parse s =
-      match Sim.Sweep.of_string s with Ok g -> Ok g | Error m -> Error (`Msg m)
-    in
-    Arg.conv (parse, fun fmt g -> Format.pp_print_string fmt (Sim.Sweep.to_string g))
+let protocol_of_name = function
+  | "wakeup" -> Some Fault.Harness.Wakeup
+  | "broadcast" -> Some Fault.Harness.Broadcast
+  | _ -> None
+
+(* One grid point, executed against the per-worker caches.  Pure in the
+   point's coordinates, so sweep and [journal verify] share it: verify
+   re-runs this and byte-compares the re-encoded entry. *)
+let execute_point grid ~protect ~retry (graphs, advice_cache) p =
+  let proto =
+    match protocol_of_name p.Sim.Sweep.protocol with
+    | Some x -> x
+    | None -> failwith (Printf.sprintf "unknown protocol %S" p.Sim.Sweep.protocol)
   in
+  let gseed = Sim.Sweep.graph_seed grid p in
+  let gkey = (Families.name p.Sim.Sweep.family, p.Sim.Sweep.n, gseed) in
+  let g =
+    Sim.Sweep.Cache.find graphs gkey (fun () ->
+        Families.build p.Sim.Sweep.family ~n:p.Sim.Sweep.n ~seed:gseed)
+  in
+  let raw_advice =
+    Sim.Sweep.Cache.find advice_cache
+      (p.Sim.Sweep.protocol, gkey)
+      (fun () -> Fault.Harness.advise proto g ~source:0)
+  in
+  let o =
+    Fault.Harness.run ~scheduler:p.Sim.Sweep.scheduler ~plan:p.Sim.Sweep.plan ~protect ~retry
+      ~raw_advice proto g ~source:0
+  in
+  Fault.Harness.journal_entry g o
+
+let row_of_entry p (e : Sim.Journal.entry) =
+  Printf.sprintf
+    {|{"protocol":"%s","family":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","rep":%d,"seed":%d,"sent":%d,"rounds":%d,"advice_bits":%d,"raw_bits":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
+    (json_escape p.Sim.Sweep.protocol)
+    (json_escape (Families.name p.Sim.Sweep.family))
+    e.Sim.Journal.n e.Sim.Journal.m
+    (json_escape (Sim.Scheduler.name p.Sim.Sweep.scheduler))
+    (json_escape (Fault.Plan.to_string p.Sim.Sweep.plan))
+    p.Sim.Sweep.rep p.Sim.Sweep.seed e.Sim.Journal.messages e.Sim.Journal.rounds
+    e.Sim.Journal.advice_bits e.Sim.Journal.raw_advice_bits e.Sim.Journal.faults
+    e.Sim.Journal.fallbacks e.Sim.Journal.tampered e.Sim.Journal.retransmits
+    e.Sim.Journal.corrected_bits e.Sim.Journal.informed
+    (Sim.Journal.class_name e.Sim.Journal.verdict_class)
+    (json_escape e.Sim.Journal.verdict)
+
+(* The superblock's extra context: the two sweep knobs that change
+   results but are not grid coordinates.  A journal written under one
+   (protect, retry) pair refuses to resume under another. *)
+let sweep_context ~protect ~retry =
+  Printf.sprintf "protect=%s;retry=%d" (Bitstring.Ecc.name protect) retry
+
+let parse_sweep_context extra =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ';' extra with
+  | [ p; r ] ->
+    let strip prefix s =
+      if String.length s > String.length prefix && String.sub s 0 (String.length prefix) = prefix
+      then Ok (String.sub s (String.length prefix) (String.length s - String.length prefix))
+      else Error (Printf.sprintf "journal context: expected %s<value>, got %S" prefix s)
+    in
+    let* pname = strip "protect=" p in
+    let* protect =
+      match Bitstring.Ecc.of_name pname with Ok l -> Ok l | Error m -> Error m
+    in
+    let* rstr = strip "retry=" r in
+    let* retry =
+      match int_of_string_opt rstr with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (Printf.sprintf "journal context: bad retry %S" rstr)
+    in
+    Ok (protect, retry)
+  | _ -> Error (Printf.sprintf "journal context: expected protect=...;retry=..., got %S" extra)
+
+let grid_conv =
+  let parse s = match Sim.Sweep.of_string s with Ok g -> Ok g | Error m -> Error (`Msg m) in
+  Arg.conv (parse, fun fmt g -> Format.pp_print_string fmt (Sim.Sweep.to_string g))
+
+let sweep_cmd =
   let default_grid =
     match Sim.Sweep.of_string "" with Ok g -> g | Error _ -> assert false
   in
@@ -706,25 +778,49 @@ let sweep_cmd =
              output).  Rows are emitted in canonical grid order after the parallel run \
              joins, so the file is byte-identical for every $(b,--jobs).")
   in
+  let journal_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal completed points to $(docv) (format: docs/JOURNAL_FORMAT.md) and make \
+             the sweep resumable: each point's result is appended and flushed before the \
+             sweep moves on, and re-running the same sweep with the same journal skips \
+             every point already on disk.  A torn tail left by a crash is detected and \
+             truncated on open; a journal written for a different grid or \
+             $(b,--protect)/$(b,--retry) is refused.  The final JSONL is byte-identical \
+             to an uninterrupted run at every $(b,--jobs).")
+  in
+  let crash_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"N"
+          ~doc:
+            "Testing knob for the crash-safety gate: kill this process with SIGKILL — no \
+             cleanup, no flush beyond the journal's own — immediately after the $(docv)-th \
+             record of this run becomes durable.  Requires $(b,--journal).")
+  in
   (* The declarative grid runner: the cross product of (protocol × plan ×
      family × n × scheduler × rep), executed over a domain pool with
      per-worker graph and advice caches, one adversarial harness run per
      point.  Every seed derives from grid coordinates, results land in
      pre-sized slots, and rows are serialized in one ordered pass after
-     the join — the JSONL is byte-identical at -j 1 and -j 8.  Verdict
-     classes are data, not failures: the exit status is 0 as long as
-     every point executed (2 on a bad spec, 1 if a point raised). *)
-  let run grid out protect retry jobs =
+     the join — the JSONL is byte-identical at -j 1 and -j 8, resumed or
+     not.  Verdict classes are data, not failures: the exit status is 0
+     as long as every point executed (2 on a bad spec or unusable
+     journal, 1 if a point raised). *)
+  let run grid out journal crash_after protect retry jobs =
     if retry < 0 then begin
       Printf.eprintf "oraclesize: --retry must be non-negative\n";
       exit 2
     end;
+    if crash_after <> None && journal = None then begin
+      Printf.eprintf "oraclesize sweep: --crash-after requires --journal\n";
+      exit 2
+    end;
     let jobs = resolve_jobs jobs in
-    let protocol_of_name = function
-      | "wakeup" -> Some Fault.Harness.Wakeup
-      | "broadcast" -> Some Fault.Harness.Broadcast
-      | _ -> None
-    in
     List.iter
       (fun p ->
         if protocol_of_name p = None then begin
@@ -733,102 +829,252 @@ let sweep_cmd =
         end)
       grid.Sim.Sweep.protocols;
     let pts = Sim.Sweep.points grid in
+    let on_append =
+      Option.map
+        (fun limit appended ->
+          if appended >= limit then begin
+            flush stderr;
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+          end)
+        crash_after
+    in
+    let buf = Buffer.create 4096 in
+    let graceful = ref 0 in
     let wall0 = Unix.gettimeofday () in
     let cpu0 = Sys.time () in
-    let results =
-      Sim.Sweep.run ~jobs
+    let outcome =
+      Sim.Sweep.run_journaled ~jobs ?journal ~context:(sweep_context ~protect ~retry)
+        ?on_append
         ~local:(fun () -> (Sim.Sweep.Cache.create (), Sim.Sweep.Cache.create ()))
-        ~f:(fun (graphs, advice_cache) p ->
-          let proto =
-            match protocol_of_name p.Sim.Sweep.protocol with
-            | Some x -> x
-            | None -> assert false (* validated above *)
-          in
-          let gseed = Sim.Sweep.graph_seed grid p in
-          let gkey = (Families.name p.Sim.Sweep.family, p.Sim.Sweep.n, gseed) in
-          let g =
-            Sim.Sweep.Cache.find graphs gkey (fun () ->
-                Families.build p.Sim.Sweep.family ~n:p.Sim.Sweep.n ~seed:gseed)
-          in
-          let raw_advice =
-            Sim.Sweep.Cache.find advice_cache
-              (p.Sim.Sweep.protocol, gkey)
-              (fun () -> Fault.Harness.advise proto g ~source:0)
-          in
-          let o =
-            Fault.Harness.run ~scheduler:p.Sim.Sweep.scheduler ~plan:p.Sim.Sweep.plan ~protect
-              ~retry ~raw_advice proto g ~source:0
-          in
-          let r = o.Fault.Harness.result in
-          let informed =
-            Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
-          in
-          let recov = Obs.Counting.of_events o.Fault.Harness.events in
-          let cls =
-            match o.Fault.Harness.verdict with
-            | Fault.Verdict.Completed -> "completed"
-            | Fault.Verdict.Degraded _ -> "degraded"
-            | Fault.Verdict.Stalled _ -> "stalled"
-            | Fault.Verdict.Violated _ -> "violated"
-          in
-          let line =
-            Printf.sprintf
-              {|{"protocol":"%s","family":"%s","n":%d,"m":%d,"scheduler":"%s","plan":"%s","rep":%d,"seed":%d,"sent":%d,"faults":%d,"fallbacks":%d,"tampered":%d,"retransmits":%d,"corrected_bits":%d,"informed":%d,"class":"%s","verdict":"%s"}|}
-              (json_escape p.Sim.Sweep.protocol)
-              (json_escape (Families.name p.Sim.Sweep.family))
-              (Graph.n g) (Graph.m g)
-              (json_escape (Sim.Scheduler.name p.Sim.Sweep.scheduler))
-              (json_escape (Fault.Plan.to_string p.Sim.Sweep.plan))
-              p.Sim.Sweep.rep p.Sim.Sweep.seed r.Sim.Runner.stats.Sim.Runner.sent
-              r.Sim.Runner.stats.Sim.Runner.faults
-              (List.length o.Fault.Harness.fallbacks)
-              (List.length o.Fault.Harness.tampered)
-              recov.Obs.Counting.retransmits recov.Obs.Counting.corrected_bits informed cls
-              (json_escape (Fault.Verdict.to_string o.Fault.Harness.verdict))
-          in
-          (line, cls, Fault.Verdict.acceptable o.Fault.Harness.verdict))
+        ~f:(fun caches p -> execute_point grid ~protect ~retry caches p)
+        ~emit:(fun p e ->
+          (match e.Sim.Journal.verdict_class with
+          | Sim.Journal.Completed | Sim.Journal.Degraded -> incr graceful
+          | Sim.Journal.Stalled | Sim.Journal.Violated -> ());
+          Buffer.add_string buf (row_of_entry p e);
+          Buffer.add_char buf '\n')
         grid
     in
     let wall = Unix.gettimeofday () -. wall0 in
     let cpu = Sys.time () -. cpu0 in
-    let oc, finish =
-      match out with
-      | "-" -> (stdout, fun () -> flush stdout)
-      | file -> (
-        try
-          let oc = open_out file in
-          (oc, fun () -> close_out oc)
-        with Sys_error msg ->
-          Printf.eprintf "oraclesize sweep: cannot open output file: %s\n" msg;
-          exit 2)
-    in
-    let graceful = ref 0 in
-    let failed = ref 0 in
-    Array.iteri
-      (fun i result ->
-        match result with
-        | Error msg ->
-          incr failed;
+    match outcome with
+    | Error msg ->
+      Printf.eprintf "oraclesize sweep: %s\n" msg;
+      exit 2
+    | Ok stats ->
+      List.iter
+        (fun (i, msg) ->
           Printf.eprintf "oraclesize sweep: point %s raised: %s\n"
-            (Sim.Sweep.point_label pts.(i)) msg
-        | Ok (line, _, acceptable) ->
-          if acceptable then incr graceful;
-          output_string oc line;
-          output_char oc '\n')
-      results;
-    finish ();
-    Printf.eprintf "sweep: %d points, %d graceful, %d not, jobs=%d wall=%.2fs cpu=%.2fs\n"
-      (Array.length pts) !graceful
-      (Array.length pts - !graceful)
-      jobs wall cpu;
-    if !failed > 0 then exit 1
+            (Sim.Sweep.point_label pts.(i)) msg)
+        stats.Sim.Sweep.failed;
+      let oc, finish =
+        match out with
+        | "-" -> (stdout, fun () -> flush stdout)
+        | file -> (
+          try
+            let oc = open_out file in
+            (oc, fun () -> close_out oc)
+          with Sys_error msg ->
+            Printf.eprintf "oraclesize sweep: cannot open output file: %s\n" msg;
+            exit 2)
+      in
+      Buffer.output_buffer oc buf;
+      finish ();
+      (match (journal, stats.Sim.Sweep.recovery) with
+      | Some path, Some r ->
+        Printf.eprintf
+          "sweep: journal %s: replayed %d, skipped %d, executed %d (torn %d bytes, %d \
+           duplicates)\n"
+          path r.Sim.Journal.replayed stats.Sim.Sweep.skipped stats.Sim.Sweep.executed
+          r.Sim.Journal.torn_bytes r.Sim.Journal.duplicates
+      | _ -> ());
+      Printf.eprintf "sweep: %d points, %d graceful, %d not, jobs=%d wall=%.2fs cpu=%.2fs\n"
+        (Array.length pts) !graceful
+        (Array.length pts - List.length stats.Sim.Sweep.failed - !graceful)
+        jobs wall cpu;
+      if stats.Sim.Sweep.failed <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Run a declarative experiment grid (protocol × plan × family × n × scheduler × \
-          rep) in parallel, one JSON row per point.")
-    Term.(const run $ grid_arg $ out_arg $ protect_arg $ retry_arg $ jobs_arg)
+          rep) in parallel, one JSON row per point; $(b,--journal) makes it crash-safe \
+          and resumable.")
+    Term.(
+      const run $ grid_arg $ out_arg $ journal_out_arg $ crash_after_arg $ protect_arg
+      $ retry_arg $ jobs_arg)
+
+(* {1 journal} *)
+
+(* Open a journal for inspection.  Opening recovers: a torn tail is
+   truncated even on the read paths (ls/verify), which keeps the
+   recovery rule single — docs/JOURNAL_FORMAT.md, 'Recovery'. *)
+let open_journal_or_die path =
+  match Sim.Journal.open_ ~path () with
+  | Error msg ->
+    Printf.eprintf "oraclesize journal: %s\n" msg;
+    exit 2
+  | Ok (j, stats) ->
+    Sim.Journal.close j;
+    (j, stats)
+
+(* Rebuild the (grid, protect, retry, seed → point) world a journal was
+   written for, from its own superblock — ls and verify are
+   self-contained: the journal file is their only input. *)
+let journal_world j =
+  let ctx = Sim.Journal.context j in
+  let grid =
+    match Sim.Sweep.of_string ctx.Sim.Journal.spec with
+    | Ok g -> g
+    | Error m ->
+      Printf.eprintf "oraclesize journal: superblock spec does not parse: %s\n" m;
+      exit 2
+  in
+  let protect, retry =
+    match parse_sweep_context ctx.Sim.Journal.extra with
+    | Ok pr -> pr
+    | Error m ->
+      Printf.eprintf "oraclesize journal: %s\n" m;
+      exit 2
+  in
+  let pts = Sim.Sweep.points grid in
+  let by_seed = Hashtbl.create (Array.length pts) in
+  Array.iter (fun p -> Hashtbl.replace by_seed p.Sim.Sweep.seed p) pts;
+  (grid, protect, retry, by_seed)
+
+let journal_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"The journal file.")
+
+let journal_ls_cmd =
+  let run file =
+    let j, stats = open_journal_or_die file in
+    let ctx = Sim.Journal.context j in
+    let _, _, _, by_seed = journal_world j in
+    Printf.printf "journal:  %s\n" file;
+    Printf.printf "spec:     %s\n" ctx.Sim.Journal.spec;
+    Printf.printf "context:  %s\n" ctx.Sim.Journal.extra;
+    Printf.printf "records:  %d (torn %d bytes truncated, %d duplicate frames ignored)\n"
+      (Sim.Journal.count j) stats.Sim.Journal.torn_bytes stats.Sim.Journal.duplicates;
+    Printf.printf "%-45s %6s %8s %8s  %s\n" "point" "n" "sent" "rounds" "verdict";
+    Sim.Journal.iter j (fun key e ->
+        let label =
+          match Hashtbl.find_opt by_seed key with
+          | Some p -> Sim.Sweep.point_label p
+          | None -> Printf.sprintf "<orphan key %d>" key
+        in
+        Printf.printf "%-45s %6d %8d %8d  %s\n" label e.Sim.Journal.n e.Sim.Journal.messages
+          e.Sim.Journal.rounds e.Sim.Journal.verdict)
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List a journal's identity and records, labeled by grid point.")
+    Term.(const run $ journal_file_arg)
+
+let journal_verify_cmd =
+  let sample_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "sample" ] ~docv:"K"
+          ~doc:
+            "Re-execute only $(docv) journaled points, chosen by a seeded deterministic \
+             draw, instead of all of them (0, the default: verify every record).")
+  in
+  let vseed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the $(b,--sample) draw.")
+  in
+  (* Byte-equality verification: re-execute journaled points from their
+     grid coordinates and compare the re-encoded record frame against
+     the stored one.  Because the encoding is canonical, equal bytes
+     means the stored record is exactly what a fresh run would have
+     written — catching not just bit rot (the CRC's job) but a
+     consistently-rewritten record with a valid CRC. *)
+  let run file sample vseed jobs =
+    let jobs = resolve_jobs jobs in
+    let j, _ = open_journal_or_die file in
+    let grid, protect, retry, by_seed = journal_world j in
+    let keys = ref [] in
+    Sim.Journal.iter j (fun key _ -> keys := key :: !keys);
+    let keys = List.rev !keys in
+    let orphans, known =
+      List.partition (fun k -> not (Hashtbl.mem by_seed k)) keys
+    in
+    List.iter
+      (fun k -> Printf.eprintf "journal verify: orphan key %d is not a point of the grid\n" k)
+      orphans;
+    let targets =
+      if sample <= 0 || sample >= List.length known then known
+      else
+        List.map
+          (fun k -> (Sim.Sweep.derive_seed vseed [ "verify"; string_of_int k ], k))
+          known
+        |> List.sort compare
+        |> List.filteri (fun i _ -> i < sample)
+        |> List.map snd
+    in
+    let targets = Array.of_list targets in
+    let results =
+      Sim.Sweep.map ~jobs
+        ~local:(fun () -> (Sim.Sweep.Cache.create (), Sim.Sweep.Cache.create ()))
+        ~f:(fun caches _ key ->
+          let p = Hashtbl.find by_seed key in
+          let recomputed = execute_point grid ~protect ~retry caches p in
+          let stored =
+            match Sim.Journal.find j key with Some e -> e | None -> assert false
+          in
+          Sim.Journal.encode_entry ~key recomputed = Sim.Journal.encode_entry ~key stored)
+        targets
+    in
+    let mismatches = ref 0 in
+    let errors = ref 0 in
+    Array.iteri
+      (fun i result ->
+        let key = targets.(i) in
+        let label = Sim.Sweep.point_label (Hashtbl.find by_seed key) in
+        match result with
+        | Error msg ->
+          incr errors;
+          Printf.eprintf "journal verify: %s raised: %s\n" label msg
+        | Ok true -> ()
+        | Ok false ->
+          incr mismatches;
+          Printf.eprintf "journal verify: %s: stored record differs from re-execution\n" label)
+      results;
+    Printf.printf "verify: %d of %d records re-executed, %d mismatches, %d orphans, jobs=%d\n"
+      (Array.length targets) (Sim.Journal.count j) !mismatches (List.length orphans) jobs;
+    if !mismatches > 0 || !errors > 0 || orphans <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Re-execute journaled points from their coordinates and byte-compare the \
+          re-encoded records against the stored ones.")
+    Term.(const run $ journal_file_arg $ sample_arg $ vseed_arg $ jobs_arg)
+
+let journal_compact_cmd =
+  let run file =
+    match Sim.Journal.compact ~path:file () with
+    | Error msg ->
+      Printf.eprintf "oraclesize journal: %s\n" msg;
+      exit 2
+    | Ok (kept, stats) ->
+      Printf.printf "compacted: %d records kept, %d duplicate frames dropped, %d torn bytes \
+                     truncated\n"
+        kept stats.Sim.Journal.duplicates stats.Sim.Journal.torn_bytes
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Rewrite a journal as superblock + first occurrence of every key, dropping \
+          duplicates and any torn tail, via atomic rename.")
+    Term.(const run $ journal_file_arg)
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect, verify, and compact sweep journals (format: docs/JOURNAL_FORMAT.md).")
+    [ journal_ls_cmd; journal_verify_cmd; journal_compact_cmd ]
 
 let () =
   let doc = "oracle-size experiments: wakeup vs broadcast knowledge requirements" in
@@ -838,5 +1084,5 @@ let () =
        (Cmd.group info
           [
             graph_cmd; wakeup_cmd; broadcast_cmd; separation_cmd; adversary_cmd; gossip_cmd;
-            explore_cmd; radio_cmd; mst_cmd; spanner_cmd; perf_cmd; sweep_cmd;
+            explore_cmd; radio_cmd; mst_cmd; spanner_cmd; perf_cmd; sweep_cmd; journal_cmd;
           ]))

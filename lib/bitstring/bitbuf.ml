@@ -85,6 +85,32 @@ let to_bits t =
   let rec loop i acc = if i < 0 then acc else loop (i - 1) (unsafe_get t.data i :: acc) in
   loop (t.len - 1) []
 
+let byte_length t = (t.len + 7) / 8
+
+(* Sound because the buffer's representation invariant says every bit of
+   [data] at or beyond [len] is zero: [create]/[ensure] allocate zeroed
+   bytes, [add_bit] only ever sets the bit at [len], and nothing clears
+   [len] back.  The trailing pad of the last byte is therefore always
+   zero, which is exactly what the frame format requires of it. *)
+let to_bytes t = Bytes.sub t.data 0 (byte_length t)
+
+let of_bytes b ~pos ~bits =
+  if bits < 0 then invalid_arg "Bitbuf.of_bytes: negative bit count";
+  let nbytes = (bits + 7) / 8 in
+  if pos < 0 || pos + nbytes > Bytes.length b then
+    invalid_arg "Bitbuf.of_bytes: range out of bounds";
+  let data = Bytes.make (max 1 nbytes) '\000' in
+  Bytes.blit b pos data 0 nbytes;
+  (* Mask the tail so the zeros-beyond-[len] invariant holds even when
+     the source bytes carry junk in their pad bits. *)
+  let rem = bits land 7 in
+  if rem <> 0 then begin
+    let last = nbytes - 1 in
+    Bytes.set data last
+      (Char.chr (Char.code (Bytes.get data last) land (0xff lsl (8 - rem) land 0xff)))
+  end;
+  { data; len = bits }
+
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
 type reader = { buf : t; mutable cursor : int }

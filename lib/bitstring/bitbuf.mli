@@ -54,6 +54,27 @@ val of_bits : bool list -> t
 
 val to_bits : t -> bool list
 
+(** {1 Byte serialization}
+
+    The packed form used by on-disk formats ({!Frame}): bits are laid
+    out MSB-first within each byte — bit [i] of the buffer is bit
+    [7 - (i mod 8)] of byte [i / 8] — and the final partial byte, if
+    any, is padded with zero bits. *)
+
+val byte_length : t -> int
+(** [⌈length/8⌉] — the number of bytes {!to_bytes} returns. *)
+
+val to_bytes : t -> Bytes.t
+(** The packed bytes.  Pad bits of the last byte are guaranteed zero.
+    The result is fresh; mutating it does not affect the buffer. *)
+
+val of_bytes : Bytes.t -> pos:int -> bits:int -> t
+(** [of_bytes b ~pos ~bits] reads [bits] bits from the packed bytes
+    starting at byte [pos] — the inverse of {!to_bytes} (any nonzero pad
+    bits in the source's last byte are ignored).  Raises
+    [Invalid_argument] when [bits < 0] or the byte range falls outside
+    [b]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints the {!to_string} rendering. *)
 

@@ -34,6 +34,27 @@ let all = [ Raw; Crc; Hamming; Repetition 3 ]
 let check_rep k =
   if k < 2 then invalid_arg (Printf.sprintf "Ecc.Repetition: k = %d < 2" k)
 
+(* The bit-serial CRC engine: an MSB-first shift register of [width]
+   bits, initialised to zero, reduced by [poly] whenever a set bit falls
+   off the top, with [width] flushing zero bits appended by [crc_finish]
+   (the "augmented message" formulation — no reflection, no final XOR).
+   This one engine backs both the 8-bit advice CRC below and the 32-bit
+   frame trailer of {!Frame} — the journal's record framing reuses the
+   exact code path the advice layer already trusts. *)
+
+let crc_update ~poly ~width reg b =
+  let mask = (1 lsl width) - 1 in
+  let msb = (reg lsr (width - 1)) land 1 in
+  let reg = ((reg lsl 1) lor (if b then 1 else 0)) land mask in
+  if msb = 1 then reg lxor poly land mask else reg
+
+let crc_finish ~poly ~width reg =
+  let r = ref reg in
+  for _ = 1 to width do
+    r := crc_update ~poly ~width !r false
+  done;
+  !r
+
 (* CRC-8, polynomial x^8 + x^2 + x + 1 (0x07), bit-serial over the
    payload followed by eight flushing zero bits.  Good enough to detect
    every single- and double-bit flip at the advice lengths the paper's
@@ -41,17 +62,8 @@ let check_rep k =
 let crc_width = 8
 
 let crc8 bits =
-  let reg = ref 0 in
-  let feed b =
-    let msb = (!reg lsr 7) land 1 in
-    reg := ((!reg lsl 1) lor (if b then 1 else 0)) land 0xff;
-    if msb = 1 then reg := !reg lxor 0x07
-  in
-  List.iter feed bits;
-  for _ = 1 to crc_width do
-    feed false
-  done;
-  !reg
+  List.fold_left (crc_update ~poly:0x07 ~width:crc_width) 0 bits
+  |> crc_finish ~poly:0x07 ~width:crc_width
 
 (* Hamming SEC: parity bits live at the power-of-two positions of the
    1-indexed codeword; parity bit p covers every position whose index

@@ -62,3 +62,25 @@ val overhead_bound : level -> float
     [Hamming], [k] for [Repetition k]) — quoted by docs and asserted by
     tests; [Crc]'s constant 8 bits is unbounded as a ratio, reported as
     [9.0] (the 1-bit-payload case). *)
+
+(** {1 The bit-serial CRC engine}
+
+    The shift-register CRC behind the [Crc] level, exposed so other
+    on-disk formats ({!Frame}'s 32-bit record trailer in particular)
+    compute their checksums through the same code path.  The variant is
+    fixed: MSB-first, initial register zero, the message augmented with
+    [width] flushing zero bits, no reflection and no final XOR — an
+     8-bit/[0x07] instance of this engine is bit-for-bit the advice CRC
+    {!protect} appends. *)
+
+val crc_update : poly:int -> width:int -> int -> bool -> int
+(** [crc_update ~poly ~width reg b] feeds one message bit into the
+    register: shift left, insert [b], and reduce by [poly] when the bit
+    shifted off the top was set.  [width] must satisfy
+    [0 < width < Sys.int_size - 1]; [poly] is the generator polynomial
+    without its leading [x^width] term. *)
+
+val crc_finish : poly:int -> width:int -> int -> int
+(** [crc_finish ~poly ~width reg] flushes [width] zero bits through the
+    register and returns the final checksum — the remainder of the
+    augmented message. *)

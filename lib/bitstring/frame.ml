@@ -1,0 +1,155 @@
+(* The bit-packed frame container behind the sweep journal.  Every
+   number below is normative in docs/JOURNAL_FORMAT.md — the spec is the
+   contract, this file implements it, and test_journal.ml decodes a
+   golden frame built from the spec's field table to keep the two
+   honest.  Keep the layout in sync or the golden test fails.
+
+   A frame is byte-aligned on disk but bit-packed inside: a 120-bit
+   (15-byte) header, the payload bits padded with zeros to a byte
+   boundary, and a 32-bit CRC trailer computed over every preceding byte
+   of the frame through Ecc's bit-serial engine. *)
+
+type kind = Superblock | Record
+
+type t = { kind : kind; version : int; key : int; payload : Bitbuf.t }
+
+type error =
+  | Truncated of { offset : int; missing : int }
+  | Bad_magic of { offset : int; found : int }
+  | Bad_kind of { offset : int; found : int }
+  | Unsupported_version of { offset : int; found : int }
+  | Nonzero_padding of { offset : int }
+  | Key_out_of_range of { offset : int }
+  | Bad_crc of { offset : int; stored : int; computed : int }
+
+let pp_error fmt = function
+  | Truncated { offset; missing } ->
+      Format.fprintf fmt "truncated frame at byte %d (%d bytes missing)" offset missing
+  | Bad_magic { offset; found } ->
+      Format.fprintf fmt "bad magic 0x%04x at byte %d" found offset
+  | Bad_kind { offset; found } ->
+      Format.fprintf fmt "bad frame kind 0x%02x at byte %d" found offset
+  | Unsupported_version { offset; found } ->
+      Format.fprintf fmt "unsupported frame version %d at byte %d" found offset
+  | Nonzero_padding { offset } ->
+      Format.fprintf fmt "nonzero padding bits in frame at byte %d" offset
+  | Key_out_of_range { offset } ->
+      Format.fprintf fmt "key field out of range in frame at byte %d" offset
+  | Bad_crc { offset; stored; computed } ->
+      Format.fprintf fmt "CRC mismatch at byte %d (stored 0x%08x, computed 0x%08x)" offset
+        stored computed
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* Spec constants (JOURNAL_FORMAT.md "Frame layout").  The magic spells
+   "OJ" — Oracle Journal. *)
+let magic = 0x4f4a
+let kind_superblock = 0x53 (* 'S' *)
+let kind_record = 0x52 (* 'R' *)
+let current_version = 1
+let header_bytes = 15
+let crc_bytes = 4
+let max_payload_bits = (1 lsl 24) - 1
+let max_key = max_int (* 63-bit non-negative OCaml int *)
+
+(* CRC-32, generator 0x04C11DB7, through Ecc's engine: MSB-first,
+   initial register 0, augmented with 32 flushing zero bits, no
+   reflection, no final XOR.  Deliberately NOT the zlib/IEEE CRC — the
+   spec defines this exact variant. *)
+let crc_poly = 0x04C11DB7
+let crc_width = 32
+
+let crc32_bytes buf ~pos ~len =
+  let reg = ref 0 in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.get buf i) in
+    for bit = 7 downto 0 do
+      reg := Ecc.crc_update ~poly:crc_poly ~width:crc_width !reg (byte lsr bit land 1 = 1)
+    done
+  done;
+  Ecc.crc_finish ~poly:crc_poly ~width:crc_width !reg
+
+let kind_byte = function Superblock -> kind_superblock | Record -> kind_record
+
+let byte_size t = header_bytes + Bitbuf.byte_length t.payload + crc_bytes
+
+let encode t =
+  if t.key < 0 then invalid_arg "Frame.encode: negative key";
+  if t.version < 0 || t.version > 0xff then invalid_arg "Frame.encode: version out of range";
+  let bits = Bitbuf.length t.payload in
+  if bits > max_payload_bits then invalid_arg "Frame.encode: payload too large";
+  let b = Bitbuf.create ~capacity:((header_bytes + crc_bytes) * 8 + bits + 7) () in
+  Bitbuf.add_int b ~width:16 magic;
+  Bitbuf.add_int b ~width:8 (kind_byte t.kind);
+  Bitbuf.add_int b ~width:8 t.version;
+  Bitbuf.add_int b ~width:32 (t.key lsr 32);
+  Bitbuf.add_int b ~width:32 (t.key land 0xffffffff);
+  Bitbuf.add_int b ~width:24 bits;
+  Bitbuf.append b t.payload;
+  while Bitbuf.length b land 7 <> 0 do
+    Bitbuf.add_bit b false
+  done;
+  let body = Bitbuf.to_bytes b in
+  let crc = crc32_bytes body ~pos:0 ~len:(Bytes.length body) in
+  Bitbuf.add_int b ~width:32 crc;
+  Bytes.unsafe_to_string (Bitbuf.to_bytes b)
+
+let decode s ~pos =
+  let avail = String.length s - pos in
+  if pos < 0 then invalid_arg "Frame.decode: negative position";
+  if avail < header_bytes then
+    Error (Truncated { offset = pos; missing = header_bytes - avail })
+  else begin
+    let header = Bitbuf.of_bytes (Bytes.unsafe_of_string s) ~pos ~bits:(header_bytes * 8) in
+    let r = Bitbuf.reader header in
+    let m = Bitbuf.read_int r ~width:16 in
+    let k = Bitbuf.read_int r ~width:8 in
+    let v = Bitbuf.read_int r ~width:8 in
+    let key_hi = Bitbuf.read_int r ~width:32 in
+    let key_lo = Bitbuf.read_int r ~width:32 in
+    let bits = Bitbuf.read_int r ~width:24 in
+    if m <> magic then Error (Bad_magic { offset = pos; found = m })
+    else if k <> kind_superblock && k <> kind_record then
+      Error (Bad_kind { offset = pos; found = k })
+    else if v <> current_version then Error (Unsupported_version { offset = pos; found = v })
+    else if key_hi lsr 30 <> 0 then
+      (* Keys are 63-bit non-negative OCaml ints, so bits 63..62 of the
+         64-bit field must be clear (spec: "reserved, MUST be zero"). *)
+      Error (Key_out_of_range { offset = pos })
+    else begin
+      let body_bytes = (bits + 7) / 8 in
+      let total = header_bytes + body_bytes + crc_bytes in
+      if avail < total then Error (Truncated { offset = pos; missing = total - avail })
+      else begin
+        let payload =
+          Bitbuf.of_bytes (Bytes.unsafe_of_string s) ~pos:(pos + header_bytes) ~bits
+        in
+        (* Canonical-encoding check: the writer pads with zeros, so any
+           set pad bit means the frame is not one [encode] produced. *)
+        let pad_ok =
+          bits land 7 = 0
+          ||
+          let last = Char.code s.[pos + header_bytes + body_bytes - 1] in
+          last land (0xff lsr (bits land 7)) = 0
+        in
+        if not pad_ok then Error (Nonzero_padding { offset = pos })
+        else begin
+          let computed =
+            crc32_bytes
+              (Bytes.unsafe_of_string s)
+              ~pos ~len:(header_bytes + body_bytes)
+          in
+          let stored = ref 0 in
+          for i = 0 to crc_bytes - 1 do
+            stored := (!stored lsl 8) lor Char.code s.[pos + header_bytes + body_bytes + i]
+          done;
+          if computed <> !stored then
+            Error (Bad_crc { offset = pos; stored = !stored; computed })
+          else
+            let kind = if k = kind_superblock then Superblock else Record in
+            let key = (key_hi lsl 32) lor key_lo in
+            Ok ({ kind; version = v; key; payload }, pos + total)
+        end
+      end
+    end
+  end

@@ -145,3 +145,34 @@ let run ?(scheduler = Sim.Scheduler.Async_fifo) ?(plan = Plan.none) ?(sinks = []
     corrected = List.rev !corrected;
     events;
   }
+
+let journal_entry g (o : outcome) =
+  let r = o.result in
+  let stats = r.Sim.Runner.stats in
+  let informed =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 r.Sim.Runner.informed
+  in
+  let recov = Obs.Counting.of_events o.events in
+  let verdict_class =
+    match o.verdict with
+    | Verdict.Completed -> Sim.Journal.Completed
+    | Verdict.Degraded _ -> Sim.Journal.Degraded
+    | Verdict.Stalled _ -> Sim.Journal.Stalled
+    | Verdict.Violated _ -> Sim.Journal.Violated
+  in
+  {
+    Sim.Journal.n = Graph.n g;
+    m = Graph.m g;
+    messages = stats.Sim.Runner.sent;
+    rounds = stats.Sim.Runner.rounds;
+    advice_bits = o.advice_bits;
+    raw_advice_bits = o.raw_advice_bits;
+    faults = stats.Sim.Runner.faults;
+    fallbacks = List.length o.fallbacks;
+    tampered = List.length o.tampered;
+    retransmits = recov.Obs.Counting.retransmits;
+    corrected_bits = recov.Obs.Counting.corrected_bits;
+    informed;
+    verdict_class;
+    verdict = Verdict.to_string o.verdict;
+  }

@@ -89,3 +89,10 @@ val run :
     [Violated]; crashed/dead nodes are exempt from informedness, and
     with [retry > 0] so are survivors the failure pattern physically
     disconnected from the source — see {!Verdict.classify}. *)
+
+val journal_entry : Netgraph.Graph.t -> outcome -> Sim.Journal.entry
+(** Flatten an outcome into the persistent sweep journal's entry record
+    — the exact numbers a sweep row reports, in the fixed-width fields
+    [docs/JOURNAL_FORMAT.md] assigns them.  Journaled sweeps call this
+    once per completed point and re-emit rows from the entry alone, so
+    anything a row needs must come through here. *)

@@ -229,3 +229,129 @@ let map ?jobs ~local ~f tasks =
 
 let run ?jobs ~local ~f grid =
   map ?jobs ~local ~f:(fun w _i p -> f w p) (points grid)
+
+(* {1 Journaled execution}
+
+   The crash-safe path: tasks whose key is already journaled are never
+   re-executed, the rest run over the pool in fixed-size chunks, and
+   each chunk's results are appended to the journal — in canonical task
+   order, on the submitting domain, flushed per record — before the
+   next chunk starts.  Emission stays a single ordered pass at the end,
+   reading every row (replayed or fresh) from the in-memory index, so
+   the output is byte-identical to an uninterrupted in-memory run at
+   any job count, and the journal file itself is too: chunking is keyed
+   to task order, never to worker identity. *)
+
+type journal_stats = {
+  total : int;
+  executed : int;
+  skipped : int;
+  failed : (int * string) list;
+  recovery : Journal.stats option;
+}
+
+let default_chunk = 64
+
+let map_journaled ?jobs ?journal ?(chunk = default_chunk) ?on_append ~key ~local ~f ~emit tasks
+    =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  if chunk < 1 then invalid_arg "Sweep.map_journaled: chunk < 1";
+  let total = Array.length tasks in
+  let keys = Array.map key tasks in
+  let seen = Hashtbl.create total in
+  Array.iteri
+    (fun i k ->
+      if k < 0 then invalid_arg "Sweep.map_journaled: negative key";
+      match Hashtbl.find_opt seen k with
+      | Some j ->
+        invalid_arg
+          (Printf.sprintf "Sweep.map_journaled: tasks %d and %d share key %d (hash collision?)"
+             j i k)
+      | None -> Hashtbl.add seen k i)
+    keys;
+  match
+    match journal with
+    | None -> Ok None
+    | Some (path, ctx) -> (
+      match Journal.open_ ~expect:ctx ~path () with
+      | Ok (j, recovery) -> Ok (Some (j, recovery))
+      | Error e -> Error e)
+  with
+  | Error e -> Error e
+  | Ok opened ->
+    let results : Journal.entry option array = Array.make total None in
+    let skipped = ref 0 in
+    (match opened with
+    | None -> ()
+    | Some (j, _) ->
+      Array.iteri
+        (fun i k ->
+          match Journal.find j k with
+          | Some entry ->
+            results.(i) <- Some entry;
+            incr skipped
+          | None -> ())
+        keys);
+    let todo = ref [] in
+    for i = total - 1 downto 0 do
+      if results.(i) = None then todo := i :: !todo
+    done;
+    let todo = Array.of_list !todo in
+    let failed = ref [] in
+    let executed = ref 0 in
+    Pool.with_pool ~jobs (fun pool ->
+        let remaining = Array.length todo in
+        let start = ref 0 in
+        while !start < remaining do
+          let stop = min remaining (!start + chunk) in
+          let base = !start in
+          let chunk_results =
+            Pool.map_local pool ~local
+              (fun w ci ->
+                let i = todo.(base + ci) in
+                f w i tasks.(i))
+              (stop - base)
+          in
+          (* Post-join, canonical order, submitting domain: the only
+             writer the journal ever sees. *)
+          Array.iteri
+            (fun ci result ->
+              let i = todo.(base + ci) in
+              match result with
+              | Error e -> failed := (i, Printexc.to_string e) :: !failed
+              | Ok entry ->
+                results.(i) <- Some entry;
+                incr executed;
+                (match opened with
+                | None -> ()
+                | Some (j, _) ->
+                  Journal.append j ~key:keys.(i) entry;
+                  (match on_append with
+                  | Some hook -> hook (Journal.appended j)
+                  | None -> ())))
+            chunk_results;
+          start := stop
+        done);
+    (match opened with None -> () | Some (j, _) -> Journal.close j);
+    Array.iteri
+      (fun i result -> match result with Some entry -> emit i tasks.(i) entry | None -> ())
+      results;
+    Ok
+      {
+        total;
+        executed = !executed;
+        skipped = !skipped;
+        failed = List.rev !failed;
+        recovery = (match opened with Some (_, r) -> Some r | None -> None);
+      }
+
+let run_journaled ?jobs ?journal ?(context = "") ?chunk ?on_append ~local ~f ~emit grid =
+  let journal =
+    Option.map (fun path -> (path, { Journal.spec = to_string grid; extra = context })) journal
+  in
+  map_journaled ?jobs ?journal ?chunk ?on_append
+    ~key:(fun p -> p.seed)
+    ~local
+    ~f:(fun w _i p -> f w p)
+    ~emit:(fun _i p entry -> emit p entry)
+    (points grid)

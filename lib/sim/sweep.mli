@@ -108,3 +108,72 @@ val run :
   ?jobs:int -> local:(unit -> 'w) -> f:('w -> point -> 'a) -> grid -> ('a, string) result array
 (** {!map} over {!points}: results are index-aligned with the canonical
     point order, ready for a single ordered emission pass. *)
+
+(** {1 Journaled execution}
+
+    The crash-safe variant of {!map}/{!run}, layered over {!Journal}.
+    Execution proceeds in fixed-size chunks of the canonical task order:
+    each chunk runs over the pool, joins, and is appended to the journal
+    in task order from the submitting domain — so the journal gains
+    durability incrementally while its bytes stay deterministic at every
+    job count.  Tasks whose key the journal already holds are never
+    re-executed; their entries come from the replay index.  Emission is
+    still one ordered pass at the end, over replayed and fresh entries
+    alike, which is why a killed-and-resumed sweep produces output
+    byte-identical to an uninterrupted one (the E24 experiment and the
+    CI kill-resume gate pin this). *)
+
+type journal_stats = {
+  total : int;  (** tasks in the sweep *)
+  executed : int;  (** tasks actually run (and journaled) this time *)
+  skipped : int;  (** tasks satisfied from the journal's replay index *)
+  failed : (int * string) list;
+      (** tasks that raised, by index — not journaled, not emitted *)
+  recovery : Journal.stats option;
+      (** what {!Journal.open_} found on disk; [None] when unjournaled *)
+}
+
+val default_chunk : int
+(** [64] — the append granularity (tasks per chunk), deliberately
+    independent of the job count. *)
+
+val map_journaled :
+  ?jobs:int ->
+  ?journal:string * Journal.context ->
+  ?chunk:int ->
+  ?on_append:(int -> unit) ->
+  key:('t -> int) ->
+  local:(unit -> 'w) ->
+  f:('w -> int -> 't -> Journal.entry) ->
+  emit:(int -> 't -> Journal.entry -> unit) ->
+  't array ->
+  (journal_stats, string) result
+(** [map_journaled ~key ~local ~f ~emit tasks] is {!map} with journal
+    persistence.  [key] must map each task to a distinct non-negative
+    int that is stable across runs ({!derive_seed} over the task's
+    coordinate tokens); duplicate or negative keys raise
+    [Invalid_argument] before anything executes.  With [?journal:(path,
+    ctx)] the journal at [path] is opened (created fresh, or replayed
+    and torn-tail-truncated — see {!Journal.open_}; a context mismatch
+    is an [Error] and nothing runs).  After the run, [emit index task
+    entry] is called in task order for every completed task.
+    [on_append] (testing hook) fires after each record is durable, with
+    the cumulative count of records appended by this process — the
+    [--crash-after] CLI flag uses it to die deterministically.  Raises
+    [Invalid_argument] if [chunk < 1]. *)
+
+val run_journaled :
+  ?jobs:int ->
+  ?journal:string ->
+  ?context:string ->
+  ?chunk:int ->
+  ?on_append:(int -> unit) ->
+  local:(unit -> 'w) ->
+  f:('w -> point -> Journal.entry) ->
+  emit:(point -> Journal.entry -> unit) ->
+  grid ->
+  (journal_stats, string) result
+(** {!map_journaled} over {!points}, keyed by each point's coordinate
+    seed.  The journal context is [{ spec = to_string grid; extra =
+    context }] ([context] defaults to [""]); resuming the same path with
+    a different grid or extra string is refused. *)
