@@ -95,17 +95,32 @@ let retry_arg =
            link timeout that the hardened schemes answer by re-flooding.  Default 0: \
            recovery off.  Only meaningful together with $(b,--fault).")
 
+(* Job counts are validated at the CLI edge: -j 0, negatives, and
+   unparsable ORACLE_SIZE_JOBS values are Cmdliner errors with the
+   offending text, not silent clamps. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Ok j
+    | Some j -> Error (`Msg (Printf.sprintf "job count must be at least 1, got %d" j))
+    | None -> Error (`Msg (Printf.sprintf "invalid job count %S (expected a positive integer)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some jobs_conv) None
     & info [ "j"; "jobs" ] ~docv:"N"
+        ~env:
+          (Cmd.Env.info "ORACLE_SIZE_JOBS"
+             ~doc:"Default worker-domain count when $(b,--jobs) is absent.")
         ~doc:
           "Worker domains for parallel execution.  Defaults to $(b,ORACLE_SIZE_JOBS) when \
            set, else this machine's recommended domain count.  Results are bit-identical \
            for every $(docv); only the wall time changes.")
 
-let resolve_jobs = function Some j -> max 1 j | None -> Sim.Pool.default_jobs ()
+let resolve_jobs = function Some j -> j | None -> Sim.Pool.default_jobs ()
 
 let suite_flag =
   Arg.(
@@ -636,7 +651,7 @@ let perf_cmd =
     else
       Sim.Pool.with_pool ~jobs (fun pool ->
           Array.iter
-            (function Ok () -> () | Error e -> raise e)
+            (function Ok () -> () | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
             (Sim.Pool.map pool (fun _ -> ignore (run ())) reps));
     let dt = (clock () -. t0) /. float_of_int reps in
     let sent = r.Sim.Runner.stats.Sim.Runner.sent in
@@ -802,6 +817,62 @@ let sweep_cmd =
              cleanup, no flush beyond the journal's own — immediately after the $(docv)-th \
              record of this run becomes durable.  Requires $(b,--journal).")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Execute points across $(docv) subprocess workers instead of in-process \
+             domains (0, the default: in-process $(b,--jobs) pool).  Workers speak a \
+             CRC-checked frame protocol over pipes, heartbeat before every task, and are \
+             crash-stop: a worker that dies, hangs, or corrupts its stream is killed and \
+             its tasks reassigned to survivors with backoff; if every worker dies the \
+             remainder runs in-process.  Output and journal bytes are identical at every \
+             $(docv) and under any $(b,--chaos) schedule.")
+  in
+  let chaos_conv =
+    let parse s =
+      match Fault.Chaos.of_string s with Ok c -> Ok c | Error m -> Error (`Msg m)
+    in
+    Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Fault.Chaos.to_string c))
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt (some chaos_conv) None
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:
+            "Testing knob for the fault-tolerance gate: inject deterministic worker \
+             faults, e.g. $(b,kill:worker=2,after=5;hang:worker=0,after=9) or \
+             $(b,garbage:worker=1,after=3;seed=7).  Faults fire by completed-task count, \
+             so a schedule reproduces exactly.  Requires $(b,--workers).")
+  in
+  let heartbeat_timeout_arg =
+    Arg.(
+      value
+      & opt float Sim.Dispatch.default_heartbeat_timeout
+      & info [ "heartbeat-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Declare a worker crashed after $(docv) seconds of silence.  Workers beat \
+             before each task, so this bounds one task's compute time, not a whole \
+             batch's.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int Sim.Dispatch.default_batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Task indices per worker batch (work-stealing granularity).")
+  in
+  let worker_logs_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker-logs" ] ~docv:"DIR"
+          ~doc:
+            "Redirect each worker's stderr to $(docv)/worker-<id>.log (directory created \
+             if missing) instead of inheriting this process's stderr.")
+  in
   (* The declarative grid runner: the cross product of (protocol × plan ×
      family × n × scheduler × rep), executed over a domain pool with
      per-worker graph and advice caches, one adversarial harness run per
@@ -811,13 +882,30 @@ let sweep_cmd =
      not.  Verdict classes are data, not failures: the exit status is 0
      as long as every point executed (2 on a bad spec or unusable
      journal, 1 if a point raised). *)
-  let run grid out journal crash_after protect retry jobs =
+  let run grid out journal crash_after protect retry jobs workers chaos heartbeat_timeout
+      batch worker_logs =
     if retry < 0 then begin
       Printf.eprintf "oraclesize: --retry must be non-negative\n";
       exit 2
     end;
     if crash_after <> None && journal = None then begin
       Printf.eprintf "oraclesize sweep: --crash-after requires --journal\n";
+      exit 2
+    end;
+    if workers < 0 then begin
+      Printf.eprintf "oraclesize sweep: --workers must be non-negative\n";
+      exit 2
+    end;
+    if chaos <> None && workers = 0 then begin
+      Printf.eprintf "oraclesize sweep: --chaos requires --workers\n";
+      exit 2
+    end;
+    if batch < 1 then begin
+      Printf.eprintf "oraclesize sweep: --batch must be at least 1\n";
+      exit 2
+    end;
+    if heartbeat_timeout <= 0.0 then begin
+      Printf.eprintf "oraclesize sweep: --heartbeat-timeout must be positive\n";
       exit 2
     end;
     let jobs = resolve_jobs jobs in
@@ -840,20 +928,94 @@ let sweep_cmd =
     in
     let buf = Buffer.create 4096 in
     let graceful = ref 0 in
-    let wall0 = Unix.gettimeofday () in
-    let cpu0 = Sys.time () in
-    let outcome =
+    let emit_row p e =
+      (match e.Sim.Journal.verdict_class with
+      | Sim.Journal.Completed | Sim.Journal.Degraded -> incr graceful
+      | Sim.Journal.Stalled | Sim.Journal.Violated -> ());
+      Buffer.add_string buf (row_of_entry p e);
+      Buffer.add_char buf '\n'
+    in
+    let pool_outcome () =
       Sim.Sweep.run_journaled ~jobs ?journal ~context:(sweep_context ~protect ~retry)
         ?on_append
         ~local:(fun () -> (Sim.Sweep.Cache.create (), Sim.Sweep.Cache.create ()))
         ~f:(fun caches p -> execute_point grid ~protect ~retry caches p)
-        ~emit:(fun p e ->
-          (match e.Sim.Journal.verdict_class with
-          | Sim.Journal.Completed | Sim.Journal.Degraded -> incr graceful
-          | Sim.Journal.Stalled | Sim.Journal.Violated -> ());
-          Buffer.add_string buf (row_of_entry p e);
-          Buffer.add_char buf '\n')
-        grid
+        ~emit:emit_row grid
+    in
+    let wall0 = Unix.gettimeofday () in
+    let cpu0 = Sys.time () in
+    let outcome =
+      if workers = 0 then pool_outcome ()
+      else begin
+        (* Distributed path: subprocess workers under Dispatch, the same
+           chunked journaled core via map_journaled_via.  Determinism is
+           untouched — appends and emission stay in canonical order on
+           this process — so bytes match the in-process path exactly. *)
+        let ctx =
+          { Sim.Journal.spec = Sim.Sweep.to_string grid; extra = sweep_context ~protect ~retry }
+        in
+        (match worker_logs with
+        | None -> ()
+        | Some dir -> (
+          (* mkdir -p: CI points this at nested per-scenario dirs. *)
+          let rec mkdirs d =
+            try Unix.mkdir d 0o755 with
+            | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+            | Unix.Unix_error (Unix.ENOENT, _, _) when Filename.dirname d <> d ->
+              mkdirs (Filename.dirname d);
+              Unix.mkdir d 0o755
+          in
+          try mkdirs dir
+          with Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "oraclesize sweep: cannot create --worker-logs %s: %s\n" dir
+              (Unix.error_message e);
+            exit 2));
+        let command ~id =
+          let base = [| Sys.executable_name; "worker"; "--id"; string_of_int id |] in
+          match chaos with
+          | None -> base
+          | Some c -> Array.append base [| "--chaos"; Fault.Chaos.to_string c |]
+        in
+        (* Lazy so the in-process caches are only built if degradation
+           actually happens. *)
+        let fallback_caches =
+          lazy (Sim.Sweep.Cache.create (), Sim.Sweep.Cache.create ())
+        in
+        let fallback i =
+          match execute_point grid ~protect ~retry (Lazy.force fallback_caches) pts.(i) with
+          | entry -> Ok entry
+          | exception e -> Error (Printexc.to_string e)
+        in
+        let d =
+          Sim.Dispatch.create ~workers ~batch ~heartbeat_timeout ?stderr_dir:worker_logs
+            ~log:(fun m -> Printf.eprintf "sweep: %s\n%!" m)
+            ~command ~context:ctx ~fallback ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Sim.Dispatch.shutdown d)
+          (fun () ->
+            if Sim.Dispatch.live_workers d = 0 then begin
+              Printf.eprintf "sweep: no workers spawned; degrading to the in-process pool\n%!";
+              pool_outcome ()
+            end
+            else begin
+              let outcome =
+                Sim.Sweep.map_journaled_via
+                  ?journal:(Option.map (fun path -> (path, ctx)) journal)
+                  ?on_append
+                  ~key:(fun p -> p.Sim.Sweep.seed)
+                  ~run:(fun idx -> Sim.Dispatch.run d idx)
+                  ~emit:(fun _i p e -> emit_row p e)
+                  pts
+              in
+              let s = Sim.Dispatch.stats d in
+              Printf.eprintf
+                "sweep: workers spawned=%d died=%d reassigned-batches=%d inline-tasks=%d\n"
+                s.Sim.Dispatch.spawned s.Sim.Dispatch.died s.Sim.Dispatch.reassigned
+                s.Sim.Dispatch.inline_tasks;
+              outcome
+            end)
+      end
     in
     let wall = Unix.gettimeofday () -. wall0 in
     let cpu = Sys.time () -. cpu0 in
@@ -902,7 +1064,8 @@ let sweep_cmd =
           and resumable.")
     Term.(
       const run $ grid_arg $ out_arg $ journal_out_arg $ crash_after_arg $ protect_arg
-      $ retry_arg $ jobs_arg)
+      $ retry_arg $ jobs_arg $ workers_arg $ chaos_arg $ heartbeat_timeout_arg $ batch_arg
+      $ worker_logs_arg)
 
 (* {1 journal} *)
 
@@ -1076,7 +1239,70 @@ let journal_cmd =
          "Inspect, verify, and compact sweep journals (format: docs/JOURNAL_FORMAT.md).")
     [ journal_ls_cmd; journal_verify_cmd; journal_compact_cmd ]
 
+(* {1 worker}
+
+   The hidden subprocess entry point Dispatch spawns: [oraclesize worker
+   --id N [--chaos SPEC]].  Intercepted before Cmdliner so it never
+   shows up in --help — it is not a user-facing command, and its stdin/
+   stdout are protocol pipes, not a terminal.  Everything the worker
+   needs to execute tasks arrives in the config frame: the grid spec and
+   the protect/retry context, i.e. the same Journal.context the sweep's
+   journal superblock carries, so worker and supervisor provably agree
+   on what task index [i] means. *)
+let worker_main () =
+  let id = ref 0 in
+  let chaos = ref Fault.Chaos.none in
+  let usage () =
+    prerr_endline "usage: oraclesize worker --id N [--chaos SPEC]";
+    exit 2
+  in
+  let rec parse_args i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--id" when i + 1 < Array.length Sys.argv -> (
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some n when n >= 0 ->
+          id := n;
+          parse_args (i + 2)
+        | _ -> usage ())
+      | "--chaos" when i + 1 < Array.length Sys.argv -> (
+        match Fault.Chaos.of_string Sys.argv.(i + 1) with
+        | Ok c ->
+          chaos := c;
+          parse_args (i + 2)
+        | Error m ->
+          Printf.eprintf "oraclesize worker: %s\n" m;
+          exit 2)
+      | _ -> usage ()
+  in
+  parse_args 2;
+  let exec (ctx : Sim.Journal.context) =
+    let ( let* ) = Result.bind in
+    let* grid = Sim.Sweep.of_string ctx.Sim.Journal.spec in
+    let* protect, retry = parse_sweep_context ctx.Sim.Journal.extra in
+    let* () =
+      match List.find_opt (fun p -> protocol_of_name p = None) grid.Sim.Sweep.protocols with
+      | Some p -> Error (Printf.sprintf "unknown protocol %S" p)
+      | None -> Ok ()
+    in
+    let pts = Sim.Sweep.points grid in
+    let caches = (Sim.Sweep.Cache.create (), Sim.Sweep.Cache.create ()) in
+    Ok
+      (fun i ->
+        if i < 0 || i >= Array.length pts then
+          Error (Printf.sprintf "task index %d outside grid of %d points" i (Array.length pts))
+        else
+          match execute_point grid ~protect ~retry caches pts.(i) with
+          | entry -> Ok entry
+          | exception e -> Error (Printexc.to_string e))
+  in
+  exit
+    (Sim.Worker.serve ~id:!id
+       ~chaos:(Fault.Chaos.hook !chaos ~worker:!id)
+       ~exec ~input:Unix.stdin ~output:Unix.stdout ())
+
 let () =
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "worker" then worker_main ();
   let doc = "oracle-size experiments: wakeup vs broadcast knowledge requirements" in
   let info = Cmd.info "oraclesize" ~version:"1.0.0" ~doc in
   exit

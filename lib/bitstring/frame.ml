@@ -1,15 +1,21 @@
-(* The bit-packed frame container behind the sweep journal.  Every
-   number below is normative in docs/JOURNAL_FORMAT.md — the spec is the
-   contract, this file implements it, and test_journal.ml decodes a
-   golden frame built from the spec's field table to keep the two
-   honest.  Keep the layout in sync or the golden test fails.
+(* The bit-packed frame container behind the sweep journal and the
+   worker wire protocol.  Every number below is normative in
+   docs/JOURNAL_FORMAT.md — the spec is the contract, this file
+   implements it, and test_journal.ml decodes a golden frame built from
+   the spec's field table to keep the two honest.  Keep the layout in
+   sync or the golden test fails.
 
    A frame is byte-aligned on disk but bit-packed inside: a 120-bit
    (15-byte) header, the payload bits padded with zeros to a byte
    boundary, and a 32-bit CRC trailer computed over every preceding byte
-   of the frame through Ecc's bit-serial engine. *)
+   of the frame through Ecc's bit-serial engine.
 
-type kind = Superblock | Record
+   Superblock and Record frames live in journal files; the remaining
+   kinds travel only over supervisor/worker pipes (Sim.Worker /
+   Sim.Dispatch) and are never valid in a journal — a journal scan
+   treats them as the start of the torn tail. *)
+
+type kind = Superblock | Record | Hello | Task | Result | Heartbeat | Shutdown
 
 type t = { kind : kind; version : int; key : int; payload : Bitbuf.t }
 
@@ -46,6 +52,14 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 let magic = 0x4f4a
 let kind_superblock = 0x53 (* 'S' *)
 let kind_record = 0x52 (* 'R' *)
+
+(* Wire-only kinds (the worker protocol); mnemonic ASCII like the
+   journal kinds.  Never written to journal files. *)
+let kind_hello = 0x48 (* 'H' *)
+let kind_task = 0x54 (* 'T' *)
+let kind_result = 0x41 (* 'A' — answer *)
+let kind_heartbeat = 0x42 (* 'B' — beat *)
+let kind_shutdown = 0x51 (* 'Q' — quit *)
 let current_version = 1
 let header_bytes = 15
 let crc_bytes = 4
@@ -69,7 +83,24 @@ let crc32_bytes buf ~pos ~len =
   done;
   Ecc.crc_finish ~poly:crc_poly ~width:crc_width !reg
 
-let kind_byte = function Superblock -> kind_superblock | Record -> kind_record
+let kind_byte = function
+  | Superblock -> kind_superblock
+  | Record -> kind_record
+  | Hello -> kind_hello
+  | Task -> kind_task
+  | Result -> kind_result
+  | Heartbeat -> kind_heartbeat
+  | Shutdown -> kind_shutdown
+
+let kind_of_byte b =
+  if b = kind_superblock then Some Superblock
+  else if b = kind_record then Some Record
+  else if b = kind_hello then Some Hello
+  else if b = kind_task then Some Task
+  else if b = kind_result then Some Result
+  else if b = kind_heartbeat then Some Heartbeat
+  else if b = kind_shutdown then Some Shutdown
+  else None
 
 let byte_size t = header_bytes + Bitbuf.byte_length t.payload + crc_bytes
 
@@ -109,8 +140,7 @@ let decode s ~pos =
     let key_lo = Bitbuf.read_int r ~width:32 in
     let bits = Bitbuf.read_int r ~width:24 in
     if m <> magic then Error (Bad_magic { offset = pos; found = m })
-    else if k <> kind_superblock && k <> kind_record then
-      Error (Bad_kind { offset = pos; found = k })
+    else if kind_of_byte k = None then Error (Bad_kind { offset = pos; found = k })
     else if v <> current_version then Error (Unsupported_version { offset = pos; found = v })
     else if key_hi lsr 30 <> 0 then
       (* Keys are 63-bit non-negative OCaml ints, so bits 63..62 of the
@@ -146,7 +176,7 @@ let decode s ~pos =
           if computed <> !stored then
             Error (Bad_crc { offset = pos; stored = !stored; computed })
           else
-            let kind = if k = kind_superblock then Superblock else Record in
+            let kind = match kind_of_byte k with Some kd -> kd | None -> assert false in
             let key = (key_hi lsl 32) lor key_lo in
             Ok ({ kind; version = v; key; payload }, pos + total)
         end

@@ -1,13 +1,14 @@
-(** The bit-packed frame container of the persistent sweep journal.
+(** The bit-packed frame container of the persistent sweep journal and
+    the distributed-worker wire protocol.
 
-    A journal file is a sequence of frames; each frame carries a kind
-    tag, a format version, a 63-bit key and an arbitrary bit-string
-    payload, and is protected end-to-end by a 32-bit CRC trailer
-    computed through {!Ecc}'s bit-serial engine.  The byte-level layout
-    — field widths, endianness, CRC variant, padding and recovery rules
-    — is specified normatively in [docs/JOURNAL_FORMAT.md]; this module
-    is its implementation, and a golden-frame test pins the two to each
-    other.
+    A journal file — and a supervisor/worker pipe — is a sequence of
+    frames; each frame carries a kind tag, a format version, a 63-bit
+    key and an arbitrary bit-string payload, and is protected end-to-end
+    by a 32-bit CRC trailer computed through {!Ecc}'s bit-serial engine.
+    The byte-level layout — field widths, endianness, CRC variant,
+    padding and recovery rules — is specified normatively in
+    [docs/JOURNAL_FORMAT.md]; this module is its implementation, and a
+    golden-frame test pins the two to each other.
 
     Frames are byte-aligned on disk (the payload is zero-padded to a
     byte boundary) but bit-packed inside, in the spirit of chamelon's
@@ -19,6 +20,11 @@
 type kind =
   | Superblock  (** the file-identity frame, first in every journal *)
   | Record  (** one completed grid point *)
+  | Hello  (** wire: worker announce (worker→supervisor) or config (supervisor→worker) *)
+  | Task  (** wire: a batch of task indices (supervisor→worker) *)
+  | Result  (** wire: one completed task (worker→supervisor) *)
+  | Heartbeat  (** wire: liveness beacon (worker→supervisor) *)
+  | Shutdown  (** wire: orderly stop (supervisor→worker) *)
 
 type t = {
   kind : kind;

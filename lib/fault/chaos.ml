@@ -1,0 +1,126 @@
+(* Deterministic chaos schedules for distributed sweep workers.
+
+   A chaos spec names which worker misbehaves, how, and when — counted
+   in tasks that worker has completed, not wall-clock — so a given spec
+   reproduces the same fault at the same point of the same worker's
+   task stream on every run.  That is what lets the CI gate assert
+   byte-identical sweep output across chaos schedules: the faults are
+   real (processes die, pipes carry garbage) but their placement is a
+   pure function of the spec.
+
+   The spec grammar mirrors Fault_plan's comma-token style, lifted one
+   level: directives are ';'-separated, each "ACTION:worker=N,after=M",
+   plus an optional standalone "seed=N" token for the garbage bytes.
+   Example: "kill:worker=2,after=5;hang:worker=0,after=9". *)
+
+type action = Kill | Hang | Garbage
+
+type directive = { action : action; worker : int; after : int }
+
+type t = { directives : directive list; seed : int }
+
+let none = { directives = []; seed = 0 }
+
+let is_none t = t.directives = []
+
+let action_name = function Kill -> "kill" | Hang -> "hang" | Garbage -> "garbage"
+
+let to_string t =
+  if is_none t && t.seed = 0 then "none"
+  else
+    let parts =
+      List.map
+        (fun d -> Printf.sprintf "%s:worker=%d,after=%d" (action_name d.action) d.worker d.after)
+        t.directives
+    in
+    let parts = if t.seed <> 0 then parts @ [ Printf.sprintf "seed=%d" t.seed ] else parts in
+    String.concat ";" parts
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let int_field tok v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> Ok i
+    | Some _ -> fail "%s: must be non-negative" tok
+    | None -> fail "%s: not an integer" tok
+  in
+  let directive t tok =
+    match String.index_opt tok ':' with
+    | None -> (
+      match String.index_opt tok '=' with
+      | Some i when String.sub tok 0 i = "seed" ->
+        let* seed = int_field tok (String.sub tok (i + 1) (String.length tok - i - 1)) in
+        Ok { t with seed }
+      | _ -> fail "chaos %S: expected ACTION:worker=N,after=M or seed=N" tok)
+    | Some colon -> (
+      let name = String.sub tok 0 colon in
+      let args = String.sub tok (colon + 1) (String.length tok - colon - 1) in
+      let* action =
+        match name with
+        | "kill" -> Ok Kill
+        | "hang" -> Ok Hang
+        | "garbage" -> Ok Garbage
+        | _ -> fail "chaos %S: unknown action %S (kill|hang|garbage)" tok name
+      in
+      let* worker, after =
+        List.fold_left
+          (fun acc kv ->
+            let* worker, after = acc in
+            match String.index_opt kv '=' with
+            | None -> fail "chaos %S: expected KEY=VALUE, got %S" tok kv
+            | Some i -> (
+              let key = String.sub kv 0 i in
+              let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+              match key with
+              | "worker" ->
+                let* w = int_field tok v in
+                Ok (Some w, after)
+              | "after" ->
+                let* a = int_field tok v in
+                Ok (worker, Some a)
+              | _ -> fail "chaos %S: unknown key %S" tok key))
+          (Ok (None, None))
+          (List.filter (( <> ) "") (List.map String.trim (String.split_on_char ',' args)))
+      in
+      match (worker, after) with
+      | Some worker, Some after -> Ok { t with directives = t.directives @ [ { action; worker; after } ] }
+      | None, _ -> fail "chaos %S: missing worker=N" tok
+      | _, None -> fail "chaos %S: missing after=N" tok)
+  in
+  List.fold_left
+    (fun acc tok ->
+      let* t = acc in
+      match String.trim tok with "" | "none" -> Ok t | tok -> directive t tok)
+    (Ok none)
+    (String.split_on_char ';' s)
+
+let of_string_exn s =
+  match of_string s with
+  | Ok t -> t
+  | Error m -> invalid_arg (Printf.sprintf "Chaos.of_string: %s" m)
+
+(* 64 seeded junk bytes for the garbage action.  The first byte is
+   forced away from 0x4F (the frame magic's first byte) so the
+   receiver's very next decode attempt is a Bad_magic, never an
+   ambiguous "wait for more bytes" — detection is deterministic. *)
+let garbage_bytes t ~worker =
+  let state = ref (Sim.Sweep.derive_seed t.seed [ "chaos-garbage"; string_of_int worker ]) in
+  let next_byte () =
+    state := ((!state * 25214903917) + 11) land max_int;
+    (!state lsr 24) land 0xff
+  in
+  String.init 64 (fun i ->
+      let b = next_byte () in
+      Char.chr (if i = 0 && b = 0x4f then 0x50 else b))
+
+let hook t ~worker =
+  let mine = List.filter (fun d -> d.worker = worker) t.directives in
+  fun ~completed ->
+    match List.find_opt (fun d -> completed >= d.after) mine with
+    | None -> `Continue
+    | Some d -> (
+      match d.action with
+      | Kill -> `Kill
+      | Hang -> `Hang
+      | Garbage -> `Garbage (garbage_bytes t ~worker))

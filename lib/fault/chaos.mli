@@ -1,0 +1,55 @@
+(** Deterministic chaos schedules for distributed sweep workers.
+
+    A chaos spec injects real faults — killed processes, hung loops,
+    garbage bytes on the result pipe — at points determined solely by
+    each worker's completed-task count, never by wall-clock.  The same
+    spec therefore reproduces the same fault at the same place every
+    run, which is what lets the chaos CI gate demand byte-identical
+    sweep output under any schedule.
+
+    Grammar: ';'-separated directives, each ["ACTION:worker=N,after=M"]
+    with ACTION one of [kill] (abrupt [_exit], a simulated crash),
+    [hang] (sleep forever, so the supervisor's heartbeat deadline must
+    fire), or [garbage] (write 64 seeded junk bytes mid-stream, then
+    exit); plus an optional standalone ["seed=N"] token feeding the
+    garbage generator.  ["none"] or the empty string is the empty
+    schedule.  Example:
+    ["kill:worker=2,after=5;hang:worker=0,after=9"]. *)
+
+type action = Kill | Hang | Garbage
+
+type directive = {
+  action : action;
+  worker : int;  (** the worker id the fault targets *)
+  after : int;  (** fire once that worker has completed this many tasks *)
+}
+
+type t = { directives : directive list; seed : int }
+
+val none : t
+
+val is_none : t -> bool
+
+val of_string : string -> (t, string) result
+(** Parse the grammar above; every malformed token is a descriptive
+    [Error]. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on parse failure. *)
+
+val to_string : t -> string
+(** Canonical spec; round-trips through {!of_string}. *)
+
+val garbage_bytes : t -> worker:int -> string
+(** The 64 junk bytes the [garbage] action writes for [worker]: a pure
+    function of [(t.seed, worker)], first byte guaranteed not to be the
+    frame magic's first byte so the supervisor detects the corruption on
+    its very next decode. *)
+
+val hook :
+  t -> worker:int -> completed:int -> [ `Continue | `Kill | `Hang | `Garbage of string ]
+(** [hook t ~worker] specialized to one worker is exactly the [?chaos]
+    callback {!Sim.Worker.serve} consumes: consulted before each task
+    with the tasks-completed count, it returns the first due directive's
+    action (every action terminates the worker, so at most one ever
+    fires). *)

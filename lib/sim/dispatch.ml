@@ -1,0 +1,417 @@
+(* The supervisor half of the distributed sweep protocol.
+
+   Dispatch owns a set of worker subprocesses (spawned from a caller-
+   provided argv, pipes on their stdin/stdout), hands them fixed-size
+   batches of task indices, and collects Result frames.  The failure
+   model is crash-stop with reassignment: a worker that EOFs, misses its
+   heartbeat deadline, announces the wrong wire version, or sends one
+   undecodable byte is SIGKILLed, reaped, and written off; whatever of
+   its in-flight batch lacks results is requeued at the front of the
+   work queue with a capped exponential backoff.  Workers are never
+   respawned — a sweep finishes on the survivors, and when none survive
+   the remaining tasks run in-process through the caller's [fallback].
+
+   Determinism: results are pure functions of task indices and the
+   supervisor records the first result it sees per index (duplicates
+   from a reassigned-then-drained batch carry identical bytes), so
+   worker count, death schedule, and timing are all invisible in the
+   value [run] returns.  Ordering is the caller's business
+   (Sweep.map_journaled_via appends and emits in canonical order). *)
+
+type batch = {
+  seq : int;
+  indices : int array;
+  attempt : int;  (* prior failed assignments of (a superset of) these indices *)
+  not_before : float;  (* backoff release time; 0. for fresh batches *)
+}
+
+type wstate =
+  | Awaiting_hello
+  | Ready
+  | Busy of { batch : batch; outstanding : (int, unit) Hashtbl.t }
+
+type wrk = {
+  wid : int;
+  pid : int;
+  to_w : Unix.file_descr;
+  from_w : Unix.file_descr;
+  rx : Worker.Rx.t;
+  mutable state : wstate;
+  mutable deadline : float;  (* absolute; infinity = disarmed *)
+}
+
+type stats = {
+  mutable spawned : int;
+  mutable spawn_failures : int;
+  mutable died : int;
+  mutable reassigned : int;  (* batches requeued after a death *)
+  mutable inline_tasks : int;  (* tasks run through [fallback] *)
+}
+
+type t = {
+  context : Journal.context;
+  batch_size : int;
+  heartbeat_timeout : float;
+  backoff_base : float;
+  backoff_cap : float;
+  fallback : int -> (Journal.entry, string) result;
+  mutable live : wrk list;  (* spawn order, so assignment prefers low ids *)
+  mutable handshook : bool;
+      (* all spawned workers have announced or been condemned; until
+         then no batch is assigned, so which worker executes which batch
+         does not depend on hello arrival order — that is what makes a
+         chaos schedule's fault placement reproducible *)
+  mutable next_seq : int;
+  stats : stats;
+  log : string -> unit;
+}
+
+let default_batch = 16
+let default_heartbeat_timeout = 10.
+let backoff_base = 0.05
+let backoff_cap = 1.0
+
+let backoff t ~attempt =
+  if attempt < 1 then 0.
+  else min t.backoff_cap (t.backoff_base *. (2. ** float_of_int (attempt - 1)))
+
+let stats t =
+  (* flat copy so callers can't mutate the live counters *)
+  let s = t.stats in
+  {
+    spawned = s.spawned;
+    spawn_failures = s.spawn_failures;
+    died = s.died;
+    reassigned = s.reassigned;
+    inline_tasks = s.inline_tasks;
+  }
+
+let live_workers t = List.length t.live
+
+(* {1 Spawning} *)
+
+let spawn ~command ~stderr_dir ~log wid =
+  let cleanup fds = List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds in
+  match
+    let child_in, to_w = Unix.pipe () in
+    let from_w, child_out = Unix.pipe () in
+    (* The parent keeps [to_w]/[from_w]; mark them close-on-exec so they
+       never leak into workers spawned after this one (a leaked write
+       end would keep a dead worker's pipe readable forever). *)
+    Unix.set_close_on_exec to_w;
+    Unix.set_close_on_exec from_w;
+    let stderr_fd =
+      match stderr_dir with
+      | None -> None
+      | Some dir ->
+        Some
+          (Unix.openfile
+             (Filename.concat dir (Printf.sprintf "worker-%d.log" wid))
+             [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+             0o644)
+    in
+    let argv = command ~id:wid in
+    let pid =
+      try
+        Unix.create_process argv.(0) argv child_in child_out
+          (Option.value stderr_fd ~default:Unix.stderr)
+      with e ->
+        cleanup (child_in :: child_out :: to_w :: from_w :: Option.to_list stderr_fd);
+        raise e
+    in
+    cleanup (child_in :: child_out :: Option.to_list stderr_fd);
+    { wid; pid; to_w; from_w; rx = Worker.Rx.create (); state = Awaiting_hello; deadline = infinity }
+  with
+  | w -> Some w
+  | exception e ->
+    log (Printf.sprintf "worker %d: spawn failed: %s" wid (Printexc.to_string e));
+    None
+
+let create ~workers ?(batch = default_batch) ?(heartbeat_timeout = default_heartbeat_timeout)
+    ?stderr_dir ?(log = fun _ -> ()) ~command ~context ~fallback () =
+  if workers < 0 then invalid_arg "Dispatch.create: negative workers";
+  if batch < 1 then invalid_arg "Dispatch.create: batch < 1";
+  if heartbeat_timeout <= 0. then invalid_arg "Dispatch.create: heartbeat_timeout <= 0";
+  (* A worker dying mid-write must cost us an EPIPE, not a SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let stats = { spawned = 0; spawn_failures = 0; died = 0; reassigned = 0; inline_tasks = 0 } in
+  let live = ref [] in
+  for wid = 0 to workers - 1 do
+    match spawn ~command ~stderr_dir ~log wid with
+    | Some w ->
+      (* A worker that never even announces must not stall the sweep:
+         its hello is due within one heartbeat window.  (If it did
+         announce, the frame sits in the pipe and is processed before
+         any deadline check fires.) *)
+      w.deadline <- Unix.gettimeofday () +. heartbeat_timeout;
+      stats.spawned <- stats.spawned + 1;
+      live := w :: !live
+    | None -> stats.spawn_failures <- stats.spawn_failures + 1
+  done;
+  {
+    context;
+    batch_size = batch;
+    heartbeat_timeout;
+    backoff_base;
+    backoff_cap;
+    fallback;
+    live = List.rev !live;
+    handshook = false;
+    next_seq = 0;
+    stats;
+    log;
+  }
+
+(* {1 Worker lifecycle} *)
+
+let send_msg w msg =
+  let s = Worker.encode msg in
+  Worker.write_all w.to_w (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let reap pid =
+  (* SIGKILL makes exit prompt; a bounded WNOHANG poll keeps a
+     pathological unkillable child from wedging the supervisor. *)
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  let rec poll tries =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if tries > 0 then begin
+        ignore (Unix.select [] [] [] 0.01);
+        poll (tries - 1)
+      end
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll tries
+    | exception Unix.Unix_error _ -> ()
+  in
+  poll 200
+
+(* Mark [w] dead: kill, reap, close pipes, drop from the live list, and
+   requeue whatever of its batch still lacks a result. *)
+let bury t ~requeue ~now ~results w reason =
+  t.log (Printf.sprintf "worker %d (pid %d) dead: %s" w.wid w.pid reason);
+  t.stats.died <- t.stats.died + 1;
+  reap w.pid;
+  (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+  (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+  t.live <- List.filter (fun x -> x.pid <> w.pid) t.live;
+  match w.state with
+  | Awaiting_hello | Ready -> ()
+  | Busy { batch = b; outstanding = _ } ->
+    let undone = Array.of_list (List.filter (fun i -> not (Hashtbl.mem results i)) (Array.to_list b.indices)) in
+    if Array.length undone > 0 then begin
+      let attempt = b.attempt + 1 in
+      t.stats.reassigned <- t.stats.reassigned + 1;
+      requeue
+        { seq = b.seq; indices = undone; attempt; not_before = now +. backoff t ~attempt }
+    end
+
+(* {1 The run loop} *)
+
+let run t indices =
+  let n = Array.length indices in
+  let wanted = Hashtbl.create (2 * n) in
+  Array.iter (fun i -> Hashtbl.replace wanted i ()) indices;
+  let results : (int, (Journal.entry, string) result) Hashtbl.t = Hashtbl.create (2 * n) in
+  (* First write wins; results for indices outside this run (a confused
+     worker) are dropped rather than corrupting the completion count. *)
+  let record i r =
+    if Hashtbl.mem wanted i && not (Hashtbl.mem results i) then Hashtbl.add results i r
+  in
+  let inline i =
+    t.stats.inline_tasks <- t.stats.inline_tasks + 1;
+    record i (t.fallback i)
+  in
+  (* Work queue: fresh batches in canonical order at the back,
+     reassigned batches at the front. *)
+  let front = ref [] and back = ref [] in
+  let requeue b = front := b :: !front in
+  let pop_released now =
+    let rec pick acc = function
+      | [] -> (None, List.rev acc)
+      | b :: rest when b.not_before <= now -> (Some b, List.rev_append acc rest)
+      | b :: rest -> pick (b :: acc) rest
+    in
+    match pick [] !front with
+    | Some b, rest ->
+      front := rest;
+      Some b
+    | None, _ -> (
+      match pick [] !back with
+      | Some b, rest ->
+        back := rest;
+        Some b
+      | None, _ -> None)
+  in
+  let queued () = List.length !front + List.length !back in
+  let earliest_release () =
+    List.fold_left (fun acc b -> min acc b.not_before) infinity (!front @ !back)
+  in
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + t.batch_size) in
+    back :=
+      !back
+      @ [
+          {
+            seq = t.next_seq;
+            indices = Array.sub indices !i (stop - !i);
+            attempt = 0;
+            not_before = 0.;
+          };
+        ];
+    t.next_seq <- t.next_seq + 1;
+    i := stop
+  done;
+  let done_ () = Hashtbl.length results >= Hashtbl.length wanted in
+  (* One decoded message from worker [w].  Any protocol surprise is a
+     death sentence (crash-stop). *)
+  let handle_msg ~now w = function
+    | Worker.Hello { worker = _; wire_version = v } ->
+      if v <> Worker.wire_version then
+        Error (Printf.sprintf "wire version %d, expected %d" v Worker.wire_version)
+      else (
+        match send_msg w (Worker.Config t.context) with
+        | () ->
+          (match w.state with Awaiting_hello -> w.state <- Ready | Ready | Busy _ -> ());
+          w.deadline <- infinity;
+          Ok ()
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+          Error "EPIPE sending config")
+    | Worker.Heartbeat _ ->
+      w.deadline <- now +. t.heartbeat_timeout;
+      Ok ()
+    | Worker.Result { index; result } ->
+      record index result;
+      w.deadline <- now +. t.heartbeat_timeout;
+      (match w.state with
+      | Busy { batch = _; outstanding } when Hashtbl.mem outstanding index ->
+        Hashtbl.remove outstanding index;
+        if Hashtbl.length outstanding = 0 then begin
+          w.state <- Ready;
+          w.deadline <- infinity
+        end
+      | _ -> ());
+      Ok ()
+    | Worker.Config _ | Worker.Task_batch _ | Worker.Shutdown ->
+      Error "worker sent a supervisor-only message"
+  in
+  let drain_rx ~now w =
+    let rec go () =
+      match Worker.Rx.next w.rx with
+      | Ok None -> Ok ()
+      | Error e -> Error ("undecodable frame: " ^ e)
+      | Ok (Some f) -> (
+        match Worker.parse f with
+        | Error e -> Error ("unparseable frame: " ^ e)
+        | Ok m -> ( match handle_msg ~now w m with Ok () -> go () | Error e -> Error e))
+    in
+    go ()
+  in
+  let rbuf = Bytes.create 65536 in
+  while not (done_ ()) do
+    let now = Unix.gettimeofday () in
+    (* Handshake barrier: hold all work until every spawned worker has
+       announced or been condemned, so batch placement is a function of
+       worker ids, not of hello arrival order. *)
+    if not t.handshook then
+      t.handshook <- List.for_all (fun w -> w.state <> Awaiting_hello) t.live;
+    (* Assign released work to idle workers (lowest id first). *)
+    let rec assign () =
+      if not t.handshook then ()
+      else
+        match List.find_opt (fun w -> w.state = Ready) t.live with
+      | None -> ()
+      | Some w -> (
+        match pop_released now with
+        | None -> ()
+        | Some b -> (
+          let outstanding = Hashtbl.create (Array.length b.indices) in
+          Array.iter
+            (fun i -> if not (Hashtbl.mem results i) then Hashtbl.replace outstanding i ())
+            b.indices;
+          if Hashtbl.length outstanding = 0 then assign ()
+          else
+            match send_msg w (Worker.Task_batch { seq = b.seq; indices = b.indices }) with
+            | () ->
+              w.state <- Busy { batch = b; outstanding };
+              w.deadline <- now +. t.heartbeat_timeout;
+              assign ()
+            | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+              bury t ~requeue ~now ~results w "EPIPE on task send";
+              requeue b;
+              assign ()))
+    in
+    assign ();
+    if t.live = [] then begin
+      (* No survivors: graceful degradation — finish in-process. *)
+      Array.iter (fun i -> if not (Hashtbl.mem results i) then inline i) indices
+    end
+    else if not (done_ ()) then begin
+      let deadline =
+        List.fold_left (fun acc w -> min acc w.deadline) infinity t.live
+      in
+      let wake = min deadline (if queued () > 0 then earliest_release () else infinity) in
+      let timeout =
+        if wake = infinity then 1.0 else max 0.005 (min 1.0 (wake -. now))
+      in
+      let fds = List.map (fun w -> w.from_w) t.live in
+      let readable, _, _ =
+        try Unix.select fds [] [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun w -> w.from_w = fd) t.live with
+          | None -> ()
+          | Some w -> (
+            match Unix.read w.from_w rbuf 0 (Bytes.length rbuf) with
+            | 0 -> bury t ~requeue ~now ~results w "EOF"
+            | len -> (
+              Worker.Rx.feed w.rx rbuf len;
+              match drain_rx ~now w with
+              | Ok () -> ()
+              | Error e -> bury t ~requeue ~now ~results w e)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error (e, _, _) ->
+              bury t ~requeue ~now ~results w (Unix.error_message e)))
+        readable;
+      (* Heartbeat deadlines: a busy (or never-announced) worker that
+         stayed silent past its deadline is treated as crashed even
+         though the process may still be running (hung).  Iterate a
+         snapshot — bury edits t.live. *)
+      List.iter
+        (fun w ->
+          bury t ~requeue ~now ~results w
+            (Printf.sprintf "heartbeat deadline exceeded (%.1fs)" t.heartbeat_timeout))
+        (List.filter (fun w -> w.deadline < now) t.live)
+    end
+  done;
+  Array.map (fun i -> match Hashtbl.find_opt results i with Some r -> r | None -> assert false) indices
+
+let shutdown t =
+  List.iter
+    (fun w ->
+      (try send_msg w Worker.Shutdown with Unix.Unix_error _ -> ());
+      (try Unix.close w.to_w with Unix.Unix_error _ -> ()))
+    t.live;
+  (* Bounded grace, then the axe. *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  List.iter
+    (fun w ->
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+        | 0, _ ->
+          if Unix.gettimeofday () < deadline then begin
+            ignore (Unix.select [] [] [] 0.02);
+            wait ()
+          end
+          else reap w.pid
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      wait ();
+      try Unix.close w.from_w with Unix.Unix_error _ -> ())
+    t.live;
+  t.live <- []

@@ -1,0 +1,89 @@
+(** The supervisor of a fleet of {!Worker} subprocesses.
+
+    Dispatch spawns workers from a caller-supplied argv, handshakes them
+    (announce {!Worker.Hello} in, config out), and schedules task-index
+    batches over the survivors.  The failure model is crash-stop with
+    reassignment:
+
+    - every worker with an in-flight batch has a heartbeat deadline;
+      workers beat before each task, so a worker silent for longer than
+      the timeout — hung, wedged, or quietly dead — is declared crashed;
+    - EOF, a failed write ([EPIPE]), a wrong wire version, or a single
+      undecodable or unparseable frame likewise condemn the worker;
+    - a condemned worker is SIGKILLed and reaped, and the not-yet-
+      answered indices of its batch are requeued at the {e front} of the
+      work queue with capped exponential backoff
+      (≈ 50 ms · 2{^ attempt−1}, capped at 1 s);
+    - workers are never respawned: the sweep finishes on the survivors,
+      and when none survive the remaining tasks run in-process through
+      [fallback] — a dispatch never deadlocks on dead workers.
+
+    Determinism: task results are pure functions of their indices and
+    the first result per index wins (a reassigned batch's duplicate
+    results are byte-identical), so worker count, chaos schedule, and
+    timing are invisible in what {!run} returns.  Feeding {!run} to
+    {!Sweep.map_journaled_via} therefore yields byte-identical journals
+    and JSONL at any [--workers] value — the CI chaos gate pins this. *)
+
+type t
+
+type stats = {
+  mutable spawned : int;  (** workers successfully spawned *)
+  mutable spawn_failures : int;  (** spawn attempts that failed outright *)
+  mutable died : int;  (** workers condemned (crash, hang, bad frame, EOF) *)
+  mutable reassigned : int;  (** batches requeued after a death *)
+  mutable inline_tasks : int;  (** tasks executed in-process via [fallback] *)
+}
+
+val default_batch : int
+(** [16] — task indices per {!Worker.Task_batch} frame. *)
+
+val default_heartbeat_timeout : float
+(** [10.] seconds.  The deadline bounds per-task compute time plus
+    scheduling noise: a worker beats before each task, so the timeout
+    must exceed the slowest single task, not the whole batch. *)
+
+val create :
+  workers:int ->
+  ?batch:int ->
+  ?heartbeat_timeout:float ->
+  ?stderr_dir:string ->
+  ?log:(string -> unit) ->
+  command:(id:int -> string array) ->
+  context:Journal.context ->
+  fallback:(int -> (Journal.entry, string) result) ->
+  unit ->
+  t
+(** [create ~workers ~command ~context ~fallback ()] spawns [workers]
+    subprocesses, worker [id] with argv [command ~id] ([argv.(0)] is the
+    executable), stdin/stdout piped to the supervisor and stderr either
+    inherited or, with [stderr_dir], redirected to
+    [<stderr_dir>/worker-<id>.log].  [context] is sent to each worker as
+    its config — the same {!Journal.context} the sweep's journal uses,
+    so worker and supervisor provably execute the same grid.  Spawn
+    failures are counted, not fatal; check {!live_workers} to fall back
+    to the in-process pool when nothing spawned.  Ignores [SIGPIPE]
+    process-wide (worker death must surface as [EPIPE], not kill the
+    supervisor).  [log] receives one line per lifecycle event.  Raises
+    [Invalid_argument] on [workers < 0], [batch < 1], or a non-positive
+    timeout. *)
+
+val run : t -> int array -> (Journal.entry, string) result array
+(** [run t indices] executes the tasks at [indices] across the live
+    workers and returns index-aligned results — the shape
+    {!Sweep.map_journaled_via} expects of its [run].  Handshakes
+    lazily, survives any number of worker deaths (reassigning as
+    described above), and degrades to [fallback] for whatever is left
+    when the last worker dies.  Workers stay alive across calls; call
+    once per chunk. *)
+
+val shutdown : t -> unit
+(** Send {!Worker.Shutdown} to every live worker, give the fleet a
+    bounded grace period to exit, SIGKILL stragglers, reap everything,
+    close all pipes.  Idempotent. *)
+
+val live_workers : t -> int
+(** Workers currently alive (spawned, not yet condemned). *)
+
+val stats : t -> stats
+(** A snapshot of the lifecycle counters. *)

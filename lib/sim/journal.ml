@@ -186,6 +186,13 @@ let encode_superblock ctx =
       payload = encode_context ctx;
     }
 
+(* The bare payload codecs, exposed for the worker wire protocol: a
+   Result frame carries exactly a record payload, and the supervisor's
+   config Hello frame carries exactly a superblock payload. *)
+let entry_payload = encode_payload
+
+let context_payload = encode_context
+
 (* {1 The store} *)
 
 type stats = { replayed : int; torn_bytes : int; duplicates : int }
@@ -227,6 +234,9 @@ let scan data =
   match Frame.decode data ~pos:0 with
   | Error e -> Error (Printf.sprintf "superblock: %s" (Frame.error_to_string e))
   | Ok ({ Frame.kind = Record; _ }, _) -> Error "superblock: first frame is a record frame"
+  | Ok ({ Frame.kind = Hello | Task | Result | Heartbeat | Shutdown; _ }, _) ->
+      (* Wire-only kinds are never valid in a journal file. *)
+      Error "superblock: first frame is a wire frame, not a superblock"
   | Ok ({ Frame.kind = Superblock; payload; _ }, first) -> (
       match decode_context payload with
       | Error e -> Error (Printf.sprintf "superblock: %s" e)
@@ -239,7 +249,9 @@ let scan data =
             else
               match Frame.decode data ~pos with
               | Error _ -> pos (* torn tail: valid prefix ends here *)
-              | Ok ({ Frame.kind = Superblock; _ }, _) -> pos (* corruption: stop *)
+              | Ok ({ Frame.kind = Superblock | Hello | Task | Result | Heartbeat | Shutdown; _ }, _)
+                ->
+                  pos (* corruption: only record frames may follow the superblock *)
               | Ok ({ Frame.kind = Record; key; payload; _ }, next) -> (
                   match decode_payload payload with
                   | Error _ -> pos
@@ -333,7 +345,24 @@ let close t =
    key in file order, dropping duplicate frames and any torn tail, then
    atomically renames over the original.  Because the encoding is
    canonical, a journal with no duplicates and no tail compacts to
-   byte-identical contents. *)
+   byte-identical contents.
+
+   Durability of the rename: the tmp file is fsynced before the rename
+   (so the new contents are on disk before the directory entry can
+   point at them), and the containing directory is fsynced after it —
+   without the directory fsync, a crash right after compact could
+   replay the rename away and resurrect the pre-compaction journal
+   (docs/JOURNAL_FORMAT.md, 'Durability contract'). *)
+
+let fsync_dir_of path =
+  (* Directory fsync is advisory on filesystems that reject it (EINVAL
+     on some); failing to harden the rename must not fail the compact. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 let compact ~path () =
   match open_ ~path () with
@@ -346,10 +375,12 @@ let compact ~path () =
          output_string oc (encode_superblock t.ctx);
          iter t (fun key entry -> output_string oc (encode_entry ~key entry));
          flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc);
          close_out oc
        with e ->
          close_out_noerr oc;
          (try Sys.remove tmp with Sys_error _ -> ());
          raise e);
       Sys.rename tmp path;
+      fsync_dir_of path;
       Ok (count t, stats)

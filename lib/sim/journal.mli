@@ -110,7 +110,9 @@ val compact : path:string -> unit -> (int * stats, string) result
     then atomically rename over the original.  Returns the surviving
     record count and the recovery stats of the pre-compaction scan.
     Canonical encoding means an already-clean journal compacts to
-    byte-identical contents. *)
+    byte-identical contents.  The replacement is fsynced before the
+    rename and the containing directory after it, so a crash straight
+    after a successful compact cannot resurrect the old journal. *)
 
 (** {1 Codec}
 
@@ -124,6 +126,16 @@ val encode_entry : key:int -> entry -> string
 (** The full record frame (header, payload, CRC) for [entry] under
     [key].  Raises [Invalid_argument] when a field exceeds its spec'd
     width (counts 32 bits, volumes 40 bits, verdict ≤ 65535 bytes). *)
+
+val entry_payload : entry -> Bitstring.Bitbuf.t
+(** The bare record payload bits of {!encode_entry} — what a worker's
+    [Result] wire frame carries ({!Worker}); [decode_payload] inverts
+    it. *)
+
+val context_payload : context -> Bitstring.Bitbuf.t
+(** The bare superblock payload bits of {!encode_superblock} — what the
+    supervisor's config [Hello] wire frame carries; [decode_context]
+    inverts it. *)
 
 val decode_payload : Bitstring.Bitbuf.t -> (entry, string) result
 (** Decode a record frame's payload bits; rejects payloads whose length

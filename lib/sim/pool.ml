@@ -117,7 +117,10 @@ let run_batch t ~run ~total =
 
 let map_local t ~local f total =
   if total < 0 then invalid_arg "Pool.map: negative task count";
-  let results = Array.make total (Error (Failure "Pool.map: slot never written")) in
+  let results =
+    Array.make total
+      (Error (Failure "Pool.map: slot never written", Printexc.get_callstack 0))
+  in
   (* One lazily-created local value per worker slot.  Slot [w] is only
      ever read or written by the domain acting as worker [w], so the
      array needs no synchronization. *)
@@ -131,7 +134,10 @@ let map_local t ~local f total =
         locals.(worker) <- Some w;
         w
     in
-    results.(i) <- (try Ok (f w i) with e -> Error e)
+    (* Capture the backtrace at the raise site, on the worker domain:
+       the submitting domain re-raises (or reports) with it, so a
+       failing task says where it died, not where it was joined. *)
+    results.(i) <- (try Ok (f w i) with e -> Error (e, Printexc.get_raw_backtrace ()))
   in
   run_batch t ~run ~total;
   results

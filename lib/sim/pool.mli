@@ -21,16 +21,23 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** The worker count the pool was created with (after clamping). *)
 
-val map : t -> (int -> 'a) -> int -> ('a, exn) result array
+val map : t -> (int -> 'a) -> int -> ('a, exn * Printexc.raw_backtrace) result array
 (** [map pool f total] evaluates [f i] for every [i] in [0 .. total - 1]
     across the pool's workers and returns the results in index order.  A
-    task that raises has its exception captured in its own slot; the
-    remaining tasks still run.  Tasks must not depend on execution order.
-    Raises [Invalid_argument] when called from inside a running task
-    (nested batches would deadlock a fixed-size pool), or after
-    {!shutdown}. *)
+    task that raises has its exception captured in its own slot together
+    with the backtrace from the raise site (captured on the worker
+    domain, so re-raising with [Printexc.raise_with_backtrace] on the
+    submitting domain points at the task, not the join); the remaining
+    tasks still run.  Tasks must not depend on execution order.  Raises
+    [Invalid_argument] when called from inside a running task (nested
+    batches would deadlock a fixed-size pool), or after {!shutdown}. *)
 
-val map_local : t -> local:(unit -> 'w) -> ('w -> int -> 'a) -> int -> ('a, exn) result array
+val map_local :
+  t ->
+  local:(unit -> 'w) ->
+  ('w -> int -> 'a) ->
+  int ->
+  ('a, exn * Printexc.raw_backtrace) result array
 (** [map_local pool ~local f total] is {!map} with per-worker mutable
     state: each worker slot lazily creates one ['w] value with [local ()]
     on its first task and passes it to every subsequent task it runs.

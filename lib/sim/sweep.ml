@@ -221,11 +221,20 @@ module Cache = struct
   let misses c = c.misses
 end
 
+(* A task failure as one printable string: the exception, plus the
+   raise-site backtrace when the runtime recorded one (it is captured on
+   the worker domain, so it points at the task body, not the join). *)
+let error_string e bt =
+  let msg = Printexc.to_string e in
+  match String.trim (Printexc.raw_backtrace_to_string bt) with
+  | "" -> msg
+  | b -> msg ^ "\n" ^ b
+
 let map ?jobs ~local ~f tasks =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   Pool.with_pool ~jobs (fun pool ->
       Pool.map_local pool ~local (fun w i -> f w i tasks.(i)) (Array.length tasks))
-  |> Array.map (function Ok v -> Ok v | Error e -> Error (Printexc.to_string e))
+  |> Array.map (function Ok v -> Ok v | Error (e, bt) -> Error (error_string e bt))
 
 let run ?jobs ~local ~f grid =
   map ?jobs ~local ~f:(fun w _i p -> f w p) (points grid)
@@ -252,9 +261,14 @@ type journal_stats = {
 
 let default_chunk = 64
 
-let map_journaled ?jobs ?journal ?(chunk = default_chunk) ?on_append ~key ~local ~f ~emit tasks
-    =
-  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+(* The executor-agnostic core: [run idx] must evaluate the tasks at
+   indices [idx] (a slice of the canonical to-do order) and return an
+   index-aligned result array.  The pool path and the distributed
+   dispatch path both plug in here; everything that makes the journal
+   and the emitted rows deterministic — key validation, replay, chunked
+   canonical-order appends from this domain, one ordered emission pass —
+   lives below and is shared by both. *)
+let map_journaled_via ?journal ?(chunk = default_chunk) ?on_append ~key ~run ~emit tasks =
   if chunk < 1 then invalid_arg "Sweep.map_journaled: chunk < 1";
   let total = Array.length tasks in
   let keys = Array.map key tasks in
@@ -299,39 +313,34 @@ let map_journaled ?jobs ?journal ?(chunk = default_chunk) ?on_append ~key ~local
     let todo = Array.of_list !todo in
     let failed = ref [] in
     let executed = ref 0 in
-    Pool.with_pool ~jobs (fun pool ->
-        let remaining = Array.length todo in
-        let start = ref 0 in
-        while !start < remaining do
-          let stop = min remaining (!start + chunk) in
-          let base = !start in
-          let chunk_results =
-            Pool.map_local pool ~local
-              (fun w ci ->
-                let i = todo.(base + ci) in
-                f w i tasks.(i))
-              (stop - base)
-          in
-          (* Post-join, canonical order, submitting domain: the only
-             writer the journal ever sees. *)
-          Array.iteri
-            (fun ci result ->
-              let i = todo.(base + ci) in
-              match result with
-              | Error e -> failed := (i, Printexc.to_string e) :: !failed
-              | Ok entry ->
-                results.(i) <- Some entry;
-                incr executed;
-                (match opened with
-                | None -> ()
-                | Some (j, _) ->
-                  Journal.append j ~key:keys.(i) entry;
-                  (match on_append with
-                  | Some hook -> hook (Journal.appended j)
-                  | None -> ())))
-            chunk_results;
-          start := stop
-        done);
+    let remaining = Array.length todo in
+    let start = ref 0 in
+    while !start < remaining do
+      let stop = min remaining (!start + chunk) in
+      let idx = Array.sub todo !start (stop - !start) in
+      let chunk_results = run idx in
+      if Array.length chunk_results <> Array.length idx then
+        invalid_arg "Sweep.map_journaled: run returned a misaligned result array";
+      (* Post-join, canonical order, submitting domain: the only
+         writer the journal ever sees. *)
+      Array.iteri
+        (fun ci result ->
+          let i = idx.(ci) in
+          match result with
+          | Error msg -> failed := (i, msg) :: !failed
+          | Ok entry ->
+            results.(i) <- Some entry;
+            incr executed;
+            (match opened with
+            | None -> ()
+            | Some (j, _) ->
+              Journal.append j ~key:keys.(i) entry;
+              (match on_append with
+              | Some hook -> hook (Journal.appended j)
+              | None -> ())))
+        chunk_results;
+      start := stop
+    done;
     (match opened with None -> () | Some (j, _) -> Journal.close j);
     Array.iteri
       (fun i result -> match result with Some entry -> emit i tasks.(i) entry | None -> ())
@@ -344,6 +353,19 @@ let map_journaled ?jobs ?journal ?(chunk = default_chunk) ?on_append ~key ~local
         failed = List.rev !failed;
         recovery = (match opened with Some (_, r) -> Some r | None -> None);
       }
+
+let map_journaled ?jobs ?journal ?chunk ?on_append ~key ~local ~f ~emit tasks =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  Pool.with_pool ~jobs (fun pool ->
+      let run idx =
+        Pool.map_local pool ~local
+          (fun w ci ->
+            let i = idx.(ci) in
+            f w i tasks.(i))
+          (Array.length idx)
+        |> Array.map (function Ok v -> Ok v | Error (e, bt) -> Error (error_string e bt))
+      in
+      map_journaled_via ?journal ?chunk ?on_append ~key ~run ~emit tasks)
 
 let run_journaled ?jobs ?journal ?(context = "") ?chunk ?on_append ~local ~f ~emit grid =
   let journal =

@@ -101,8 +101,9 @@ val map :
   ?jobs:int -> local:(unit -> 'w) -> f:('w -> int -> 't -> 'a) -> 't array -> ('a, string) result array
 (** [map ~local ~f tasks] runs [f worker_state index task] for each task
     across a fresh pool of [jobs] workers (default {!Pool.default_jobs})
-    and returns results in task order.  A raising task yields [Error]
-    ([Printexc.to_string]) in its slot; the rest complete. *)
+    and returns results in task order.  A raising task yields [Error] in
+    its slot — the exception text plus the raise-site backtrace when the
+    runtime recorded one; the rest complete. *)
 
 val run :
   ?jobs:int -> local:(unit -> 'w) -> f:('w -> point -> 'a) -> grid -> ('a, string) result array
@@ -136,6 +137,27 @@ type journal_stats = {
 val default_chunk : int
 (** [64] — the append granularity (tasks per chunk), deliberately
     independent of the job count. *)
+
+val map_journaled_via :
+  ?journal:string * Journal.context ->
+  ?chunk:int ->
+  ?on_append:(int -> unit) ->
+  key:('t -> int) ->
+  run:(int array -> (Journal.entry, string) result array) ->
+  emit:(int -> 't -> Journal.entry -> unit) ->
+  't array ->
+  (journal_stats, string) result
+(** The executor-agnostic core behind {!map_journaled}.  [run idx] must
+    evaluate the tasks at indices [idx] — a slice of the canonical
+    to-do order, at most [chunk] long — and return an index-aligned
+    array of entries or failure strings; how it does so (domain pool,
+    subprocess workers via {!Dispatch}, inline) is its business, as long
+    as each entry is a pure function of its task.  Everything that makes
+    the journal and the emitted rows deterministic lives here: key
+    validation, replay-index skipping, chunked canonical-order appends
+    from the calling domain, and the single ordered emission pass.
+    Raises [Invalid_argument] when [run] returns an array of the wrong
+    length. *)
 
 val map_journaled :
   ?jobs:int ->

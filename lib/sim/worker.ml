@@ -1,0 +1,266 @@
+(* The worker half of the distributed sweep protocol.  A worker is a
+   subprocess (spawned by Dispatch, entered via the hidden [oraclesize
+   worker] subcommand) that speaks length-prefixed, CRC-checked
+   Bitstring.Frame frames over two pipes: stdin carries supervisor →
+   worker traffic (config Hello, Task batches, Shutdown), stdout carries
+   worker → supervisor traffic (announce Hello, Heartbeats, Results).
+   stderr is the worker's free-form log and never carries frames.
+
+   Failure model: crash-stop.  A worker that dies, hangs past the
+   heartbeat deadline, or emits a single malformed frame is written off
+   wholesale by the supervisor — there is no rejoin, no per-frame
+   retransmission.  That is why the codec below can afford to be
+   unforgiving: any parse failure is an Error, and Dispatch's reaction
+   to an Error is to kill the worker and reassign its batch.
+
+   Determinism: a Result's payload is a pure function of the task index
+   (the [exec]-built closure derives everything from grid coordinates),
+   so which worker computed it, and when, is invisible to the journal
+   and the emitted rows. *)
+
+module Frame = Bitstring.Frame
+module Bitbuf = Bitstring.Bitbuf
+
+let wire_version = 1
+
+type msg =
+  | Hello of { worker : int; wire_version : int }
+  | Config of Journal.context
+  | Task_batch of { seq : int; indices : int array }
+  | Result of { index : int; result : (Journal.entry, string) result }
+  | Heartbeat of { worker : int; count : int }
+  | Shutdown
+
+(* {1 Codec}
+
+   Field widths are part of the wire contract (DESIGN.md §13):
+   - announce Hello: key = worker id, payload = 8-bit wire version;
+   - config Hello: key = 0, payload = a journal superblock payload
+     (Journal.context_payload) — ≥ 32 bits, so payload length alone
+     distinguishes the two Hello shapes;
+   - Task: key = batch sequence number, payload = 16-bit count then
+     [count] 32-bit task indices;
+   - Result: key = task index, payload = 1 ok bit, then either a record
+     payload (Journal.entry_payload) or a 16-bit byte length plus error
+     bytes;
+   - Heartbeat: key = worker id, payload = 32-bit tasks-completed count;
+   - Shutdown: key = 0, empty payload. *)
+
+let frame kind key payload = { Frame.kind; version = Frame.current_version; key; payload }
+
+let frame_of_msg = function
+  | Hello { worker; wire_version = v } ->
+    let b = Bitbuf.create ~capacity:8 () in
+    Bitbuf.add_int b ~width:8 v;
+    frame Frame.Hello worker b
+  | Config ctx -> frame Frame.Hello 0 (Journal.context_payload ctx)
+  | Task_batch { seq; indices } ->
+    if Array.length indices > 0xffff then invalid_arg "Worker.encode: batch too large";
+    let b = Bitbuf.create ~capacity:(16 + (32 * Array.length indices)) () in
+    Bitbuf.add_int b ~width:16 (Array.length indices);
+    Array.iter (fun i -> Bitbuf.add_int b ~width:32 i) indices;
+    frame Frame.Task seq b
+  | Result { index; result } ->
+    let b = Bitbuf.create () in
+    (match result with
+    | Ok entry ->
+      Bitbuf.add_bit b true;
+      Bitbuf.append b (Journal.entry_payload entry)
+    | Error msg ->
+      let msg =
+        if String.length msg > 0xffff then String.sub msg 0 0xffff else msg
+      in
+      Bitbuf.add_bit b false;
+      Bitbuf.add_int b ~width:16 (String.length msg);
+      String.iter (fun c -> Bitbuf.add_int b ~width:8 (Char.code c)) msg);
+    frame Frame.Result index b
+  | Heartbeat { worker; count } ->
+    let b = Bitbuf.create ~capacity:32 () in
+    Bitbuf.add_int b ~width:32 (count land 0xffffffff);
+    frame Frame.Heartbeat worker b
+  | Shutdown -> frame Frame.Shutdown 0 (Bitbuf.create ())
+
+let encode msg = Frame.encode (frame_of_msg msg)
+
+let parse (f : Frame.t) =
+  let bits = Bitbuf.length f.payload in
+  match f.kind with
+  | Frame.Hello ->
+    if bits = 8 then
+      let r = Bitbuf.reader f.payload in
+      Ok (Hello { worker = f.key; wire_version = Bitbuf.read_int r ~width:8 })
+    else (
+      match Journal.decode_context f.payload with
+      | Ok ctx -> Ok (Config ctx)
+      | Error e -> Error (Printf.sprintf "config hello: %s" e))
+  | Frame.Task ->
+    let r = Bitbuf.reader f.payload in
+    if bits < 16 then Error "task batch: payload shorter than the count field"
+    else
+      let count = Bitbuf.read_int r ~width:16 in
+      if bits <> 16 + (32 * count) then
+        Error
+          (Printf.sprintf "task batch: %d indices need %d payload bits, frame has %d" count
+             (16 + (32 * count)) bits)
+      else Ok (Task_batch { seq = f.key; indices = Array.init count (fun _ -> Bitbuf.read_int r ~width:32) })
+  | Frame.Result ->
+    if bits < 1 then Error "result: empty payload"
+    else
+      let r = Bitbuf.reader f.payload in
+      if Bitbuf.read_bit r then begin
+        (* Re-pack the remaining bits so Journal.decode_payload sees a
+           payload of exactly the record's length. *)
+        let rest = Bitbuf.create ~capacity:(bits - 1) () in
+        while not (Bitbuf.at_end r) do
+          Bitbuf.add_bit rest (Bitbuf.read_bit r)
+        done;
+        match Journal.decode_payload rest with
+        | Ok entry -> Ok (Result { index = f.key; result = Ok entry })
+        | Error e -> Error (Printf.sprintf "result: %s" e)
+      end
+      else if bits < 17 then Error "result: error payload shorter than its length field"
+      else
+        let len = Bitbuf.read_int r ~width:16 in
+        if bits <> 17 + (8 * len) then Error "result: error length disagrees with payload"
+        else
+          let msg = String.init len (fun _ -> Char.chr (Bitbuf.read_int r ~width:8)) in
+          Ok (Result { index = f.key; result = Error msg })
+  | Frame.Heartbeat ->
+    if bits <> 32 then Error "heartbeat: payload is not 32 bits"
+    else
+      let r = Bitbuf.reader f.payload in
+      Ok (Heartbeat { worker = f.key; count = Bitbuf.read_int r ~width:32 })
+  | Frame.Shutdown ->
+    if bits <> 0 then Error "shutdown: nonempty payload" else Ok Shutdown
+  | Frame.Superblock | Frame.Record -> Error "journal frame on the wire"
+
+(* {1 Incremental frame reader}
+
+   Pipes deliver bytes, not frames: a read can end mid-header, mid-
+   payload, or with three frames and a half in one gulp.  Rx buffers
+   fed bytes and peels complete frames off the front; Truncated means
+   "feed me more", every other decode error is fatal for the stream
+   (crash-stop: one bad byte writes the peer off). *)
+
+module Rx = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let pending t = t.len
+
+  let feed t src n =
+    if n < 0 || n > Bytes.length src then invalid_arg "Worker.Rx.feed";
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (2 * Bytes.length t.buf) in
+      while t.len + n > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    Bytes.blit src 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let next t =
+    if t.len = 0 then Ok None
+    else
+      match Frame.decode (Bytes.sub_string t.buf 0 t.len) ~pos:0 with
+      | Error (Frame.Truncated _) -> Ok None
+      | Error e -> Error (Frame.error_to_string e)
+      | Ok (f, consumed) ->
+        Bytes.blit t.buf consumed t.buf 0 (t.len - consumed);
+        t.len <- t.len - consumed;
+        Ok (Some f)
+end
+
+(* {1 Blocking I/O helpers} *)
+
+let rec write_all fd b pos len =
+  if len > 0 then
+    match Unix.write fd b pos len with
+    | n -> write_all fd b (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+
+let rec read_some fd b =
+  match Unix.read fd b 0 (Bytes.length b) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd b
+
+(* {1 The serve loop} *)
+
+exception Protocol of string
+
+let serve ~id ?(chaos = fun ~completed:_ -> `Continue) ~exec ~input ~output () =
+  (* A dying supervisor must not take the worker down with SIGPIPE;
+     EPIPE from write is the signal to leave quietly. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let send msg =
+    let s = encode msg in
+    write_all output (Bytes.unsafe_of_string s) 0 (String.length s)
+  in
+  let rx = Rx.create () in
+  let rbuf = Bytes.create 65536 in
+  (* Next complete message, blocking; None on supervisor EOF. *)
+  let rec recv () =
+    match Rx.next rx with
+    | Error e -> raise (Protocol ("malformed frame from supervisor: " ^ e))
+    | Ok (Some f) -> (
+      match parse f with
+      | Ok m -> Some m
+      | Error e -> raise (Protocol ("unparseable frame from supervisor: " ^ e)))
+    | Ok None ->
+      let n = read_some input rbuf in
+      if n = 0 then None
+      else begin
+        Rx.feed rx rbuf n;
+        recv ()
+      end
+  in
+  try
+    send (Hello { worker = id; wire_version });
+    match recv () with
+    | None -> 0 (* supervisor went away before configuring us *)
+    | Some (Config ctx) -> (
+      match exec ctx with
+      | Error e ->
+        Printf.eprintf "worker %d: cannot build executor: %s\n%!" id e;
+        3
+      | Ok run_task ->
+        let completed = ref 0 in
+        let rec loop () =
+          match recv () with
+          | None | Some Shutdown -> 0
+          | Some (Task_batch { seq = _; indices }) ->
+            Array.iter
+              (fun i ->
+                (match chaos ~completed:!completed with
+                | `Continue -> ()
+                | `Kill ->
+                  (* Crash-stop: no flush, no at_exit — the closest a
+                     cooperative process gets to SIGKILLing itself. *)
+                  Unix._exit 137
+                | `Hang ->
+                  while true do
+                    Unix.sleep 3600
+                  done
+                | `Garbage g ->
+                  write_all output (Bytes.of_string g) 0 (String.length g);
+                  Unix._exit 98);
+                send (Heartbeat { worker = id; count = !completed });
+                send (Result { index = i; result = run_task i });
+                incr completed)
+              indices;
+            loop ()
+          | Some _ -> raise (Protocol "unexpected message kind from supervisor")
+        in
+        loop ())
+    | Some _ -> raise (Protocol "first message was not a config hello")
+  with
+  | Protocol e ->
+    Printf.eprintf "worker %d: %s\n%!" id e;
+    2
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    (* Supervisor is gone; nothing left to report to. *)
+    1

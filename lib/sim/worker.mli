@@ -1,0 +1,95 @@
+(** The worker half of the distributed sweep protocol.
+
+    A worker subprocess speaks {!Bitstring.Frame} frames over two pipes
+    — supervisor→worker on [input] (config, task batches, shutdown),
+    worker→supervisor on [output] (announce, heartbeats, results) — and
+    executes tasks handed to it by {!Dispatch}.  The failure model is
+    crash-stop: a worker that dies, hangs, or emits one malformed frame
+    is discarded wholesale and its in-flight batch reassigned; nothing
+    here retransmits or rejoins.  Results are pure functions of task
+    indices, so worker identity and timing are invisible in sweep
+    output — the property the chaos determinism tests pin.
+
+    Wire layout (field widths normative, see DESIGN.md §13): announce
+    [Hello] carries the worker id in the frame key and an 8-bit wire
+    version; config [Hello] carries a {!Journal.context_payload}; [Task]
+    frames key the batch sequence number over a 16-bit count plus 32-bit
+    indices; [Result] frames key the task index over one ok bit plus
+    either a {!Journal.entry_payload} or a length-prefixed error string;
+    [Heartbeat] carries a 32-bit completed-task count; [Shutdown] is
+    empty. *)
+
+val wire_version : int
+(** The protocol version an announce [Hello] carries: [1].  A supervisor
+    refuses workers announcing anything else. *)
+
+type msg =
+  | Hello of { worker : int; wire_version : int }
+      (** worker→supervisor: first frame after spawn *)
+  | Config of Journal.context
+      (** supervisor→worker: the grid spec and extra context the worker
+          must build its executor from *)
+  | Task_batch of { seq : int; indices : int array }
+      (** supervisor→worker: run these canonical task indices, in order *)
+  | Result of { index : int; result : (Journal.entry, string) result }
+      (** worker→supervisor: one task's outcome *)
+  | Heartbeat of { worker : int; count : int }
+      (** worker→supervisor: liveness beacon, sent before each task *)
+  | Shutdown  (** supervisor→worker: finish up and exit 0 *)
+
+val encode : msg -> string
+(** The message's on-wire bytes — a single {!Bitstring.Frame}. *)
+
+val parse : Bitstring.Frame.t -> (msg, string) result
+(** Interpret a decoded frame as a protocol message.  Total: every
+    malformed payload (and any journal-kind frame) maps to [Error],
+    which a crash-stop peer treats as the sender being dead. *)
+
+(** Incremental frame reassembly over a byte stream.  Pipes deliver
+    bytes, not frames; [Rx] buffers fed bytes and peels complete frames
+    off the front. *)
+module Rx : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Bytes.t -> int -> unit
+  (** [feed rx buf n] appends the first [n] bytes of [buf]. *)
+
+  val next : t -> (Bitstring.Frame.t option, string) result
+  (** The next complete frame, if any.  [Ok None] means the buffered
+      bytes are a (possibly empty) prefix of a frame — feed more.  Any
+      decode failure other than truncation is [Error]: the stream is
+      unrecoverable and the peer should be written off. *)
+
+  val pending : t -> int
+  (** Buffered bytes not yet consumed by {!next}. *)
+end
+
+val write_all : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** [write_all fd buf pos len] writes the whole range, restarting on
+    partial writes and [EINTR].  Shared with {!Dispatch}; raises the
+    underlying [Unix.Unix_error] (notably [EPIPE]) on failure. *)
+
+val serve :
+  id:int ->
+  ?chaos:(completed:int -> [ `Continue | `Kill | `Hang | `Garbage of string ]) ->
+  exec:(Journal.context -> (int -> (Journal.entry, string) result, string) result) ->
+  input:Unix.file_descr ->
+  output:Unix.file_descr ->
+  unit ->
+  int
+(** [serve ~id ~exec ~input ~output ()] runs the worker loop and returns
+    the process exit code: announce, await config, build the task
+    executor with [exec] (its failure is exit code 3, reported on
+    stderr), then heartbeat-execute-respond through task batches until
+    [Shutdown] or supervisor EOF (exit 0).  Malformed supervisor traffic
+    is exit 2; a vanished supervisor (EPIPE) exit 1.
+
+    [chaos] is the deterministic fault-injection hook, consulted before
+    every task with the count of tasks this worker has completed:
+    [`Kill] exits abruptly via [Unix._exit] (no flush — a simulated
+    crash), [`Hang] sleeps forever so the supervisor's heartbeat
+    deadline must fire, [`Garbage s] writes the raw bytes [s] mid-stream
+    and exits.  {!Fault.Chaos} compiles [--chaos] specs into this
+    hook. *)

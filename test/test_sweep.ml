@@ -24,7 +24,8 @@ let test_pool_map_order () =
         (fun i r ->
           match r with
           | Ok v -> check_int (Printf.sprintf "jobs=%d slot %d" jobs i) expected.(i) v
-          | Error e -> Alcotest.failf "jobs=%d slot %d raised %s" jobs i (Printexc.to_string e))
+          | Error (e, _) ->
+            Alcotest.failf "jobs=%d slot %d raised %s" jobs i (Printexc.to_string e))
         results)
     [ 1; 4 ]
 
@@ -36,11 +37,11 @@ let test_pool_error_isolation () =
       Array.iteri
         (fun i r ->
           match (i, r) with
-          | 5, Error (Failure msg) -> check_string "captured exception" "task five dies" msg
+          | 5, Error (Failure msg, _) -> check_string "captured exception" "task five dies" msg
           | 5, Ok _ -> Alcotest.fail "raising task reported Ok"
-          | 5, Error e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+          | 5, Error (e, _) -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
           | _, Ok v -> check_int (Printf.sprintf "slot %d" i) (i + 1) v
-          | _, Error e -> Alcotest.failf "slot %d raised %s" i (Printexc.to_string e))
+          | _, Error (e, _) -> Alcotest.failf "slot %d raised %s" i (Printexc.to_string e))
         results;
       (* The pool survives the raising batch: the next map is clean. *)
       let again = Sim.Pool.map p (fun i -> 2 * i) 8 in
@@ -48,7 +49,7 @@ let test_pool_error_isolation () =
         (fun i r ->
           match r with
           | Ok v -> check_int (Printf.sprintf "second batch slot %d" i) (2 * i) v
-          | Error e -> Alcotest.failf "second batch raised %s" (Printexc.to_string e))
+          | Error (e, _) -> Alcotest.failf "second batch raised %s" (Printexc.to_string e))
         again)
 
 let test_pool_rejects_nesting () =
@@ -59,8 +60,8 @@ let test_pool_rejects_nesting () =
           4
       in
       match results.(0) with
-      | Error (Invalid_argument _) -> ()
-      | Error e -> Alcotest.failf "expected Invalid_argument, got %s" (Printexc.to_string e)
+      | Error (Invalid_argument _, _) -> ()
+      | Error (e, _) -> Alcotest.failf "expected Invalid_argument, got %s" (Printexc.to_string e)
       | Ok _ -> Alcotest.fail "nested map did not raise")
 
 let test_pool_map_local_caches () =
@@ -77,7 +78,7 @@ let test_pool_map_local_caches () =
     (fun i r ->
       match r with
       | Ok v -> check_int (Printf.sprintf "slot %d" i) (i mod 3) v
-      | Error e -> Alcotest.failf "slot %d raised %s" i (Printexc.to_string e))
+      | Error (e, _) -> Alcotest.failf "slot %d raised %s" i (Printexc.to_string e))
     results
 
 (* {1 Seeds} *)
