@@ -107,6 +107,56 @@ let jobs_conv =
   in
   Arg.conv (parse, Format.pp_print_int)
 
+(* The same edge-validation stance for the distributed-sweep knobs:
+   nonsense values are Cmdliner parse errors (exit 124) with the
+   offending text, caught before any worker is spawned or socket
+   bound, not deep inside Dispatch. *)
+let positive_float_conv what =
+  let parse s =
+    match float_of_string_opt (String.trim s) with
+    | Some v when v > 0. && Float.is_finite v -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be positive, got %g" what v))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s %S (expected a positive number)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let batch_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some b when b >= 1 -> Ok b
+    | Some b -> Error (`Msg (Printf.sprintf "batch size must be at least 1, got %d" b))
+    | None -> Error (`Msg (Printf.sprintf "invalid batch size %S (expected a positive integer)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let port_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some p when p >= 1 && p <= 0xffff -> Ok p
+    | Some p -> Error (`Msg (Printf.sprintf "port must be in 1..65535, got %d" p))
+    | None -> Error (`Msg (Printf.sprintf "invalid port %S (expected an integer in 1..65535)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let token_conv =
+  let parse s =
+    if s = "" then Error (`Msg "token must not be empty")
+    else if String.length s > Sim.Worker.max_auth_bytes then
+      Error (`Msg (Printf.sprintf "token longer than %d bytes" Sim.Worker.max_auth_bytes))
+    else Ok s
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let count_conv what =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%s must be non-negative, got %d" what v))
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid %s %S (expected a non-negative integer)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
@@ -850,19 +900,62 @@ let sweep_cmd =
   let heartbeat_timeout_arg =
     Arg.(
       value
-      & opt float Sim.Dispatch.default_heartbeat_timeout
+      & opt (positive_float_conv "heartbeat timeout") Sim.Dispatch.default_heartbeat_timeout
       & info [ "heartbeat-timeout" ] ~docv:"SECS"
           ~doc:
             "Declare a worker crashed after $(docv) seconds of silence.  Workers beat \
              before each task, so this bounds one task's compute time, not a whole \
-             batch's.")
+             batch's.  Over TCP this is also the partition detector: a peer silent past \
+             the deadline is condemned and its tasks reassigned, while a merely slow link \
+             that still beats in time costs nothing.")
   in
   let batch_arg =
     Arg.(
       value
-      & opt int Sim.Dispatch.default_batch
+      & opt batch_conv Sim.Dispatch.default_batch
       & info [ "batch" ] ~docv:"N"
           ~doc:"Task indices per worker batch (work-stealing granularity).")
+  in
+  let backoff_cap_arg =
+    Arg.(
+      value
+      & opt (positive_float_conv "backoff cap") Sim.Dispatch.default_backoff_cap
+      & info [ "backoff-cap" ] ~docv:"SECS"
+          ~doc:
+            "Ceiling on the exponential backoff applied when a dead worker's batch is \
+             requeued (the delay is min($(docv), 0.05·2^(attempt−1)) seconds).")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some port_conv) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "Accept remote workers on TCP $(docv) alongside (or instead of) $(b,--workers) \
+             subprocesses.  Start them with $(b,oraclesize worker --connect HOST:PORT); \
+             peers must present the same $(b,--token).  Output bytes are identical at any \
+             local/remote mix, under partitions, and across worker rejoins.")
+  in
+  let token_arg =
+    Arg.(
+      value
+      & opt (some token_conv) None
+      & info [ "token" ] ~docv:"SECRET"
+          ~doc:
+            "Shared-secret authentication token for $(b,--listen).  A connecting worker \
+             whose hello does not carry exactly this token is disconnected before any \
+             sweep state is sent to it.  Default: empty (only workers announcing an empty \
+             token are accepted).")
+  in
+  let expect_remote_arg =
+    Arg.(
+      value
+      & opt (count_conv "remote worker count") 0
+      & info [ "expect-remote" ] ~docv:"N"
+          ~doc:
+            "Hold the handshake barrier until $(docv) remote workers have joined (or a \
+             grace of 3× the heartbeat timeout expires), so chaos fault placement is \
+             reproducible across the remote fleet.  Requires $(b,--listen).")
   in
   let worker_logs_arg =
     Arg.(
@@ -883,7 +976,7 @@ let sweep_cmd =
      as long as every point executed (2 on a bad spec or unusable
      journal, 1 if a point raised). *)
   let run grid out journal crash_after protect retry jobs workers chaos heartbeat_timeout
-      batch worker_logs =
+      batch backoff_cap listen token expect_remote worker_logs =
     if retry < 0 then begin
       Printf.eprintf "oraclesize: --retry must be non-negative\n";
       exit 2
@@ -897,15 +990,17 @@ let sweep_cmd =
       exit 2
     end;
     if chaos <> None && workers = 0 then begin
-      Printf.eprintf "oraclesize sweep: --chaos requires --workers\n";
+      Printf.eprintf
+        "oraclesize sweep: --chaos requires --workers (remote workers take their own \
+         --chaos on their command line)\n";
       exit 2
     end;
-    if batch < 1 then begin
-      Printf.eprintf "oraclesize sweep: --batch must be at least 1\n";
+    if token <> None && listen = None then begin
+      Printf.eprintf "oraclesize sweep: --token requires --listen\n";
       exit 2
     end;
-    if heartbeat_timeout <= 0.0 then begin
-      Printf.eprintf "oraclesize sweep: --heartbeat-timeout must be positive\n";
+    if expect_remote > 0 && listen = None then begin
+      Printf.eprintf "oraclesize sweep: --expect-remote requires --listen\n";
       exit 2
     end;
     let jobs = resolve_jobs jobs in
@@ -945,12 +1040,13 @@ let sweep_cmd =
     let wall0 = Unix.gettimeofday () in
     let cpu0 = Sys.time () in
     let outcome =
-      if workers = 0 then pool_outcome ()
+      if workers = 0 && listen = None then pool_outcome ()
       else begin
-        (* Distributed path: subprocess workers under Dispatch, the same
-           chunked journaled core via map_journaled_via.  Determinism is
-           untouched — appends and emission stay in canonical order on
-           this process — so bytes match the in-process path exactly. *)
+        (* Distributed path: subprocess and/or remote TCP workers under
+           Dispatch, the same chunked journaled core via
+           map_journaled_via.  Determinism is untouched — appends and
+           emission stay in canonical order on this process — so bytes
+           match the in-process path exactly. *)
         let ctx =
           { Sim.Journal.spec = Sim.Sweep.to_string grid; extra = sweep_context ~protect ~retry }
         in
@@ -970,11 +1066,25 @@ let sweep_cmd =
             Printf.eprintf "oraclesize sweep: cannot create --worker-logs %s: %s\n" dir
               (Unix.error_message e);
             exit 2));
+        let token = Option.value token ~default:"" in
         let command ~id =
           let base = [| Sys.executable_name; "worker"; "--id"; string_of_int id |] in
+          let base =
+            if token = "" then base else Array.append base [| "--token"; token |]
+          in
           match chaos with
           | None -> base
           | Some c -> Array.append base [| "--chaos"; Fault.Chaos.to_string c |]
+        in
+        let listener =
+          Option.map
+            (fun port ->
+              match Sim.Transport.listen ~port () with
+              | Ok l -> l
+              | Error e ->
+                Printf.eprintf "oraclesize sweep: %s\n" e;
+                exit 2)
+            listen
         in
         (* Lazy so the in-process caches are only built if degradation
            actually happens. *)
@@ -987,14 +1097,15 @@ let sweep_cmd =
           | exception e -> Error (Printexc.to_string e)
         in
         let d =
-          Sim.Dispatch.create ~workers ~batch ~heartbeat_timeout ?stderr_dir:worker_logs
+          Sim.Dispatch.create ~workers ~batch ~heartbeat_timeout ~backoff_cap ~token
+            ?listener ~expect_remote ?stderr_dir:worker_logs
             ~log:(fun m -> Printf.eprintf "sweep: %s\n%!" m)
             ~command ~context:ctx ~fallback ()
         in
         Fun.protect
           ~finally:(fun () -> Sim.Dispatch.shutdown d)
           (fun () ->
-            if Sim.Dispatch.live_workers d = 0 then begin
+            if Sim.Dispatch.live_workers d = 0 && listener = None then begin
               Printf.eprintf "sweep: no workers spawned; degrading to the in-process pool\n%!";
               pool_outcome ()
             end
@@ -1010,8 +1121,10 @@ let sweep_cmd =
               in
               let s = Sim.Dispatch.stats d in
               Printf.eprintf
-                "sweep: workers spawned=%d died=%d reassigned-batches=%d inline-tasks=%d\n"
-                s.Sim.Dispatch.spawned s.Sim.Dispatch.died s.Sim.Dispatch.reassigned
+                "sweep: workers spawned=%d connected=%d died=%d auth-failures=%d \
+                 reassigned-batches=%d inline-tasks=%d\n"
+                s.Sim.Dispatch.spawned s.Sim.Dispatch.connected s.Sim.Dispatch.died
+                s.Sim.Dispatch.auth_failures s.Sim.Dispatch.reassigned
                 s.Sim.Dispatch.inline_tasks;
               outcome
             end)
@@ -1065,7 +1178,7 @@ let sweep_cmd =
     Term.(
       const run $ grid_arg $ out_arg $ journal_out_arg $ crash_after_arg $ protect_arg
       $ retry_arg $ jobs_arg $ workers_arg $ chaos_arg $ heartbeat_timeout_arg $ batch_arg
-      $ worker_logs_arg)
+      $ backoff_cap_arg $ listen_arg $ token_arg $ expect_remote_arg $ worker_logs_arg)
 
 (* {1 journal} *)
 
@@ -1241,20 +1354,28 @@ let journal_cmd =
 
 (* {1 worker}
 
-   The hidden subprocess entry point Dispatch spawns: [oraclesize worker
-   --id N [--chaos SPEC]].  Intercepted before Cmdliner so it never
-   shows up in --help — it is not a user-facing command, and its stdin/
-   stdout are protocol pipes, not a terminal.  Everything the worker
-   needs to execute tasks arrives in the config frame: the grid spec and
-   the protect/retry context, i.e. the same Journal.context the sweep's
-   journal superblock carries, so worker and supervisor provably agree
-   on what task index [i] means. *)
+   The worker entry point: [oraclesize worker --id N [--chaos SPEC]
+   [--connect HOST:PORT] [--token SECRET]].  Spawned by Dispatch over
+   pipes, or started by an operator on another machine with --connect.
+   Intercepted before Cmdliner so it never shows up in --help — the
+   pipe mode's stdin/stdout are protocol pipes, not a terminal — but
+   argument validation matches the Cmdliner stance: any bad value is a
+   CLI error, exit 124, diagnosed before a single frame moves.
+   Everything the worker needs to execute tasks arrives in the config
+   frame: the grid spec and the protect/retry context, i.e. the same
+   Journal.context the sweep's journal superblock carries, so worker
+   and supervisor provably agree on what task index [i] means. *)
 let worker_main () =
   let id = ref 0 in
   let chaos = ref Fault.Chaos.none in
-  let usage () =
-    prerr_endline "usage: oraclesize worker --id N [--chaos SPEC]";
-    exit 2
+  let connect = ref None in
+  let token = ref (try Sys.getenv "ORACLE_SIZE_TOKEN" with Not_found -> "") in
+  let usage m =
+    Printf.eprintf
+      "oraclesize worker: %s\nusage: oraclesize worker --id N [--chaos SPEC] [--connect \
+       HOST:PORT] [--token SECRET]\n"
+      m;
+    exit 124
   in
   let rec parse_args i =
     if i < Array.length Sys.argv then
@@ -1264,16 +1385,28 @@ let worker_main () =
         | Some n when n >= 0 ->
           id := n;
           parse_args (i + 2)
-        | _ -> usage ())
+        | _ -> usage (Printf.sprintf "invalid --id %S (expected a non-negative integer)" Sys.argv.(i + 1)))
       | "--chaos" when i + 1 < Array.length Sys.argv -> (
         match Fault.Chaos.of_string Sys.argv.(i + 1) with
         | Ok c ->
           chaos := c;
           parse_args (i + 2)
-        | Error m ->
-          Printf.eprintf "oraclesize worker: %s\n" m;
-          exit 2)
-      | _ -> usage ()
+        | Error m -> usage m)
+      | "--connect" when i + 1 < Array.length Sys.argv -> (
+        match Sim.Transport.parse_hostport Sys.argv.(i + 1) with
+        | Ok hp ->
+          connect := Some hp;
+          parse_args (i + 2)
+        | Error m -> usage m)
+      | "--token" when i + 1 < Array.length Sys.argv ->
+        if Sys.argv.(i + 1) = "" then usage "token must not be empty"
+        else if String.length Sys.argv.(i + 1) > Sim.Worker.max_auth_bytes then
+          usage (Printf.sprintf "token longer than %d bytes" Sim.Worker.max_auth_bytes)
+        else begin
+          token := Sys.argv.(i + 1);
+          parse_args (i + 2)
+        end
+      | a -> usage (Printf.sprintf "unknown or incomplete argument %S" a)
   in
   parse_args 2;
   let exec (ctx : Sim.Journal.context) =
@@ -1296,10 +1429,56 @@ let worker_main () =
           | entry -> Ok entry
           | exception e -> Error (Printexc.to_string e))
   in
-  exit
-    (Sim.Worker.serve ~id:!id
-       ~chaos:(Fault.Chaos.hook !chaos ~worker:!id)
-       ~exec ~input:Unix.stdin ~output:Unix.stdout ())
+  match !connect with
+  | None ->
+    exit
+      (Sim.Worker.serve ~id:!id ~auth:!token
+         ~chaos:(Fault.Chaos.hook !chaos ~worker:!id)
+         ~exec ~input:Unix.stdin ~output:Unix.stdout ())
+  | Some (host, port) ->
+    (* TCP mode: connect, serve, and — because a condemned worker is
+       merely disconnected, not killed — rejoin on connection loss.
+       The chaos hook and completed-task counter persist across
+       sessions, so one worker's chaos schedule (and the network shim
+       its delay/trickle directives arm) spans its rejoins. *)
+    let id = !id in
+    let shim = Sim.Transport.Shim.create () in
+    let hook = Fault.Chaos.hook ~net:shim !chaos ~worker:id in
+    let completed = ref 0 in
+    let max_rejoins = Sim.Dispatch.default_max_rejoin in
+    let rejoins = ref 0 in
+    let rec session ~attempts =
+      match Sim.Transport.connect ~host ~port ~attempts ~retry_delay:0.25 () with
+      | Error e ->
+        Sim.Worker.logf ~id "%s" e;
+        exit 1
+      | Ok fd -> (
+        let io = Sim.Transport.shimmed shim (Sim.Transport.socket_io fd) in
+        let outcome =
+          Sim.Worker.serve_io ~id ~auth:!token ~chaos:hook ~completed ~exec io
+        in
+        io.Sim.Transport.close ();
+        match outcome with
+        | `Exit n -> exit n
+        | `Lost reason ->
+          incr rejoins;
+          if !rejoins > max_rejoins then begin
+            Sim.Worker.logf ~id "rejoin budget exhausted after %d attempts" max_rejoins;
+            exit 4
+          end
+          else begin
+            Sim.Worker.logf ~id "connection lost (%s); rejoining (%d/%d)"
+              (match reason with `Eof -> "EOF" | `Gone -> "write failed or timed out")
+              !rejoins max_rejoins;
+            Unix.sleepf 0.25;
+            (* Rejoin attempts are short: a supervisor that finished or
+               degraded is gone for good, and exiting beats spinning. *)
+            session ~attempts:8
+          end)
+    in
+    (* The first connect is patient — operators routinely start remote
+       workers before the supervisor binds its listener. *)
+    session ~attempts:40
 
 let () =
   if Array.length Sys.argv >= 2 && Sys.argv.(1) = "worker" then worker_main ();

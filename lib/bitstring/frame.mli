@@ -20,7 +20,11 @@
 type kind =
   | Superblock  (** the file-identity frame, first in every journal *)
   | Record  (** one completed grid point *)
-  | Hello  (** wire: worker announce (worker→supervisor) or config (supervisor→worker) *)
+  | Hello
+      (** wire: worker announce (worker→supervisor; carries the wire
+          version and the authentication token) or config
+          (supervisor→worker) — a 1-bit payload tag disambiguates the
+          two shapes (see {!Sim.Worker} and DESIGN.md §13) *)
   | Task  (** wire: a batch of task indices (supervisor→worker) *)
   | Result  (** wire: one completed task (worker→supervisor) *)
   | Heartbeat  (** wire: liveness beacon (worker→supervisor) *)

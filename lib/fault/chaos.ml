@@ -5,17 +5,30 @@
    reproduces the same fault at the same point of the same worker's
    task stream on every run.  That is what lets the CI gate assert
    byte-identical sweep output across chaos schedules: the faults are
-   real (processes die, pipes carry garbage) but their placement is a
-   pure function of the spec.
+   real (processes die, pipes carry garbage, sockets fall silent or
+   dribble bytes) but their placement is a pure function of the spec.
+
+   Two fault families share the grammar.  Process faults (kill, hang,
+   garbage) terminate the worker and are handled inside Worker.serve.
+   Network faults degrade the worker's *transport*: partition falls
+   silent with the connection open (the supervisor must tell a dead
+   peer from a slow link by its heartbeat deadline), delay stalls the
+   next write once, trickle makes every later write go out one byte at
+   a time.  Delay and trickle act through a Sim.Transport.Shim.state
+   threaded into [hook] — on a pipe worker, where there is no shim,
+   they are consumed without effect.  None of the network faults alters
+   stream *content*, so every schedule is byte-identity-preserving by
+   construction.
 
    The spec grammar mirrors Fault_plan's comma-token style, lifted one
-   level: directives are ';'-separated, each "ACTION:worker=N,after=M",
-   plus an optional standalone "seed=N" token for the garbage bytes.
-   Example: "kill:worker=2,after=5;hang:worker=0,after=9". *)
+   level: directives are ';'-separated, each "ACTION:worker=N,after=M"
+   with per-action optional arguments, plus an optional standalone
+   "seed=N" token for the garbage bytes.  Example:
+   "partition:worker=0,after=2,for=1500;trickle:worker=1,after=0". *)
 
-type action = Kill | Hang | Garbage
+type action = Kill | Hang | Garbage | Partition | Delay | Trickle
 
-type directive = { action : action; worker : int; after : int }
+type directive = { action : action; worker : int; after : int; arg : int }
 
 type t = { directives : directive list; seed : int }
 
@@ -23,14 +36,34 @@ let none = { directives = []; seed = 0 }
 
 let is_none t = t.directives = []
 
-let action_name = function Kill -> "kill" | Hang -> "hang" | Garbage -> "garbage"
+(* Default fault arguments, in milliseconds.  A partition must outlast
+   the CI gates' 1-second --heartbeat-timeout to demonstrate
+   condemnation-and-rejoin; a delay must not, so it reads as a slow
+   link. *)
+let default_partition_ms = 3000
+let default_delay_ms = 25
+
+let action_name = function
+  | Kill -> "kill"
+  | Hang -> "hang"
+  | Garbage -> "garbage"
+  | Partition -> "partition"
+  | Delay -> "delay"
+  | Trickle -> "trickle"
 
 let to_string t =
   if is_none t && t.seed = 0 then "none"
   else
     let parts =
       List.map
-        (fun d -> Printf.sprintf "%s:worker=%d,after=%d" (action_name d.action) d.worker d.after)
+        (fun d ->
+          let base =
+            Printf.sprintf "%s:worker=%d,after=%d" (action_name d.action) d.worker d.after
+          in
+          match d.action with
+          | Kill | Hang | Garbage | Trickle -> base
+          | Partition -> Printf.sprintf "%s,for=%d" base d.arg
+          | Delay -> Printf.sprintf "%s,ms=%d" base d.arg)
         t.directives
     in
     let parts = if t.seed <> 0 then parts @ [ Printf.sprintf "seed=%d" t.seed ] else parts in
@@ -61,12 +94,17 @@ let of_string s =
         | "kill" -> Ok Kill
         | "hang" -> Ok Hang
         | "garbage" -> Ok Garbage
-        | _ -> fail "chaos %S: unknown action %S (kill|hang|garbage)" tok name
+        | "partition" -> Ok Partition
+        | "delay" -> Ok Delay
+        | "trickle" -> Ok Trickle
+        | _ ->
+          fail "chaos %S: unknown action %S (kill|hang|garbage|partition|delay|trickle)" tok
+            name
       in
-      let* worker, after =
+      let* worker, after, arg =
         List.fold_left
           (fun acc kv ->
-            let* worker, after = acc in
+            let* worker, after, arg = acc in
             match String.index_opt kv '=' with
             | None -> fail "chaos %S: expected KEY=VALUE, got %S" tok kv
             | Some i -> (
@@ -75,16 +113,30 @@ let of_string s =
               match key with
               | "worker" ->
                 let* w = int_field tok v in
-                Ok (Some w, after)
+                Ok (Some w, after, arg)
               | "after" ->
                 let* a = int_field tok v in
-                Ok (worker, Some a)
+                Ok (worker, Some a, arg)
+              | "for" when action = Partition ->
+                let* ms = int_field tok v in
+                Ok (worker, after, Some ms)
+              | "ms" when action = Delay ->
+                let* ms = int_field tok v in
+                Ok (worker, after, Some ms)
               | _ -> fail "chaos %S: unknown key %S" tok key))
-          (Ok (None, None))
+          (Ok (None, None, None))
           (List.filter (( <> ) "") (List.map String.trim (String.split_on_char ',' args)))
       in
       match (worker, after) with
-      | Some worker, Some after -> Ok { t with directives = t.directives @ [ { action; worker; after } ] }
+      | Some worker, Some after ->
+        let arg =
+          match (action, arg) with
+          | Partition, None -> default_partition_ms
+          | Delay, None -> default_delay_ms
+          | _, None -> 0
+          | _, Some ms -> ms
+        in
+        Ok { t with directives = t.directives @ [ { action; worker; after; arg } ] }
       | None, _ -> fail "chaos %S: missing worker=N" tok
       | _, None -> fail "chaos %S: missing after=N" tok)
   in
@@ -114,13 +166,45 @@ let garbage_bytes t ~worker =
       let b = next_byte () in
       Char.chr (if i = 0 && b = 0x4f then 0x50 else b))
 
-let hook t ~worker =
-  let mine = List.filter (fun d -> d.worker = worker) t.directives in
+(* The hook is stateful: network directives fire once and are consumed
+   (a partition that re-fired on every task after its threshold would
+   never let the worker rejoin), while process directives stay armed —
+   they terminate the worker, so "at most once" is enforced by death
+   itself, and an unconsumed kill must survive a remote worker's
+   rejoin with its persistent completed counter.  Scanning is in spec
+   order, so a due delay/trickle still arms the shim even when a due
+   kill on the same consult ends the worker. *)
+let hook ?net t ~worker =
+  let mine = ref (List.filter (fun d -> d.worker = worker) t.directives) in
   fun ~completed ->
-    match List.find_opt (fun d -> completed >= d.after) mine with
-    | None -> `Continue
-    | Some d -> (
-      match d.action with
-      | Kill -> `Kill
-      | Hang -> `Hang
-      | Garbage -> `Garbage (garbage_bytes t ~worker))
+    let rec scan acc = function
+      | [] ->
+        mine := List.rev acc;
+        `Continue
+      | d :: rest when completed < d.after -> scan (d :: acc) rest
+      | d :: rest -> (
+        match d.action with
+        | Kill ->
+          mine := List.rev_append acc (d :: rest);
+          `Kill
+        | Hang ->
+          mine := List.rev_append acc (d :: rest);
+          `Hang
+        | Garbage ->
+          mine := List.rev_append acc (d :: rest);
+          `Garbage (garbage_bytes t ~worker)
+        | Partition ->
+          mine := List.rev_append acc rest;
+          `Partition (float_of_int d.arg /. 1000.)
+        | Delay ->
+          (match net with
+          | Some (s : Sim.Transport.Shim.state) -> s.delay_s <- float_of_int d.arg /. 1000.
+          | None -> ());
+          scan acc rest
+        | Trickle ->
+          (match net with
+          | Some (s : Sim.Transport.Shim.state) -> s.trickle <- true
+          | None -> ());
+          scan acc rest)
+    in
+    scan [] !mine

@@ -1,27 +1,42 @@
 (** Deterministic chaos schedules for distributed sweep workers.
 
     A chaos spec injects real faults — killed processes, hung loops,
-    garbage bytes on the result pipe — at points determined solely by
-    each worker's completed-task count, never by wall-clock.  The same
-    spec therefore reproduces the same fault at the same place every
-    run, which is what lets the chaos CI gate demand byte-identical
-    sweep output under any schedule.
+    garbage bytes, silent or dribbling sockets — at points determined
+    solely by each worker's completed-task count, never by wall-clock.
+    The same spec therefore reproduces the same fault at the same place
+    every run, which is what lets the chaos CI gates demand
+    byte-identical sweep output under any schedule.
 
-    Grammar: ';'-separated directives, each ["ACTION:worker=N,after=M"]
-    with ACTION one of [kill] (abrupt [_exit], a simulated crash),
-    [hang] (sleep forever, so the supervisor's heartbeat deadline must
-    fire), or [garbage] (write 64 seeded junk bytes mid-stream, then
-    exit); plus an optional standalone ["seed=N"] token feeding the
-    garbage generator.  ["none"] or the empty string is the empty
-    schedule.  Example:
-    ["kill:worker=2,after=5;hang:worker=0,after=9"]. *)
+    Two fault families share the grammar.  {e Process} faults terminate
+    the worker: [kill] (abrupt [_exit], a simulated crash), [hang]
+    (sleep forever, so the supervisor's heartbeat deadline must fire),
+    [garbage] (write 64 seeded junk bytes mid-stream, then exit).
+    {e Network} faults degrade the worker's transport without altering
+    its content: [partition] falls silent for [for=MS] milliseconds
+    (default 3000) with the connection open — the supervisor must tell
+    this dead-looking peer from a slow link by its heartbeat deadline,
+    and over TCP a condemned worker rejoins afterwards; [delay] stalls
+    the worker's next write once by [ms=MS] (default 25); [trickle]
+    makes every subsequent write go out one byte at a time, exercising
+    the supervisor's frame reassembly.  [delay]/[trickle] act through
+    the {!Sim.Transport.Shim.state} passed to {!hook} as [?net]; on a
+    pipe worker (no shim) they are consumed without effect.
 
-type action = Kill | Hang | Garbage
+    Grammar: ';'-separated directives, each
+    ["ACTION:worker=N,after=M[,for=MS|,ms=MS]"], plus an optional
+    standalone ["seed=N"] token feeding the garbage generator.
+    ["none"] or the empty string is the empty schedule.  Example:
+    ["partition:worker=0,after=2,for=1500;trickle:worker=1,after=0"]. *)
+
+type action = Kill | Hang | Garbage | Partition | Delay | Trickle
 
 type directive = {
   action : action;
   worker : int;  (** the worker id the fault targets *)
   after : int;  (** fire once that worker has completed this many tasks *)
+  arg : int;
+      (** action argument in milliseconds: partition duration ([for=]),
+          delay stall ([ms=]); [0] for actions without one *)
 }
 
 type t = { directives : directive list; seed : int }
@@ -38,7 +53,8 @@ val of_string_exn : string -> t
 (** @raise Invalid_argument on parse failure. *)
 
 val to_string : t -> string
-(** Canonical spec; round-trips through {!of_string}. *)
+(** Canonical spec; round-trips through {!of_string} (defaulted
+    [for=]/[ms=] arguments are printed explicitly). *)
 
 val garbage_bytes : t -> worker:int -> string
 (** The 64 junk bytes the [garbage] action writes for [worker]: a pure
@@ -47,9 +63,18 @@ val garbage_bytes : t -> worker:int -> string
     its very next decode. *)
 
 val hook :
-  t -> worker:int -> completed:int -> [ `Continue | `Kill | `Hang | `Garbage of string ]
-(** [hook t ~worker] specialized to one worker is exactly the [?chaos]
-    callback {!Sim.Worker.serve} consumes: consulted before each task
-    with the tasks-completed count, it returns the first due directive's
-    action (every action terminates the worker, so at most one ever
-    fires). *)
+  ?net:Sim.Transport.Shim.state ->
+  t ->
+  worker:int ->
+  completed:int ->
+  [ `Continue | `Kill | `Hang | `Garbage of string | `Partition of float ]
+(** [hook ?net t ~worker] specialized to one worker is exactly the
+    [?chaos] callback {!Sim.Worker.serve_io} consumes: consulted before
+    each task with the tasks-completed count, it returns the first due
+    process directive's action, returns [`Partition seconds] for a due
+    partition, and silently arms [?net] for due [delay]/[trickle]
+    directives.  The hook is stateful: network directives fire once and
+    are consumed, process directives stay armed (death enforces their
+    at-most-once; an unconsumed one survives a remote worker's rejoin,
+    whose chaos schedule continues across sessions via the persistent
+    [completed] counter). *)

@@ -1,22 +1,36 @@
 (* The supervisor half of the distributed sweep protocol.
 
-   Dispatch owns a set of worker subprocesses (spawned from a caller-
-   provided argv, pipes on their stdin/stdout), hands them fixed-size
+   Dispatch owns a fleet of workers — subprocesses it spawned itself
+   (pipes on their stdin/stdout) and, when given a Transport.listener,
+   remote processes that connected over TCP — hands them fixed-size
    batches of task indices, and collects Result frames.  The failure
-   model is crash-stop with reassignment: a worker that EOFs, misses its
-   heartbeat deadline, announces the wrong wire version, or sends one
-   undecodable byte is SIGKILLed, reaped, and written off; whatever of
-   its in-flight batch lacks results is requeued at the front of the
-   work queue with a capped exponential backoff.  Workers are never
-   respawned — a sweep finishes on the survivors, and when none survive
-   the remaining tasks run in-process through the caller's [fallback].
+   model is crash-stop with reassignment: a worker that EOFs, misses
+   its heartbeat deadline, announces the wrong wire version or a bad
+   authentication token, or sends one undecodable byte is condemned
+   (local: SIGKILL + reap; remote: connection closed) and written off;
+   whatever of its in-flight batch lacks results is requeued at the
+   front of the work queue with a capped exponential backoff.  Local
+   workers are never respawned, but a condemned *remote* worker may
+   reconnect, re-handshake, and resume pulling tasks as a brand-new
+   peer — that is the partition story: a link that goes silent past
+   the heartbeat deadline costs a condemnation and a rejoin, a link
+   that is merely slow costs nothing.  A sweep finishes on the
+   survivors; when none survive and no rejoin arrives within the
+   grace window, the remaining tasks run in-process through the
+   caller's [fallback].
+
+   Authentication: every announce hello carries a shared-secret token
+   (--token; default empty).  A mismatch condemns the peer before any
+   config or task frame is sent — an unauthenticated connection learns
+   nothing about the sweep beyond the fact that something is listening.
 
    Determinism: results are pure functions of task indices and the
    supervisor records the first result it sees per index (duplicates
    from a reassigned-then-drained batch carry identical bytes), so
-   worker count, death schedule, and timing are all invisible in the
-   value [run] returns.  Ordering is the caller's business
-   (Sweep.map_journaled_via appends and emits in canonical order). *)
+   worker count, local/remote mix, death and rejoin schedule, and
+   timing are all invisible in the value [run] returns.  Ordering is
+   the caller's business (Sweep.map_journaled_via appends and emits in
+   canonical order). *)
 
 type batch = {
   seq : int;
@@ -30,11 +44,14 @@ type wstate =
   | Ready
   | Busy of { batch : batch; outstanding : (int, unit) Hashtbl.t }
 
+type peer = Child of int  (* pid *) | Remote of string  (* peer address, for logs *)
+
 type wrk = {
-  wid : int;
-  pid : int;
+  uid : int;  (* unique per connection — remote rejoins get fresh ones *)
+  mutable wid : int;  (* spawn id for children; announced id for remotes (-1 until hello) *)
+  peer : peer;
   to_w : Unix.file_descr;
-  from_w : Unix.file_descr;
+  from_w : Unix.file_descr;  (* equal to to_w for sockets *)
   rx : Worker.Rx.t;
   mutable state : wstate;
   mutable deadline : float;  (* absolute; infinity = disarmed *)
@@ -43,6 +60,8 @@ type wrk = {
 type stats = {
   mutable spawned : int;
   mutable spawn_failures : int;
+  mutable connected : int;  (* remote connections accepted *)
+  mutable auth_failures : int;  (* peers condemned for a bad token *)
   mutable died : int;
   mutable reassigned : int;  (* batches requeued after a death *)
   mutable inline_tasks : int;  (* tasks run through [fallback] *)
@@ -54,13 +73,28 @@ type t = {
   heartbeat_timeout : float;
   backoff_base : float;
   backoff_cap : float;
+  token : string;
+  listener : Transport.listener option;
+  expect_remote : int;
   fallback : int -> (Journal.entry, string) result;
+  mutable accepts_left : int;  (* bounded rejoin: remaining accept budget *)
+  mutable remote_seen : int;
+      (* remote peers that completed (or failed) their first handshake —
+         what the barrier counts against [expect_remote] *)
+  mutable barrier_deadline : float;
+      (* give expected remotes this long to show up before the barrier
+         proceeds without them *)
+  mutable rejoin_deadline : float;
+      (* with zero live workers, wait for a (re)connection until this
+         instant before degrading to in-process execution *)
+  mutable degraded : bool;  (* listener closed; all further work inline *)
   mutable live : wrk list;  (* spawn order, so assignment prefers low ids *)
   mutable handshook : bool;
-      (* all spawned workers have announced or been condemned; until
-         then no batch is assigned, so which worker executes which batch
-         does not depend on hello arrival order — that is what makes a
-         chaos schedule's fault placement reproducible *)
+      (* all spawned workers have announced or been condemned, and the
+         expected remotes have joined (or the barrier grace expired);
+         until then no batch is assigned, so which worker executes
+         which batch does not depend on hello arrival order — that is
+         what makes a chaos schedule's fault placement reproducible *)
   mutable next_seq : int;
   stats : stats;
   log : string -> unit;
@@ -68,8 +102,9 @@ type t = {
 
 let default_batch = 16
 let default_heartbeat_timeout = 10.
+let default_backoff_cap = 1.0
+let default_max_rejoin = 16
 let backoff_base = 0.05
-let backoff_cap = 1.0
 
 let backoff t ~attempt =
   if attempt < 1 then 0.
@@ -81,6 +116,8 @@ let stats t =
   {
     spawned = s.spawned;
     spawn_failures = s.spawn_failures;
+    connected = s.connected;
+    auth_failures = s.auth_failures;
     died = s.died;
     reassigned = s.reassigned;
     inline_tasks = s.inline_tasks;
@@ -88,7 +125,20 @@ let stats t =
 
 let live_workers t = List.length t.live
 
+let describe w =
+  match w.peer with
+  | Child pid -> Printf.sprintf "worker %d (pid %d)" w.wid pid
+  | Remote addr ->
+    if w.wid < 0 then Printf.sprintf "remote peer %s" addr
+    else Printf.sprintf "worker %d (%s)" w.wid addr
+
 (* {1 Spawning} *)
+
+let next_uid = ref 0
+
+let fresh_uid () =
+  incr next_uid;
+  !next_uid
 
 let spawn ~command ~stderr_dir ~log wid =
   let cleanup fds = List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds in
@@ -120,7 +170,16 @@ let spawn ~command ~stderr_dir ~log wid =
         raise e
     in
     cleanup (child_in :: child_out :: Option.to_list stderr_fd);
-    { wid; pid; to_w; from_w; rx = Worker.Rx.create (); state = Awaiting_hello; deadline = infinity }
+    {
+      uid = fresh_uid ();
+      wid;
+      peer = Child pid;
+      to_w;
+      from_w;
+      rx = Worker.Rx.create ();
+      state = Awaiting_hello;
+      deadline = infinity;
+    }
   with
   | w -> Some w
   | exception e ->
@@ -128,13 +187,32 @@ let spawn ~command ~stderr_dir ~log wid =
     None
 
 let create ~workers ?(batch = default_batch) ?(heartbeat_timeout = default_heartbeat_timeout)
-    ?stderr_dir ?(log = fun _ -> ()) ~command ~context ~fallback () =
+    ?(backoff_cap = default_backoff_cap) ?(token = "") ?listener ?(expect_remote = 0)
+    ?(max_rejoin = default_max_rejoin) ?join_grace ?stderr_dir ?(log = fun _ -> ()) ~command
+    ~context ~fallback () =
   if workers < 0 then invalid_arg "Dispatch.create: negative workers";
   if batch < 1 then invalid_arg "Dispatch.create: batch < 1";
   if heartbeat_timeout <= 0. then invalid_arg "Dispatch.create: heartbeat_timeout <= 0";
+  if backoff_cap <= 0. then invalid_arg "Dispatch.create: backoff_cap <= 0";
+  if expect_remote < 0 then invalid_arg "Dispatch.create: negative expect_remote";
+  if max_rejoin < 0 then invalid_arg "Dispatch.create: negative max_rejoin";
+  if expect_remote > 0 && listener = None then
+    invalid_arg "Dispatch.create: expect_remote without a listener";
+  if String.length token > Worker.max_auth_bytes then
+    invalid_arg "Dispatch.create: token too long";
   (* A worker dying mid-write must cost us an EPIPE, not a SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let stats = { spawned = 0; spawn_failures = 0; died = 0; reassigned = 0; inline_tasks = 0 } in
+  let stats =
+    {
+      spawned = 0;
+      spawn_failures = 0;
+      connected = 0;
+      auth_failures = 0;
+      died = 0;
+      reassigned = 0;
+      inline_tasks = 0;
+    }
+  in
   let live = ref [] in
   for wid = 0 to workers - 1 do
     match spawn ~command ~stderr_dir ~log wid with
@@ -148,13 +226,29 @@ let create ~workers ?(batch = default_batch) ?(heartbeat_timeout = default_heart
       live := w :: !live
     | None -> stats.spawn_failures <- stats.spawn_failures + 1
   done;
+  (* Remote workers are separate processes on possibly separate
+     machines; give them a few heartbeat windows to find us before the
+     barrier (and, with no local workers at all, the degradation
+     clock) stops waiting. *)
+  let join_grace =
+    match join_grace with Some g -> max g 0.01 | None -> 3. *. heartbeat_timeout
+  in
+  let now = Unix.gettimeofday () in
   {
     context;
     batch_size = batch;
     heartbeat_timeout;
     backoff_base;
     backoff_cap;
+    token;
+    listener;
+    expect_remote;
     fallback;
+    accepts_left = (match listener with None -> 0 | Some _ -> expect_remote + max_rejoin);
+    remote_seen = 0;
+    barrier_deadline = (if expect_remote > 0 then now +. join_grace else now);
+    rejoin_deadline = (match listener with None -> now | Some _ -> now +. join_grace);
+    degraded = false;
     live = List.rev !live;
     handshook = false;
     next_seq = 0;
@@ -185,15 +279,32 @@ let reap pid =
   in
   poll 200
 
-(* Mark [w] dead: kill, reap, close pipes, drop from the live list, and
-   requeue whatever of its batch still lacks a result. *)
+(* Mark [w] dead: sever it (kill + reap for children, close for
+   remotes), drop it from the live list, and requeue whatever of its
+   batch still lacks a result.  A severed remote may reconnect later —
+   as a brand-new peer drawing on the accept budget. *)
 let bury t ~requeue ~now ~results w reason =
-  t.log (Printf.sprintf "worker %d (pid %d) dead: %s" w.wid w.pid reason);
+  t.log (Printf.sprintf "%s dead: %s" (describe w) reason);
   t.stats.died <- t.stats.died + 1;
-  reap w.pid;
-  (try Unix.close w.to_w with Unix.Unix_error _ -> ());
-  (try Unix.close w.from_w with Unix.Unix_error _ -> ());
-  t.live <- List.filter (fun x -> x.pid <> w.pid) t.live;
+  (match w.peer with
+  | Child pid ->
+    reap pid;
+    (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+    (try Unix.close w.from_w with Unix.Unix_error _ -> ())
+  | Remote _ ->
+    (* One socket, one close. *)
+    (try Unix.close w.to_w with Unix.Unix_error _ -> ()));
+  (* A remote that never handshook (bad token, silent connection) still
+     counts as "seen" so the barrier cannot wait forever on it. *)
+  (match (w.peer, w.state) with
+  | Remote _, Awaiting_hello -> t.remote_seen <- t.remote_seen + 1
+  | _ -> ());
+  t.live <- List.filter (fun x -> x.uid <> w.uid) t.live;
+  (* Losing the last worker starts the rejoin clock: a listener-backed
+     dispatch holds the degradation decision open one more heartbeat
+     window for a reconnection. *)
+  if t.live = [] && t.listener <> None && not t.degraded then
+    t.rejoin_deadline <- Float.max t.rejoin_deadline (now +. t.heartbeat_timeout);
   match w.state with
   | Awaiting_hello | Ready -> ()
   | Busy { batch = b; outstanding = _ } ->
@@ -204,6 +315,45 @@ let bury t ~requeue ~now ~results w reason =
       requeue
         { seq = b.seq; indices = undone; attempt; not_before = now +. backoff t ~attempt }
     end
+
+(* Drain the listener's pending connections into Awaiting_hello peers.
+   The accept budget bounds rejoin: a flapping or adversarial peer
+   cannot make the supervisor accept forever. *)
+let accept_pending t ~now =
+  match t.listener with
+  | None -> ()
+  | Some l when not t.degraded ->
+    let rec go () =
+      match Transport.accept l with
+      | None -> ()
+      | Some (fd, addr) ->
+        if t.accepts_left <= 0 then begin
+          t.log (Printf.sprintf "refusing connection from %s: accept budget exhausted" addr);
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go ()
+        end
+        else begin
+          t.accepts_left <- t.accepts_left - 1;
+          t.stats.connected <- t.stats.connected + 1;
+          let w =
+            {
+              uid = fresh_uid ();
+              wid = -1;
+              peer = Remote addr;
+              to_w = fd;
+              from_w = fd;
+              rx = Worker.Rx.create ();
+              state = Awaiting_hello;
+              deadline = now +. t.heartbeat_timeout;
+            }
+          in
+          t.live <- t.live @ [ w ];
+          t.log (Printf.sprintf "accepted connection from %s" addr);
+          go ()
+        end
+    in
+    go ()
+  | Some _ -> ()
 
 (* {1 The run loop} *)
 
@@ -264,18 +414,33 @@ let run t indices =
   done;
   let done_ () = Hashtbl.length results >= Hashtbl.length wanted in
   (* One decoded message from worker [w].  Any protocol surprise is a
-     death sentence (crash-stop). *)
+     death sentence (crash-stop) — and authentication is checked here,
+     before the config reply, so a peer with the wrong token never sees
+     a single frame of sweep state. *)
   let handle_msg ~now w = function
-    | Worker.Hello { worker = _; wire_version = v } ->
+    | Worker.Hello { worker = wid; wire_version = v; auth } ->
       if v <> Worker.wire_version then
         Error (Printf.sprintf "wire version %d, expected %d" v Worker.wire_version)
+      else if not (String.equal auth t.token) then begin
+        t.stats.auth_failures <- t.stats.auth_failures + 1;
+        Error "authentication failed (wrong or missing token)"
+      end
       else (
         match send_msg w (Worker.Config t.context) with
         | () ->
-          (match w.state with Awaiting_hello -> w.state <- Ready | Ready | Busy _ -> ());
+          (match w.state with
+          | Awaiting_hello ->
+            w.wid <- wid;
+            w.state <- Ready;
+            (match w.peer with
+            | Remote addr ->
+              t.remote_seen <- t.remote_seen + 1;
+              t.log (Printf.sprintf "worker %d joined from %s" wid addr)
+            | Child _ -> ())
+          | Ready | Busy _ -> ());
           w.deadline <- infinity;
           Ok ()
-        | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
           Error "EPIPE sending config")
     | Worker.Heartbeat _ ->
       w.deadline <- now +. t.heartbeat_timeout;
@@ -307,14 +472,42 @@ let run t indices =
     in
     go ()
   in
+  (* With zero live workers, is a (re)connection still worth waiting
+     for?  Only a non-degraded listener with accept budget left, and
+     only until the rejoin deadline. *)
+  let may_wait_for_peers now =
+    t.listener <> None && not t.degraded && t.accepts_left > 0 && now < t.rejoin_deadline
+  in
   let rbuf = Bytes.create 65536 in
   while not (done_ ()) do
     let now = Unix.gettimeofday () in
+    accept_pending t ~now;
     (* Handshake barrier: hold all work until every spawned worker has
-       announced or been condemned, so batch placement is a function of
-       worker ids, not of hello arrival order. *)
-    if not t.handshook then
-      t.handshook <- List.for_all (fun w -> w.state <> Awaiting_hello) t.live;
+       announced or been condemned and the expected remote peers have
+       joined (or the barrier grace expired), so batch placement is a
+       function of worker ids, not of hello or connection arrival
+       order. *)
+    if not t.handshook then begin
+      let locals_announced =
+        List.for_all
+          (fun w -> match w.peer with Child _ -> w.state <> Awaiting_hello | Remote _ -> true)
+          t.live
+      in
+      let remotes_ok =
+        t.remote_seen >= t.expect_remote
+        ||
+        if now >= t.barrier_deadline then begin
+          t.log
+            (Printf.sprintf
+               "handshake barrier: %d of %d expected remote workers joined in time; \
+                proceeding without the rest"
+               t.remote_seen t.expect_remote);
+          true
+        end
+        else false
+      in
+      t.handshook <- locals_announced && remotes_ok
+    end;
     (* Assign released work to idle workers (lowest id first). *)
     let rec assign () =
       if not t.handshook then ()
@@ -336,14 +529,21 @@ let run t indices =
               w.state <- Busy { batch = b; outstanding };
               w.deadline <- now +. t.heartbeat_timeout;
               assign ()
-            | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+            | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
               bury t ~requeue ~now ~results w "EPIPE on task send";
               requeue b;
               assign ()))
     in
     assign ();
-    if t.live = [] then begin
-      (* No survivors: graceful degradation — finish in-process. *)
+    if t.live = [] && not (may_wait_for_peers now) then begin
+      (* No survivors and no prospect of a rejoin: graceful degradation
+         — finish in-process.  Sticky: once degraded, later chunks run
+         inline immediately instead of re-waiting a grace window. *)
+      if t.listener <> None && not t.degraded then begin
+        t.degraded <- true;
+        Option.iter Transport.close_listener t.listener;
+        t.log "no live workers and no rejoin in time; degrading to in-process execution"
+      end;
       Array.iter (fun i -> if not (Hashtbl.mem results i) then inline i) indices
     end
     else if not (done_ ()) then begin
@@ -351,10 +551,17 @@ let run t indices =
         List.fold_left (fun acc w -> min acc w.deadline) infinity t.live
       in
       let wake = min deadline (if queued () > 0 then earliest_release () else infinity) in
+      let wake = if t.handshook then wake else min wake t.barrier_deadline in
+      let wake = if t.live = [] then min wake t.rejoin_deadline else wake in
       let timeout =
         if wake = infinity then 1.0 else max 0.005 (min 1.0 (wake -. now))
       in
       let fds = List.map (fun w -> w.from_w) t.live in
+      let fds =
+        match t.listener with
+        | Some l when not t.degraded -> Transport.listener_fd l :: fds
+        | _ -> fds
+      in
       let readable, _, _ =
         try Unix.select fds [] [] timeout
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
@@ -362,6 +569,8 @@ let run t indices =
       let now = Unix.gettimeofday () in
       List.iter
         (fun fd ->
+          (* The listener fd falls through find_opt; accept_pending
+             drains it on the next loop iteration. *)
           match List.find_opt (fun w -> w.from_w = fd) t.live with
           | None -> ()
           | Some w -> (
@@ -378,8 +587,8 @@ let run t indices =
         readable;
       (* Heartbeat deadlines: a busy (or never-announced) worker that
          stayed silent past its deadline is treated as crashed even
-         though the process may still be running (hung).  Iterate a
-         snapshot — bury edits t.live. *)
+         though the process may still be running (hung or behind a
+         partition).  Iterate a snapshot — bury edits t.live. *)
       List.iter
         (fun w ->
           bury t ~requeue ~now ~results w
@@ -393,25 +602,34 @@ let shutdown t =
   List.iter
     (fun w ->
       (try send_msg w Worker.Shutdown with Unix.Unix_error _ -> ());
-      (try Unix.close w.to_w with Unix.Unix_error _ -> ()))
+      match w.peer with
+      | Child _ -> ( try Unix.close w.to_w with Unix.Unix_error _ -> ())
+      | Remote _ ->
+        (* Half-close: the Shutdown frame flushes ahead of the FIN, the
+           remote reads it, exits 0, and closes its end. *)
+        (try Unix.shutdown w.to_w Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()))
     t.live;
   (* Bounded grace, then the axe. *)
   let deadline = Unix.gettimeofday () +. 2.0 in
   List.iter
     (fun w ->
-      let rec wait () =
-        match Unix.waitpid [ Unix.WNOHANG ] w.pid with
-        | 0, _ ->
-          if Unix.gettimeofday () < deadline then begin
-            ignore (Unix.select [] [] [] 0.02);
-            wait ()
-          end
-          else reap w.pid
-        | _ -> ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-        | exception Unix.Unix_error _ -> ()
-      in
-      wait ();
+      (match w.peer with
+      | Remote _ -> ()
+      | Child pid ->
+        let rec wait () =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+            if Unix.gettimeofday () < deadline then begin
+              ignore (Unix.select [] [] [] 0.02);
+              wait ()
+            end
+            else reap pid
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        wait ());
       try Unix.close w.from_w with Unix.Unix_error _ -> ())
     t.live;
+  Option.iter Transport.close_listener t.listener;
   t.live <- []

@@ -1,36 +1,52 @@
-(** The supervisor of a fleet of {!Worker} subprocesses.
+(** The supervisor of a fleet of {!Worker} processes.
 
-    Dispatch spawns workers from a caller-supplied argv, handshakes them
-    (announce {!Worker.Hello} in, config out), and schedules task-index
-    batches over the survivors.  The failure model is crash-stop with
-    reassignment:
+    Dispatch spawns local workers from a caller-supplied argv and, when
+    given a {!Transport.listener}, accepts remote workers over TCP
+    alongside (or instead of) them; it handshakes every peer (announce
+    {!Worker.Hello} in — wire version {e and} shared-secret token
+    checked before anything is sent back — config out) and schedules
+    task-index batches over the survivors.  The failure model is
+    crash-stop with reassignment and, for remote peers, bounded rejoin:
 
     - every worker with an in-flight batch has a heartbeat deadline;
       workers beat before each task, so a worker silent for longer than
-      the timeout — hung, wedged, or quietly dead — is declared crashed;
-    - EOF, a failed write ([EPIPE]), a wrong wire version, or a single
-      undecodable or unparseable frame likewise condemn the worker;
-    - a condemned worker is SIGKILLed and reaped, and the not-yet-
-      answered indices of its batch are requeued at the {e front} of the
-      work queue with capped exponential backoff
-      (≈ 50 ms · 2{^ attempt−1}, capped at 1 s);
-    - workers are never respawned: the sweep finishes on the survivors,
-      and when none survive the remaining tasks run in-process through
-      [fallback] — a dispatch never deadlocks on dead workers.
+      the timeout — hung, wedged, quietly dead, or behind a network
+      partition — is declared crashed;
+    - EOF, a failed write ([EPIPE]), a wrong wire version, a wrong
+      authentication token, or a single undecodable or unparseable
+      frame likewise condemn the worker.  An authentication failure is
+      detected on the announce hello, so the peer is condemned before
+      any config or task frame reaches it;
+    - a condemned local worker is SIGKILLed and reaped; a condemned
+      remote worker has its connection closed.  Either way the not-yet-
+      answered indices of its batch are requeued at the {e front} of
+      the work queue with capped exponential backoff
+      (≈ 50 ms · 2{^ attempt−1}, capped at [backoff_cap]);
+    - local workers are never respawned, but a condemned remote worker
+      may reconnect, re-handshake, and resume pulling tasks as a
+      brand-new peer — the accept budget ([expect_remote + max_rejoin]
+      connections total) bounds how often;
+    - when no workers survive, the dispatch waits at most one grace
+      window for a rejoin (none if there is no listener), then degrades:
+      the remaining tasks run in-process through [fallback] — a
+      dispatch never deadlocks on dead workers or a severed network.
 
     Determinism: task results are pure functions of their indices and
     the first result per index wins (a reassigned batch's duplicate
-    results are byte-identical), so worker count, chaos schedule, and
-    timing are invisible in what {!run} returns.  Feeding {!run} to
-    {!Sweep.map_journaled_via} therefore yields byte-identical journals
-    and JSONL at any [--workers] value — the CI chaos gate pins this. *)
+    results are byte-identical), so worker count, local/remote mix,
+    chaos schedule, partitions, rejoins, and timing are invisible in
+    what {!run} returns.  Feeding {!run} to {!Sweep.map_journaled_via}
+    therefore yields byte-identical journals and JSONL at any
+    [--workers]/[--listen] topology — the CI chaos gates pin this. *)
 
 type t
 
 type stats = {
-  mutable spawned : int;  (** workers successfully spawned *)
+  mutable spawned : int;  (** local workers successfully spawned *)
   mutable spawn_failures : int;  (** spawn attempts that failed outright *)
-  mutable died : int;  (** workers condemned (crash, hang, bad frame, EOF) *)
+  mutable connected : int;  (** remote connections accepted (rejoins included) *)
+  mutable auth_failures : int;  (** peers condemned for a wrong or missing token *)
+  mutable died : int;  (** workers condemned (crash, hang, bad frame, EOF, auth) *)
   mutable reassigned : int;  (** batches requeued after a death *)
   mutable inline_tasks : int;  (** tasks executed in-process via [fallback] *)
 }
@@ -43,10 +59,24 @@ val default_heartbeat_timeout : float
     scheduling noise: a worker beats before each task, so the timeout
     must exceed the slowest single task, not the whole batch. *)
 
+val default_backoff_cap : float
+(** [1.] second — the ceiling on reassignment backoff
+    ([--backoff-cap]). *)
+
+val default_max_rejoin : int
+(** [16] — remote reconnections accepted beyond the first
+    [expect_remote]. *)
+
 val create :
   workers:int ->
   ?batch:int ->
   ?heartbeat_timeout:float ->
+  ?backoff_cap:float ->
+  ?token:string ->
+  ?listener:Transport.listener ->
+  ?expect_remote:int ->
+  ?max_rejoin:int ->
+  ?join_grace:float ->
   ?stderr_dir:string ->
   ?log:(string -> unit) ->
   command:(id:int -> string array) ->
@@ -55,35 +85,50 @@ val create :
   unit ->
   t
 (** [create ~workers ~command ~context ~fallback ()] spawns [workers]
-    subprocesses, worker [id] with argv [command ~id] ([argv.(0)] is the
-    executable), stdin/stdout piped to the supervisor and stderr either
-    inherited or, with [stderr_dir], redirected to
-    [<stderr_dir>/worker-<id>.log].  [context] is sent to each worker as
-    its config — the same {!Journal.context} the sweep's journal uses,
-    so worker and supervisor provably execute the same grid.  Spawn
-    failures are counted, not fatal; check {!live_workers} to fall back
-    to the in-process pool when nothing spawned.  Ignores [SIGPIPE]
-    process-wide (worker death must surface as [EPIPE], not kill the
-    supervisor).  [log] receives one line per lifecycle event.  Raises
-    [Invalid_argument] on [workers < 0], [batch < 1], or a non-positive
-    timeout. *)
+    local subprocesses, worker [id] with argv [command ~id] ([argv.(0)]
+    is the executable), stdin/stdout piped to the supervisor and stderr
+    either inherited or, with [stderr_dir], redirected to
+    [<stderr_dir>/worker-<id>.log].  With [listener] (see
+    {!Transport.listen}) the dispatch also accepts remote workers:
+    [expect_remote] of them are waited for at the handshake barrier
+    (for at most [join_grace] seconds, default [3 ×
+    heartbeat_timeout], so a missing machine delays but never wedges a
+    sweep), and up to [max_rejoin] further connections beyond
+    [expect_remote] are accepted over the dispatch's lifetime —
+    the bounded-rejoin budget.  Every peer must announce with [auth]
+    equal to [token] (default [""]) or it is condemned before any
+    frame is sent to it.
+
+    [context] is sent to each authenticated worker as its config — the
+    same {!Journal.context} the sweep's journal uses, so worker and
+    supervisor provably execute the same grid.  Spawn failures are
+    counted, not fatal; check {!live_workers} to fall back to the
+    in-process pool when nothing spawned and nothing will connect.
+    Ignores [SIGPIPE] process-wide (worker death must surface as
+    [EPIPE], not kill the supervisor).  [log] receives one line per
+    lifecycle event.  Raises [Invalid_argument] on [workers < 0],
+    [batch < 1], non-positive timeouts or backoff cap, a negative
+    remote expectation or rejoin budget, [expect_remote > 0] without a
+    listener, or an unencodable token. *)
 
 val run : t -> int array -> (Journal.entry, string) result array
 (** [run t indices] executes the tasks at [indices] across the live
     workers and returns index-aligned results — the shape
     {!Sweep.map_journaled_via} expects of its [run].  Handshakes
-    lazily, survives any number of worker deaths (reassigning as
-    described above), and degrades to [fallback] for whatever is left
-    when the last worker dies.  Workers stay alive across calls; call
-    once per chunk. *)
+    lazily, accepts and re-accepts remote peers throughout, survives
+    any number of worker deaths (reassigning as described above), and
+    degrades to [fallback] for whatever is left when the last worker
+    dies and the rejoin grace passes.  Workers stay alive across
+    calls; call once per chunk. *)
 
 val shutdown : t -> unit
-(** Send {!Worker.Shutdown} to every live worker, give the fleet a
-    bounded grace period to exit, SIGKILL stragglers, reap everything,
-    close all pipes.  Idempotent. *)
+(** Send {!Worker.Shutdown} to every live worker; local workers get a
+    bounded grace period to exit, then SIGKILL and a reap; remote
+    connections are half-closed so the frame flushes ahead of the FIN,
+    then closed.  Closes the listener.  Idempotent. *)
 
 val live_workers : t -> int
-(** Workers currently alive (spawned, not yet condemned). *)
+(** Workers currently alive (spawned or connected, not yet condemned). *)
 
 val stats : t -> stats
 (** A snapshot of the lifecycle counters. *)

@@ -1,0 +1,188 @@
+(* Byte transports for the distributed sweep protocol.
+
+   The wire protocol (Worker/Dispatch) is deliberately fd-agnostic: a
+   worker speaks CRC-framed messages over "some stream of bytes", and
+   Rx reassembles frames from arbitrary read boundaries.  This module
+   supplies the streams: plain fd pairs (the PR-7 pipe mode), TCP
+   sockets (one supervisor listener, many remote workers), and a
+   chaos shim that degrades a stream's delivery — stalls, byte-by-byte
+   trickle — without touching its content, so network-fault schedules
+   reproduce exactly while the bytes that eventually arrive are the
+   bytes that were sent.
+
+   Nothing here knows about frames.  Transport moves bytes; framing,
+   authentication, and the crash-stop failure model live one layer up
+   in Worker and Dispatch. *)
+
+(* {1 Low-level helpers} *)
+
+let rec write_all fd b pos len =
+  if len > 0 then
+    match Unix.write fd b pos len with
+    | n -> write_all fd b (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+
+let rec read_some fd b =
+  match Unix.read fd b 0 (Bytes.length b) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd b
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* {1 The io record} *)
+
+type io = {
+  read : Bytes.t -> int;
+  write : string -> unit;
+  close : unit -> unit;
+}
+
+let fd_io ~input ~output =
+  let closed = ref false in
+  {
+    read = (fun b -> read_some input b);
+    write = (fun s -> write_all output (Bytes.unsafe_of_string s) 0 (String.length s));
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          close_quiet input;
+          if output <> input then close_quiet output
+        end);
+  }
+
+let socket_io fd = fd_io ~input:fd ~output:fd
+
+(* {1 Network chaos shim}
+
+   The shim sits between the codec and the socket on the *worker* side
+   and degrades writes only: a one-shot pre-write stall (a slow link
+   that recovers) and a sticky byte-by-byte trickle (a pathological
+   link that never batches).  Reads are left alone — the interesting
+   reassembly happens at the supervisor, which must cope with whatever
+   boundaries the trickled writes produce.  Content is never altered:
+   a shimmed stream delivers exactly the bytes written to it, which is
+   why every network-chaos schedule is byte-identity-preserving by
+   construction. *)
+
+module Shim = struct
+  type state = { mutable delay_s : float; mutable trickle : bool }
+
+  let create () = { delay_s = 0.; trickle = false }
+end
+
+let shimmed (s : Shim.state) io =
+  let write data =
+    if s.delay_s > 0. then begin
+      let d = s.delay_s in
+      (* One-shot: a delay directive models a single stall, after which
+         the link is merely slow-by-trickle or healthy again. *)
+      s.delay_s <- 0.;
+      Unix.sleepf d
+    end;
+    if s.trickle then String.iter (fun c -> io.write (String.make 1 c)) data
+    else io.write data
+  in
+  { io with write }
+
+(* {1 Supervisor side: the TCP listener} *)
+
+type listener = { lfd : Unix.file_descr; port : int }
+
+let listen ?(backlog = 16) ~port () =
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_any, port));
+       Unix.listen fd backlog;
+       (* Nonblocking so Dispatch can fold accepts into its select loop:
+          a readable listener means "connections pending", and accept
+          drains them until EAGAIN. *)
+       Unix.set_nonblock fd
+     with e ->
+       close_quiet fd;
+       raise e);
+    let port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+    in
+    { lfd = fd; port }
+  with
+  | l -> Ok l
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "cannot listen on port %d: %s" port (Unix.error_message e))
+
+let listener_fd l = l.lfd
+let bound_port l = l.port
+
+let sockaddr_string = function
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+let accept l =
+  match Unix.accept ~cloexec:true l.lfd with
+  | fd, addr ->
+    (* Accepted fds must be blocking regardless of what they inherited:
+       Dispatch reads them only when select says readable. *)
+    (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    Some (fd, sockaddr_string addr)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> None
+
+let close_listener l = close_quiet l.lfd
+
+(* {1 Worker side: connect} *)
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%S: expected HOST:PORT" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port_s with
+    | Some p when p >= 1 && p <= 0xffff && host <> "" -> Ok (host, p)
+    | Some p when host = "" -> ignore p; Error (Printf.sprintf "%S: empty host" s)
+    | Some p -> Error (Printf.sprintf "%S: port %d outside 1..65535" s p)
+    | None -> Error (Printf.sprintf "%S: port is not an integer" s))
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> Ok addrs.(0)
+    | _ | (exception Not_found) -> Error (Printf.sprintf "cannot resolve host %S" host))
+
+let connect ?(read_timeout = 60.) ~host ~port ~attempts ~retry_delay () =
+  match resolve host with
+  | Error e -> Error e
+  | Ok addr ->
+    let target = Unix.ADDR_INET (addr, port) in
+    let rec go n last_err =
+      if n <= 0 then
+        Error
+          (Printf.sprintf "cannot connect to %s:%d after %d attempts: %s" host port attempts
+             last_err)
+      else
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        match Unix.connect fd target with
+        | () ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+          (* A read timeout is the worker's half of partition detection:
+             a supervisor silent for this long — severed link, frozen
+             host — fails the pending read with EAGAIN instead of
+             wedging the worker forever. *)
+          (try
+             if read_timeout > 0. then Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+           with Unix.Unix_error _ -> ());
+          Ok fd
+        | exception Unix.Unix_error (e, _, _) ->
+          close_quiet fd;
+          (match e with
+          | Unix.ECONNREFUSED | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ETIMEDOUT
+          | Unix.ECONNRESET | Unix.EINTR | Unix.EAGAIN ->
+            if n > 1 then Unix.sleepf retry_delay;
+            go (n - 1) (Unix.error_message e)
+          | e -> Error (Unix.error_message e))
+    in
+    go attempts "never attempted"

@@ -1,17 +1,23 @@
 (* The worker half of the distributed sweep protocol.  A worker is a
-   subprocess (spawned by Dispatch, entered via the hidden [oraclesize
-   worker] subcommand) that speaks length-prefixed, CRC-checked
-   Bitstring.Frame frames over two pipes: stdin carries supervisor →
-   worker traffic (config Hello, Task batches, Shutdown), stdout carries
-   worker → supervisor traffic (announce Hello, Heartbeats, Results).
-   stderr is the worker's free-form log and never carries frames.
+   process that speaks length-prefixed, CRC-checked Bitstring.Frame
+   frames over a byte stream (Transport.io): pipes when spawned by
+   Dispatch via the hidden [oraclesize worker] subcommand, or a TCP
+   socket when started by hand with [--connect HOST:PORT].  The
+   supervisor→worker direction carries config Hello, Task batches, and
+   Shutdown; worker→supervisor carries announce Hello, Heartbeats, and
+   Results.  stderr is the worker's free-form log and never carries
+   frames.
 
-   Failure model: crash-stop.  A worker that dies, hangs past the
-   heartbeat deadline, or emits a single malformed frame is written off
-   wholesale by the supervisor — there is no rejoin, no per-frame
-   retransmission.  That is why the codec below can afford to be
-   unforgiving: any parse failure is an Error, and Dispatch's reaction
-   to an Error is to kill the worker and reassign its batch.
+   Failure model: crash-stop with (for sockets) rejoin.  A worker that
+   dies, hangs past the heartbeat deadline, or emits a single malformed
+   frame is written off wholesale by the supervisor — there is no
+   per-frame retransmission.  A condemned *remote* worker may, however,
+   reconnect and re-handshake as a brand-new peer; the serve loop
+   surfaces connection loss as a value ([`Lost]) instead of an exit
+   code precisely so its caller can loop.  That is why the codec below
+   can afford to be unforgiving: any parse failure is an Error, and
+   Dispatch's reaction to an Error is to condemn the peer and reassign
+   its batch.
 
    Determinism: a Result's payload is a pure function of the task index
    (the [exec]-built closure derives everything from grid coordinates),
@@ -21,10 +27,13 @@
 module Frame = Bitstring.Frame
 module Bitbuf = Bitstring.Bitbuf
 
-let wire_version = 1
+(* Version 2: the Hello payload grew a discriminator bit and an
+   authentication token (see the codec note below).  Version 1 was the
+   pipe-only protocol without authentication. *)
+let wire_version = 2
 
 type msg =
-  | Hello of { worker : int; wire_version : int }
+  | Hello of { worker : int; wire_version : int; auth : string }
   | Config of Journal.context
   | Task_batch of { seq : int; indices : int array }
   | Result of { index : int; result : (Journal.entry, string) result }
@@ -33,11 +42,15 @@ type msg =
 
 (* {1 Codec}
 
-   Field widths are part of the wire contract (DESIGN.md §13):
-   - announce Hello: key = worker id, payload = 8-bit wire version;
-   - config Hello: key = 0, payload = a journal superblock payload
-     (Journal.context_payload) — ≥ 32 bits, so payload length alone
-     distinguishes the two Hello shapes;
+   Field widths are part of the wire contract (DESIGN.md §13).  Both
+   Hello shapes share a frame kind, so their payloads begin with a
+   1-bit discriminator (version 1 told them apart by payload length,
+   which stopped being injective once announce hellos carried a
+   variable-length token):
+   - announce Hello (tag 0): key = worker id, then an 8-bit wire
+     version, a 16-bit token byte length, and the token bytes;
+   - config Hello (tag 1): key = 0, then a journal superblock payload
+     (Journal.context_payload);
    - Task: key = batch sequence number, payload = 16-bit count then
      [count] 32-bit task indices;
    - Result: key = task index, payload = 1 ok bit, then either a record
@@ -46,14 +59,25 @@ type msg =
    - Heartbeat: key = worker id, payload = 32-bit tasks-completed count;
    - Shutdown: key = 0, empty payload. *)
 
+let max_auth_bytes = 0xffff
+
 let frame kind key payload = { Frame.kind; version = Frame.current_version; key; payload }
 
 let frame_of_msg = function
-  | Hello { worker; wire_version = v } ->
-    let b = Bitbuf.create ~capacity:8 () in
+  | Hello { worker; wire_version = v; auth } ->
+    if String.length auth > max_auth_bytes then invalid_arg "Worker.encode: auth token too long";
+    let b = Bitbuf.create ~capacity:(25 + (8 * String.length auth)) () in
+    Bitbuf.add_bit b false;
     Bitbuf.add_int b ~width:8 v;
+    Bitbuf.add_int b ~width:16 (String.length auth);
+    String.iter (fun c -> Bitbuf.add_int b ~width:8 (Char.code c)) auth;
     frame Frame.Hello worker b
-  | Config ctx -> frame Frame.Hello 0 (Journal.context_payload ctx)
+  | Config ctx ->
+    let ctx_bits = Journal.context_payload ctx in
+    let b = Bitbuf.create ~capacity:(1 + Bitbuf.length ctx_bits) () in
+    Bitbuf.add_bit b true;
+    Bitbuf.append b ctx_bits;
+    frame Frame.Hello 0 b
   | Task_batch { seq; indices } ->
     if Array.length indices > 0xffff then invalid_arg "Worker.encode: batch too large";
     let b = Bitbuf.create ~capacity:(16 + (32 * Array.length indices)) () in
@@ -82,17 +106,35 @@ let frame_of_msg = function
 
 let encode msg = Frame.encode (frame_of_msg msg)
 
+(* Re-pack the unread remainder of [r] so downstream decoders see a
+   payload of exactly the embedded value's length. *)
+let repack r ~bits =
+  let rest = Bitbuf.create ~capacity:bits () in
+  while not (Bitbuf.at_end r) do
+    Bitbuf.add_bit rest (Bitbuf.read_bit r)
+  done;
+  rest
+
 let parse (f : Frame.t) =
   let bits = Bitbuf.length f.payload in
   match f.kind with
   | Frame.Hello ->
-    if bits = 8 then
+    if bits < 1 then Error "hello: empty payload"
+    else
       let r = Bitbuf.reader f.payload in
-      Ok (Hello { worker = f.key; wire_version = Bitbuf.read_int r ~width:8 })
-    else (
-      match Journal.decode_context f.payload with
-      | Ok ctx -> Ok (Config ctx)
-      | Error e -> Error (Printf.sprintf "config hello: %s" e))
+      if Bitbuf.read_bit r then (
+        match Journal.decode_context (repack r ~bits:(bits - 1)) with
+        | Ok ctx -> Ok (Config ctx)
+        | Error e -> Error (Printf.sprintf "config hello: %s" e))
+      else if bits < 25 then Error "announce hello: payload shorter than its fixed fields"
+      else
+        let v = Bitbuf.read_int r ~width:8 in
+        let len = Bitbuf.read_int r ~width:16 in
+        if bits <> 25 + (8 * len) then
+          Error "announce hello: token length disagrees with payload"
+        else
+          let auth = String.init len (fun _ -> Char.chr (Bitbuf.read_int r ~width:8)) in
+          Ok (Hello { worker = f.key; wire_version = v; auth })
   | Frame.Task ->
     let r = Bitbuf.reader f.payload in
     if bits < 16 then Error "task batch: payload shorter than the count field"
@@ -108,13 +150,7 @@ let parse (f : Frame.t) =
     else
       let r = Bitbuf.reader f.payload in
       if Bitbuf.read_bit r then begin
-        (* Re-pack the remaining bits so Journal.decode_payload sees a
-           payload of exactly the record's length. *)
-        let rest = Bitbuf.create ~capacity:(bits - 1) () in
-        while not (Bitbuf.at_end r) do
-          Bitbuf.add_bit rest (Bitbuf.read_bit r)
-        done;
-        match Journal.decode_payload rest with
+        match Journal.decode_payload (repack r ~bits:(bits - 1)) with
         | Ok entry -> Ok (Result { index = f.key; result = Ok entry })
         | Error e -> Error (Printf.sprintf "result: %s" e)
       end
@@ -136,11 +172,12 @@ let parse (f : Frame.t) =
 
 (* {1 Incremental frame reader}
 
-   Pipes deliver bytes, not frames: a read can end mid-header, mid-
-   payload, or with three frames and a half in one gulp.  Rx buffers
-   fed bytes and peels complete frames off the front; Truncated means
-   "feed me more", every other decode error is fatal for the stream
-   (crash-stop: one bad byte writes the peer off). *)
+   Streams deliver bytes, not frames: a read can end mid-header, mid-
+   payload, or with three frames and a half in one gulp — and a
+   trickled TCP link delivers one byte per read.  Rx buffers fed bytes
+   and peels complete frames off the front; Truncated means "feed me
+   more", every other decode error is fatal for the stream (crash-stop:
+   one bad byte writes the peer off). *)
 
 module Rx = struct
   type t = { mutable buf : Bytes.t; mutable len : int }
@@ -177,29 +214,41 @@ end
 
 (* {1 Blocking I/O helpers} *)
 
-let rec write_all fd b pos len =
-  if len > 0 then
-    match Unix.write fd b pos len with
-    | n -> write_all fd b (pos + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+let write_all = Transport.write_all
 
-let rec read_some fd b =
-  match Unix.read fd b 0 (Bytes.length b) with
-  | n -> n
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd b
+(* {1 Worker-attributed logging}
+
+   Multi-host sweeps interleave worker stderr from several machines;
+   every line therefore carries the worker id and a per-process elapsed
+   timestamp.  The stamp is monotonic within one worker process (a
+   wall-clock step backwards is clamped forward), which is what
+   post-mortem ordering of one worker's own lines needs; stamps are not
+   comparable across hosts. *)
+
+let log_t0 = ref nan
+let log_last = ref 0.
+
+let logf ~id fmt =
+  let now = Unix.gettimeofday () in
+  if Float.is_nan !log_t0 then log_t0 := now;
+  let t = now -. !log_t0 in
+  let t = if t > !log_last then t else !log_last in
+  log_last := t;
+  Printf.ksprintf (fun m -> Printf.eprintf "[+%09.3f w%d] %s\n%!" t id m) fmt
 
 (* {1 The serve loop} *)
 
 exception Protocol of string
 
-let serve ~id ?(chaos = fun ~completed:_ -> `Continue) ~exec ~input ~output () =
+type lost = [ `Eof | `Gone ]
+type outcome = [ `Exit of int | `Lost of lost ]
+
+let serve_io ~id ?(auth = "") ?(chaos = fun ~completed:_ -> `Continue)
+    ?(completed = ref 0) ~exec (io : Transport.io) =
   (* A dying supervisor must not take the worker down with SIGPIPE;
      EPIPE from write is the signal to leave quietly. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let send msg =
-    let s = encode msg in
-    write_all output (Bytes.unsafe_of_string s) 0 (String.length s)
-  in
+  let send msg = io.Transport.write (encode msg) in
   let rx = Rx.create () in
   let rbuf = Bytes.create 65536 in
   (* Next complete message, blocking; None on supervisor EOF. *)
@@ -211,7 +260,7 @@ let serve ~id ?(chaos = fun ~completed:_ -> `Continue) ~exec ~input ~output () =
       | Ok m -> Some m
       | Error e -> raise (Protocol ("unparseable frame from supervisor: " ^ e)))
     | Ok None ->
-      let n = read_some input rbuf in
+      let n = io.Transport.read rbuf in
       if n = 0 then None
       else begin
         Rx.feed rx rbuf n;
@@ -219,24 +268,25 @@ let serve ~id ?(chaos = fun ~completed:_ -> `Continue) ~exec ~input ~output () =
       end
   in
   try
-    send (Hello { worker = id; wire_version });
+    send (Hello { worker = id; wire_version; auth });
     match recv () with
-    | None -> 0 (* supervisor went away before configuring us *)
+    | None -> `Lost `Eof (* supervisor went away before configuring us *)
     | Some (Config ctx) -> (
       match exec ctx with
       | Error e ->
-        Printf.eprintf "worker %d: cannot build executor: %s\n%!" id e;
-        3
+        logf ~id "cannot build executor: %s" e;
+        `Exit 3
       | Ok run_task ->
-        let completed = ref 0 in
         let rec loop () =
           match recv () with
-          | None | Some Shutdown -> 0
+          | None -> `Lost `Eof
+          | Some Shutdown -> `Exit 0
           | Some (Task_batch { seq = _; indices }) ->
-            Array.iter
-              (fun i ->
-                (match chaos ~completed:!completed with
-                | `Continue -> ()
+            let count = Array.length indices in
+            let rec step k =
+              if k >= count then loop ()
+              else
+                match chaos ~completed:!completed with
                 | `Kill ->
                   (* Crash-stop: no flush, no at_exit — the closest a
                      cooperative process gets to SIGKILLing itself. *)
@@ -244,23 +294,49 @@ let serve ~id ?(chaos = fun ~completed:_ -> `Continue) ~exec ~input ~output () =
                 | `Hang ->
                   while true do
                     Unix.sleep 3600
-                  done
+                  done;
+                  assert false
                 | `Garbage g ->
-                  write_all output (Bytes.of_string g) 0 (String.length g);
-                  Unix._exit 98);
-                send (Heartbeat { worker = id; count = !completed });
-                send (Result { index = i; result = run_task i });
-                incr completed)
-              indices;
-            loop ()
+                  io.Transport.write g;
+                  Unix._exit 98
+                | `Partition s ->
+                  (* Fall silent: no heartbeats, no results, socket left
+                     open.  If [s] exceeds the supervisor's heartbeat
+                     timeout it condemns us and our next write fails
+                     (EPIPE/RST) → [`Lost `Gone] → the caller rejoins.
+                     If [s] is shorter, the link was merely slow and the
+                     batch resumes unnoticed — the dead-peer/slow-link
+                     distinction, end to end. *)
+                  logf ~id "chaos: partition, silent for %.1fs after %d tasks" s !completed;
+                  Unix.sleepf s;
+                  step k
+                | `Continue ->
+                  send (Heartbeat { worker = id; count = !completed });
+                  send (Result { index = indices.(k); result = run_task indices.(k) });
+                  incr completed;
+                  step (k + 1)
+            in
+            step 0
           | Some _ -> raise (Protocol "unexpected message kind from supervisor")
         in
         loop ())
     | Some _ -> raise (Protocol "first message was not a config hello")
   with
   | Protocol e ->
-    Printf.eprintf "worker %d: %s\n%!" id e;
-    2
+    logf ~id "%s" e;
+    `Exit 2
   | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-    (* Supervisor is gone; nothing left to report to. *)
-    1
+    (* Supervisor is gone — or, over TCP, has condemned this worker and
+       closed the connection.  The caller decides whether to rejoin. *)
+    `Lost `Gone
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+    (* The socket receive timeout expired: a partition outlasted the
+       worker's patience. *)
+    logf ~id "supervisor silent past the socket read timeout";
+    `Lost `Gone
+
+let serve ~id ?auth ?chaos ~exec ~input ~output () =
+  match serve_io ~id ?auth ?chaos ~exec (Transport.fd_io ~input ~output) with
+  | `Exit n -> n
+  | `Lost `Eof -> 0
+  | `Lost `Gone -> 1

@@ -49,10 +49,14 @@ let roundtrip msg = Worker.parse (decode_one (Worker.encode msg))
 (* {1 Wire codec} *)
 
 let test_codec_roundtrips () =
-  (match roundtrip (Worker.Hello { worker = 3; wire_version = Worker.wire_version }) with
-  | Ok (Worker.Hello { worker = 3; wire_version = v }) ->
+  (match roundtrip (Worker.Hello { worker = 3; wire_version = Worker.wire_version; auth = "" }) with
+  | Ok (Worker.Hello { worker = 3; wire_version = v; auth = "" }) ->
     check_int "hello version" Worker.wire_version v
   | _ -> Alcotest.fail "hello did not round-trip");
+  (match roundtrip (Worker.Hello { worker = 9; wire_version = Worker.wire_version; auth = "s3cret\x00tok" }) with
+  | Ok (Worker.Hello { worker = 9; wire_version = _; auth }) ->
+    check_string "auth token survives byte-for-byte" "s3cret\x00tok" auth
+  | _ -> Alcotest.fail "authenticated hello did not round-trip");
   (match roundtrip (Worker.Config { Journal.spec = "ns=16;reps=2"; extra = "protect=raw;retry=0" })
    with
   | Ok (Worker.Config ctx) ->
@@ -159,7 +163,7 @@ let test_truncation_every_boundary () =
 let test_rx_interleaved_pipe_reads () =
   let msgs =
     [
-      Worker.Hello { worker = 0; wire_version = Worker.wire_version };
+      Worker.Hello { worker = 0; wire_version = Worker.wire_version; auth = "tok" };
       Worker.Heartbeat { worker = 0; count = 0 };
       Worker.Result { index = 3; result = Ok sample_entry };
       Worker.Heartbeat { worker = 0; count = 1 };
@@ -233,14 +237,34 @@ let test_chaos_spec_roundtrip () =
       "kill:worker=2,after=5";
       "kill:worker=2,after=5;hang:worker=0,after=9";
       "garbage:worker=1,after=3;seed=7";
+      "partition:worker=0,after=2,for=1500";
+      "delay:worker=0,after=1,ms=50";
+      "trickle:worker=1,after=0";
+      "partition:worker=0,after=2,for=3000;trickle:worker=1,after=0;kill:worker=2,after=4";
       "none";
     ];
+  (* Defaulted arguments are printed explicitly in the canonical form. *)
+  check_string "partition defaults for=3000" "partition:worker=1,after=0,for=3000"
+    (Chaos.to_string (Chaos.of_string_exn "partition:worker=1,after=0"));
+  check_string "delay defaults ms=25" "delay:worker=1,after=0,ms=25"
+    (Chaos.to_string (Chaos.of_string_exn "delay:worker=1,after=0"));
   List.iter
     (fun spec ->
       match Chaos.of_string spec with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "%S should not parse" spec)
-    [ "explode:worker=1,after=2"; "kill:worker=1"; "kill:after=2"; "kill:worker=-1,after=2"; "kill worker=1" ];
+    [
+      "explode:worker=1,after=2";
+      "kill:worker=1";
+      "kill:after=2";
+      "kill:worker=-1,after=2";
+      "kill worker=1";
+      "kill:worker=1,after=2,for=500";
+      "delay:worker=0,after=1,for=5";
+      "partition:worker=0,after=1,ms=5";
+      "trickle:worker=1,after=0,ms=9";
+      "partition:worker=0,after=1,for=-5";
+    ];
   check_bool "empty spec is none" true (Chaos.of_string "" = Ok Chaos.none)
 
 let test_chaos_hook_fires_by_count () =
