@@ -1,32 +1,53 @@
 (* Tracked performance benchmark of the simulation hot path.
 
    [dune build @perf] produces BENCH_perf.json: messages/sec, rounds/sec
-   and GC minor words per delivered message for the wakeup and broadcast
-   schemes on the path / clique / G_{n,S} / sparse-random families, at
-   sizes up to n = 10^6 (PERF_MAX_N caps the sweep; CI runs it at 10^4).
-   The checked-in copy at the repository root is the baseline future PRs
-   regress against: --baseline=FILE fails the run (exit 1) if any
-   matching row's messages/sec drops below half the recorded value.
+   and GC words per delivered message (minor and major) for the wakeup
+   and broadcast schemes on the path / clique / G_{n,S} / sparse-random
+   families, at sizes up to n = 10^7 (PERF_MAX_N caps the sweep; CI runs
+   it at 10^4).  The checked-in copy at the repository root is the
+   baseline future PRs regress against: --baseline=FILE fails the run
+   (exit 1) if any matching row's messages/sec drops more than 25%
+   below the recorded value.
 
-   Schema ("oracle-size/perf/v2"): a top-level object with "schema",
+   Schema ("oracle-size/perf/v3"): a top-level object with "schema",
    "max_n", "jobs", "wall_seconds", "cpu_seconds" and "rows"; each row
    carries protocol, family, n, m, advice_bits, messages, rounds, reps,
    seconds, msgs_per_sec, rounds_per_sec, minor_words_per_msg,
-   all_informed, quiescent — unchanged from v1, so v1 baseline files
-   still compare.  The row set may grow in later versions; field
-   meanings may not change.
+   major_words_per_msg, all_informed, quiescent.  v3 appends
+   major_words_per_msg (words promoted to or directly allocated on the
+   major heap per message, over one post-warmup run — the long-lived
+   per-node state that major collections must repeatedly mark); every
+   v2 field keeps its meaning, so v2 baseline files still compare.
+
+   Measurement configuration, deliberately pinned so rows are
+   comparable across PRs:
+
+   - [Gc.space_overhead] is set to 200 for the whole sweep.  At n =
+     10^7 a broadcast run promotes ~740M words of per-node scheme
+     state that every major cycle must re-mark; the default overhead
+     of 120 triggers majors often enough that marking dominates the
+     row (measured ~40% slower in-sweep on the same binary), and 200
+     trades transient heap headroom for that marking time.  The
+     baseline records numbers under this setting.
+   - Graphs are cached keep-last-only, not in an unbounded per-worker
+     cache.  Protocols are the innermost sweep axis, so consecutive
+     tasks share their graph; keeping {e every} graph alive (the old
+     behaviour) inflated the live major heap as the sweep advanced and
+     slowed later rows by up to 3x — a measurement artifact, not a
+     runner cost.
+   - [Gc.compact] runs before each row, so heap state left by earlier
+     rows never leaks into this one.
 
    The grid executes on a Sim.Pool ([--jobs=N] / ORACLE_SIZE_JOBS;
    default 1).  Every deterministic row field is identical at any job
-   count — graphs are cached per worker but keyed only by coordinates,
-   and rows are emitted in one ordered pass after the join; only the
-   timing fields move.  At jobs = 1 timing is CPU time best-of-three
-   (the baseline-comparable configuration); at jobs > 1 rows are timed
-   by wall clock, since [Sys.time] sums CPU across all domains.
+   count; only the timing fields move.  At jobs = 1 timing is CPU time
+   best-of-three (the baseline-comparable configuration); at jobs > 1
+   rows are timed by wall clock, since [Sys.time] sums CPU across all
+   domains.
 
    Wakeup rows double as a correctness gate: the paper's Theorem 2.1
    count (exactly n-1 messages, every node informed, quiescent) is
-   asserted at every size, 10^6 included. *)
+   asserted at every size, 10^7 included. *)
 
 module Graph = Netgraph.Graph
 
@@ -45,6 +66,7 @@ type row = {
   msgs_per_sec : float;
   rounds_per_sec : float;
   minor_words_per_msg : float;
+  major_words_per_msg : float;
   all_informed : bool;
   quiescent : bool;
 }
@@ -63,15 +85,16 @@ let build_family family n =
 
 (* Per-family size caps below the sweep ceiling: the quadratic families
    bound memory, not the runner — a clique at n = 2*10^3 already carries
-   ~2*10^6 edges, and n = 10^4 would need ~5*10^7 (gigabytes of adjacency
-   tuples) — so they stop at 2*10^3 and the cap is logged rather than
-   silently dropped.  Sparse-random runs the full ceiling now that
-   sampling is O(m + n) skip-sampling instead of the old all-pairs
-   loop. *)
+   ~2*10^6 edges, and n = 10^4 would need ~5*10^7 — so they stop at
+   2*10^3 and the cap is logged rather than silently dropped.  Sparse
+   stops at 10^6: generating a connected G(n,p) at 10^7 costs more wall
+   time than every measured row combined, for no additional coverage of
+   the runner (the CSR adjacency it exercises is the same one the path
+   rows stress at 10^7). *)
 let families =
-  [ ("path", 1_000_000); ("clique", 2_000); ("gns", 2_000); ("sparse", 1_000_000) ]
+  [ ("path", 10_000_000); ("clique", 2_000); ("gns", 2_000); ("sparse", 1_000_000) ]
 
-let sizes = [ 1_000; 2_000; 10_000; 100_000; 1_000_000 ]
+let sizes = [ 1_000; 2_000; 10_000; 100_000; 1_000_000; 10_000_000 ]
 
 let wakeup_workload g =
   let o = Oracle_core.Wakeup.oracle () in
@@ -89,12 +112,8 @@ let workloads = [ ("wakeup", wakeup_workload); ("broadcast", broadcast_workload)
 
 let measure ~clock ~protocol ~family g =
   let n = Graph.n g in
-  let advice_bits, advice, factory =
-    (List.assoc protocol workloads) g
-  in
-  let run () =
-    Sim.Runner.run ~max_messages:(5 * n) ~advice g ~source:0 factory
-  in
+  let advice_bits, advice, factory = (List.assoc protocol workloads) g in
+  let run () = Sim.Runner.run ~max_messages:(5 * n) ~advice g ~source:0 factory in
   (* At jobs = 1, [clock] is CPU time ([Sys.time]): the row is
      single-threaded and does no I/O inside the timed region, so CPU
      time is the quantity we are optimising, and it is immune to the
@@ -103,15 +122,21 @@ let measure ~clock ~protocol ~family g =
      [Sys.time] is process-wide across domains.  Repeat small runs so
      each pass covers >= ~2*10^5 messages, and take the best of three
      passes.  [Gc.compact] first, so heap state left over from earlier
-     rows (a fragmented major heap measurably distorts the smaller
-     sizes) never leaks into this one; one warmup run re-primes code
-     paths and allocator state. *)
+     rows never leaks into this one; one warmup run re-primes code
+     paths and allocator state.  The allocation columns come from the
+     single post-warmup run between the two counter reads: minor words
+     are everything allocated, major words everything promoted or
+     allocated directly on the major heap (the state major collections
+     must repeatedly mark — the quantity that made large sparse rows
+     fall off a cliff before the CSR adjacency). *)
   let reps = max 1 (200_000 / n) in
   Gc.compact ();
   ignore (run ());
   let minor0 = Gc.minor_words () in
+  let major0 = (Gc.quick_stat ()).Gc.major_words in
   let last = ref (run ()) in
   let minor = Gc.minor_words () -. minor0 in
+  let major = (Gc.quick_stat ()).Gc.major_words -. major0 in
   let dt = ref infinity in
   for _ = 1 to 3 do
     let t0 = clock () in
@@ -126,6 +151,7 @@ let measure ~clock ~protocol ~family g =
   let sent = r.Sim.Runner.stats.Sim.Runner.sent in
   let rounds = r.Sim.Runner.stats.Sim.Runner.rounds in
   let per_run = dt /. float_of_int reps in
+  let per_msg words = if sent > 0 then words /. float_of_int sent else 0.0 in
   {
     protocol;
     family;
@@ -138,8 +164,8 @@ let measure ~clock ~protocol ~family g =
     seconds = dt;
     msgs_per_sec = (if per_run > 0.0 then float_of_int sent /. per_run else 0.0);
     rounds_per_sec = (if per_run > 0.0 then float_of_int rounds /. per_run else 0.0);
-    minor_words_per_msg = (if sent > 0 then minor /. float_of_int sent else 0.0);
-    (* minor is measured over the single post-warmup run above *)
+    minor_words_per_msg = per_msg minor;
+    major_words_per_msg = per_msg major;
     all_informed = r.Sim.Runner.all_informed;
     quiescent = r.Sim.Runner.quiescent;
   }
@@ -162,15 +188,16 @@ let assert_row row =
 
 let row_to_json r =
   Printf.sprintf
-    {|{"protocol":"%s","family":"%s","n":%d,"m":%d,"advice_bits":%d,"messages":%d,"rounds":%d,"reps":%d,"seconds":%.6f,"msgs_per_sec":%.1f,"rounds_per_sec":%.1f,"minor_words_per_msg":%.2f,"all_informed":%b,"quiescent":%b}|}
+    {|{"protocol":"%s","family":"%s","n":%d,"m":%d,"advice_bits":%d,"messages":%d,"rounds":%d,"reps":%d,"seconds":%.6f,"msgs_per_sec":%.1f,"rounds_per_sec":%.1f,"minor_words_per_msg":%.2f,"major_words_per_msg":%.2f,"all_informed":%b,"quiescent":%b}|}
     r.protocol r.family r.n r.m r.advice_bits r.messages r.rounds r.reps r.seconds
-    r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg r.all_informed r.quiescent
+    r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg r.major_words_per_msg r.all_informed
+    r.quiescent
 
 let write_json file ~max_n ~jobs ~wall_seconds ~cpu_seconds rows =
   let oc = open_out file in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"oracle-size/perf/v2\",\n\
+    \  \"schema\": \"oracle-size/perf/v3\",\n\
     \  \"max_n\": %d,\n\
     \  \"jobs\": %d,\n\
     \  \"wall_seconds\": %.3f,\n\
@@ -236,6 +263,11 @@ let read_baseline file =
   close_in ic;
   !rows
 
+(* The regression gate: more than 25% below the recorded msgs/sec at
+   any matching (protocol, family, n) point fails the run.  The margin
+   absorbs the CPU-time jitter of a shared machine (measured at well
+   under 10% for best-of-three CPU-time rows) while still catching any
+   real hot-path regression worth a review comment. *)
 let check_baseline file rows =
   if not (Sys.file_exists file) then
     Printf.printf "perf: baseline %s not found, skipping regression check\n" file
@@ -247,10 +279,11 @@ let check_baseline file rows =
         match List.assoc_opt (r.protocol, r.family, r.n) baseline with
         | None -> ()
         | Some base ->
-          if r.msgs_per_sec < base /. 2.0 then begin
+          if r.msgs_per_sec < base *. 0.75 then begin
             incr failures;
             Printf.eprintf
-              "perf: REGRESSION %s/%s n=%d: %.0f msgs/s is less than half the baseline %.0f\n"
+              "perf: REGRESSION %s/%s n=%d: %.0f msgs/s is more than 25%% below the baseline \
+               %.0f\n"
               r.protocol r.family r.n r.msgs_per_sec base
           end
           else
@@ -266,7 +299,7 @@ type task = { t_family : string; t_n : int; t_protocol : string }
 
 let () =
   let out = ref "BENCH_perf.json" in
-  let max_n = ref 1_000_000 in
+  let max_n = ref 10_000_000 in
   let baseline = ref "" in
   let jobs_arg = ref None in
   List.iter
@@ -289,6 +322,9 @@ let () =
         exit 2
       end)
     (List.tl (Array.to_list Sys.argv));
+  (* Pinned GC configuration — see the header comment.  Set before any
+     row runs so warmups and measurements agree. *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 200 };
   (* Default 1, not recommended_domain_count: the checked-in baseline is
      the single-job CPU-time configuration, and timing semantics switch
      with the job count (see [measure]). *)
@@ -311,11 +347,11 @@ let () =
         (fun n ->
           if n > !max_n then ()
           else if n > cap then
-            Printf.printf "perf: skipping %s at n=%d (family capped at %d: quadratic size)\n"
-              family n cap
+            Printf.printf "perf: skipping %s at n=%d (family capped at %d)\n" family n cap
           else
             List.iter
-              (fun (protocol, _) -> tasks := { t_family = family; t_n = n; t_protocol = protocol } :: !tasks)
+              (fun (protocol, _) ->
+                tasks := { t_family = family; t_n = n; t_protocol = protocol } :: !tasks)
               workloads)
         sizes)
     families;
@@ -324,12 +360,30 @@ let () =
   let cpu0 = Sys.time () in
   let results =
     Sim.Sweep.map ~jobs
-      ~local:(fun () -> Sim.Sweep.Cache.create ())
-      ~f:(fun graphs _i t ->
+      ~local:(fun () -> ref None)
+      ~f:(fun cache _i t ->
+        (* Keep-last, not keep-all: protocols are the innermost axis, so
+           the cache still saves every redundant build, but graphs from
+           earlier (family, n) coordinates are dropped and collected
+           instead of sitting in the live set distorting the GC costs of
+           every row measured after them. *)
+        let key = (t.t_family, t.t_n) in
         let g =
-          Sim.Sweep.Cache.find graphs (t.t_family, t.t_n) (fun () -> build_family t.t_family t.t_n)
+          match !cache with
+          | Some (k, g) when k = key -> g
+          | _ ->
+            let g = build_family t.t_family t.t_n in
+            cache := Some (key, g);
+            g
         in
-        measure ~clock ~protocol:t.t_protocol ~family:t.t_family g)
+        let r = measure ~clock ~protocol:t.t_protocol ~family:t.t_family g in
+        (* Live line on stderr as each row lands: a 10^7 sweep runs for
+           minutes, and the ordered pass below only speaks after the
+           join.  Unordered at jobs>1; the post-join pass stays the
+           canonical record. *)
+        Printf.eprintf "perf-live: %s %s n=%d %.0f msgs/s %.3f s\n%!"
+          t.t_protocol t.t_family t.t_n r.msgs_per_sec r.seconds;
+        r)
       tasks
   in
   let wall_seconds = Unix.gettimeofday () -. wall0 in
@@ -345,11 +399,28 @@ let () =
         exit 1
       | Ok r ->
         assert_row r;
-        Printf.printf "perf: %-9s %-6s n=%-7d %9.0f msgs/s %9.0f rounds/s %6.1f words/msg\n"
+        Printf.printf "perf: %-9s %-6s n=%-8d %9.0f msgs/s %9.0f rounds/s %6.1f minor w/msg\n"
           r.protocol r.family r.n r.msgs_per_sec r.rounds_per_sec r.minor_words_per_msg;
         rows := r :: !rows)
     results;
   let rows = List.rev !rows in
+  Table.render ~title:"perf: simulation hot path"
+    ~header:
+      [ "protocol"; "family"; "n"; "msgs/s"; "rounds/s"; "minor w/msg"; "major w/msg"; "run s" ]
+    ~aligns:[ Table.L; Table.L; Table.R; Table.R; Table.R; Table.R; Table.R; Table.R ]
+    (List.map
+       (fun r ->
+         [
+           r.protocol;
+           r.family;
+           Table.i r.n;
+           Printf.sprintf "%.0f" r.msgs_per_sec;
+           Printf.sprintf "%.0f" r.rounds_per_sec;
+           Table.f1 r.minor_words_per_msg;
+           Table.f1 r.major_words_per_msg;
+           Table.f3 (r.seconds /. float_of_int r.reps);
+         ])
+       rows);
   write_json !out ~max_n:!max_n ~jobs ~wall_seconds ~cpu_seconds rows;
   Printf.printf "perf: wrote %d rows to %s (jobs=%d wall=%.1fs cpu=%.1fs)\n" (List.length rows)
     !out jobs wall_seconds cpu_seconds;

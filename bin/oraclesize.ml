@@ -172,6 +172,35 @@ let jobs_arg =
 
 let resolve_jobs = function Some j -> j | None -> Sim.Pool.default_jobs ()
 
+(* Same edge-validation stance as [-j] for the intra-run shard count:
+   --shards 0, negatives, and unparsable ORACLE_SIZE_SHARDS values are
+   Cmdliner errors (exit 124) with the offending text. *)
+let shards_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some k when k >= 1 -> Ok k
+    | Some k -> Error (`Msg (Printf.sprintf "shard count must be at least 1, got %d" k))
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid shard count %S (expected a positive integer)" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some shards_conv) None
+    & info [ "shards" ] ~docv:"N"
+        ~env:
+          (Cmd.Env.info "ORACLE_SIZE_SHARDS"
+             ~doc:"Default shard count when $(b,--shards) is absent.")
+        ~doc:
+          "Execute one run across $(docv) domains (synchronous scheduler only; asynchronous \
+           schedulers always run sequentially).  Defaults to $(b,ORACLE_SIZE_SHARDS) when \
+           set, else 1.  Traces, statistics and verdicts are bit-identical for every \
+           $(docv); only the wall time changes.")
+
+let resolve_shards = function Some k -> k | None -> Sim.Shard.default_shards ()
+
 let suite_flag =
   Arg.(
     value & flag
@@ -184,12 +213,12 @@ let suite_flag =
 
 (* The adversarial path shared by wakeup and broadcast: run the hardened
    harness under the plan and report the verdict. *)
-let run_faulty protocol plan ~protect ~retry family g ~source ~scheduler sinks =
+let run_faulty protocol plan ~protect ~retry ~shards family g ~source ~scheduler sinks =
   if retry < 0 then begin
     Printf.eprintf "oraclesize: --retry must be non-negative\n";
     exit 2
   end;
-  let o = Fault.Harness.run ~scheduler ~plan ~sinks ~protect ~retry protocol g ~source in
+  let o = Fault.Harness.run ~scheduler ~plan ~sinks ~protect ~retry ~shards protocol g ~source in
   let b = Fault.Harness.budgets ~retry protocol g in
   let stats = o.Fault.Harness.result.Sim.Runner.stats in
   Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
@@ -330,8 +359,10 @@ let wakeup_cmd =
       & opt encoding_conv Oracle_core.Wakeup.Paper
       & info [ "encoding" ] ~docv:"ENC" ~doc:"Advice encoding: paper, minimal, or gamma.")
   in
-  let run family n seed source scheduler encoding fault protect retry suite jobs trace_out =
+  let run family n seed source scheduler encoding fault protect retry suite jobs shards
+      trace_out =
     let g = build family n seed in
+    let shards = resolve_shards shards in
     match fault with
     | Some plan when suite ->
       if trace_out <> None then begin
@@ -342,14 +373,15 @@ let wakeup_cmd =
         family g ~source
     | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
-          run_faulty Fault.Harness.Wakeup plan ~protect ~retry family g ~source ~scheduler sinks)
+          run_faulty Fault.Harness.Wakeup plan ~protect ~retry ~shards family g ~source
+            ~scheduler sinks)
     | None when suite ->
       Printf.eprintf "oraclesize: --suite is only meaningful together with --fault\n";
       exit 2
     | None ->
       let o =
         with_trace_sinks trace_out (fun sinks ->
-            Oracle_core.Wakeup.run ~encoding ~scheduler ~sinks g ~source)
+            Oracle_core.Wakeup.run ~encoding ~scheduler ~sinks ~shards g ~source)
       in
       let stats = o.Oracle_core.Wakeup.result.Sim.Runner.stats in
       Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
@@ -364,7 +396,8 @@ let wakeup_cmd =
     (Cmd.info "wakeup" ~doc:"Run the Theorem 2.1 wakeup oracle and scheme.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ encoding_arg
-      $ fault_arg $ protect_arg $ retry_arg $ suite_flag $ jobs_arg $ trace_out_arg)
+      $ fault_arg $ protect_arg $ retry_arg $ suite_flag $ jobs_arg $ shards_arg
+      $ trace_out_arg)
 
 (* {1 broadcast} *)
 
@@ -386,8 +419,9 @@ let broadcast_cmd =
           ~doc:"Spanning tree: light (Claim 3.1, default), bfs, or dfs.")
   in
   let run family n seed source scheduler (tree_name, tree) fault protect retry suite jobs
-      trace_out =
+      shards trace_out =
     let g = build family n seed in
+    let shards = resolve_shards shards in
     match fault with
     | Some plan when suite ->
       if trace_out <> None then begin
@@ -398,15 +432,15 @@ let broadcast_cmd =
         family g ~source
     | Some plan ->
       with_trace_sinks trace_out (fun sinks ->
-          run_faulty Fault.Harness.Broadcast plan ~protect ~retry family g ~source ~scheduler
-            sinks)
+          run_faulty Fault.Harness.Broadcast plan ~protect ~retry ~shards family g ~source
+            ~scheduler sinks)
     | None when suite ->
       Printf.eprintf "oraclesize: --suite is only meaningful together with --fault\n";
       exit 2
     | None ->
       let o =
         with_trace_sinks trace_out (fun sinks ->
-            Oracle_core.Broadcast.run ~tree ~scheduler ~sinks g ~source)
+            Oracle_core.Broadcast.run ~tree ~scheduler ~sinks ~shards g ~source)
       in
       let stats = o.Oracle_core.Broadcast.result.Sim.Runner.stats in
       Printf.printf "network:      %s, %d nodes, %d edges\n" (Families.name family) (Graph.n g)
@@ -426,7 +460,8 @@ let broadcast_cmd =
     (Cmd.info "broadcast" ~doc:"Run the Theorem 3.1 broadcast oracle and Scheme B.")
     Term.(
       const run $ family_arg $ n_arg $ seed_arg $ source_arg $ scheduler_arg $ tree_arg
-      $ fault_arg $ protect_arg $ retry_arg $ suite_flag $ jobs_arg $ trace_out_arg)
+      $ fault_arg $ protect_arg $ retry_arg $ suite_flag $ jobs_arg $ shards_arg
+      $ trace_out_arg)
 
 (* {1 separation} *)
 

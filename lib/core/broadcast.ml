@@ -56,12 +56,17 @@ let oracle ?(tree = fun g ~root -> Spanning.light g ~root) ?(encoding = Marked) 
 (* Scheme B.  kx = known incident ports; sx = ports through which M has
    transited (sent or received); informed = has M.
 
-   The state lives as flat structures, not functional sets: [pending]
-   holds kx \ sx in ascending port order (the order [Set.elements] used
-   to give, so traces are unchanged), [known] is a per-port membership
-   bitmap for kx.  A flush hands off [pending] whole instead of paying
-   a diff/union/elements round trip per delivery — the set churn, not
-   the runner, dominated the broadcast profile at n = 10^5. *)
+   The state lives as two small sorted port lists, not functional sets
+   and not a per-port bitmap: [pending] holds kx \ sx in ascending port
+   order (the order [Set.elements] used to give, so traces are
+   unchanged), [retired] holds kx ∩ sx.  kx is tiny — the advised tree
+   ports plus ports the message transited — so membership is an O(|kx|)
+   scan.  The previous degree-sized membership bitmap allocated Θ(deg)
+   bytes per node, which on a clique is Θ(n²) bytes across the run:
+   measured ~190 minor words per message at n = 2000, all of it that
+   bitmap.  A flush still hands off [pending] whole instead of paying a
+   diff/union/elements round trip per delivery — the set churn, not the
+   runner, dominated the broadcast profile at n = 10^5. *)
 let rec sends_to msg = function
   | [] -> []
   | p :: rest -> (msg, p) :: sends_to msg rest
@@ -75,26 +80,34 @@ let rec remove_port p = function
   | [] -> []
   | q :: rest -> if q = p then rest else q :: remove_port p rest
 
+let rec mem_port p = function
+  | [] -> false
+  | q :: rest -> q = p || (q < p && mem_port p rest)
+
+(* Merge two ascending lists (duplicates cannot arise: pending and
+   retired are disjoint by construction). *)
+let rec merge_ports a b =
+  match a, b with
+  | [], l | l, [] -> l
+  | p :: ra, q :: _ when p < q -> p :: merge_ports ra b
+  | _, q :: rb -> q :: merge_ports a rb
+
 let scheme ?(encoding = Marked) () static =
   let advice = static.Sim.History.advice in
   let is_source = static.Sim.History.is_source in
-  let degree = static.Sim.History.degree in
-  let known = Bytes.make (max 1 degree) '\000' in
-  let pending =
-    let ports = List.sort_uniq compare (decode_known_ports encoding advice) in
-    (* An advised port beyond the degree stays out of the bitmap but in
-       [pending]: sending on it aborts the run exactly as it did when
-       kx was a set. *)
-    List.iter (fun p -> if p >= 0 && p < degree then Bytes.set known p '\001') ports;
-    ref ports
-  in
+  let pending = ref (List.sort_uniq compare (decode_known_ports encoding advice)) in
+  (* Note an advised port beyond the degree stays in [pending]: sending
+     on it aborts the run exactly as it did when kx was a set.  It can
+     never collide with a queried port (arrival ports are < degree). *)
+  let retired = ref [] in
   let informed = ref is_source in
-  let is_known p = p >= 0 && p < degree && Bytes.get known p <> '\000' in
-  let note p = if p >= 0 && p < degree then Bytes.set known p '\001' in
+  let is_known p = mem_port p !pending || mem_port p !retired in
   let flush () =
     if !informed then begin
       let fresh = !pending in
       pending := [];
+      (* Flushed ports stay in kx (they are now also in sx). *)
+      retired := merge_ports !retired fresh;
       sends_to Sim.Message.Source fresh
     end
     else []
@@ -106,14 +119,15 @@ let scheme ?(encoding = Marked) () static =
       (* The informer's port joins kx and sx at once: an advised port we
          have not yet used is retired unsent, a new port never becomes
          pending at all. *)
-      if is_known port then pending := remove_port port !pending else note port;
+      if mem_port port !pending then begin
+        pending := remove_port port !pending;
+        retired := insert_port port !retired
+      end
+      else if not (mem_port port !retired) then retired := insert_port port !retired;
       informed := true;
       flush ()
     | Sim.Message.Hello ->
-      if not (is_known port) then begin
-        note port;
-        pending := insert_port port !pending
-      end;
+      if not (is_known port) then pending := insert_port port !pending;
       flush ()
     | Sim.Message.Control _ -> []
   in
@@ -247,14 +261,14 @@ type outcome = {
 }
 
 let run ?(tree = fun g ~root -> Spanning.light g ~root) ?(encoding = Marked)
-    ?(scheduler = Sim.Scheduler.Async_fifo) ?(sinks = []) ?registry g ~source =
+    ?(scheduler = Sim.Scheduler.Async_fifo) ?(sinks = []) ?(shards = 1) ?registry g ~source =
   let t = tree g ~root:source in
   let tree_contribution = Spanning.contribution g (Spanning.edges t) in
   let o = oracle ~tree:(fun _ ~root:_ -> t) ~encoding () in
   let advice = o.Oracles.Oracle.advise g ~source in
   let advice_bits = Oracles.Advice.size_bits advice in
   let result =
-    Sim.Runner.run ~scheduler ~sinks
+    Sim.Shard.run ~scheduler ~sinks ~shards
       ~advice:(Oracles.Advice.get advice)
       g ~source (scheme ~encoding ())
   in

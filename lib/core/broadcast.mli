@@ -44,6 +44,7 @@ val run :
   ?encoding:encoding ->
   ?scheduler:Sim.Scheduler.t ->
   ?sinks:Obs.Sink.t list ->
+  ?shards:int ->
   ?registry:Obs.Registry.t ->
   Netgraph.Graph.t ->
   source:int ->
@@ -51,7 +52,9 @@ val run :
 (** Build the oracle, run Scheme B, return the result together with the
     oracle size.  Telemetry events stream into [sinks] (see
     {!Sim.Runner.run}); one protocol record named ["broadcast"] is noted
-    into [registry] (default: {!Obs.Registry.default}). *)
+    into [registry] (default: {!Obs.Registry.default}).  [shards]
+    (default 1) executes the run across that many domains via
+    {!Sim.Shard.run} — output is bit-identical at any shard count. *)
 
 val decode_known_ports : encoding -> Bitstring.Bitbuf.t -> int list
 (** The advice decoder (exposed for tests): the ports Scheme B starts out

@@ -42,6 +42,7 @@ val run :
   ?encoding:encoding ->
   ?scheduler:Sim.Scheduler.t ->
   ?sinks:Obs.Sink.t list ->
+  ?shards:int ->
   ?registry:Obs.Registry.t ->
   Netgraph.Graph.t ->
   source:int ->
@@ -49,7 +50,9 @@ val run :
 (** Build the oracle, run the scheme, return the result together with the
     oracle size.  Telemetry events stream into [sinks] (see
     {!Sim.Runner.run}); one protocol record named ["wakeup"] is noted into
-    [registry] (default: {!Obs.Registry.default}). *)
+    [registry] (default: {!Obs.Registry.default}).  [shards] (default 1)
+    executes the run across that many domains via {!Sim.Shard.run} —
+    output is bit-identical at any shard count. *)
 
 val decode_ports : encoding -> Bitstring.Bitbuf.t -> int list
 (** The advice decoder (exposed for tests). *)

@@ -18,7 +18,37 @@ let of_pairs ?labels ~n pairs =
 
 let path n =
   if n < 1 then fail "Gen.path: n = %d" n;
-  of_pairs ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+  (* CSR built directly — same port assignment the edge-list path
+     produced (edge (i, i+1) in order, ports claimed first-come): node 0
+     reaches 1 on port 0; interior node i reaches i-1 on port 0 and i+1
+     on port 1; the last node reaches its predecessor on port 0.  The
+     edge-list construction allocated Θ(n) list cells and records just
+     for [Graph.make] to tear apart; at n = 10⁷ the three int arrays are
+     the whole build. *)
+  if n = 1 then Graph.of_csr ~n ~off:[| 0; 0 |] ~nbr:[||] ~prt:[||] ()
+  else begin
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      let deg = if i = 0 || i = n - 1 then 1 else 2 in
+      off.(i + 1) <- off.(i) + deg
+    done;
+    let total = off.(n) in
+    let nbr = Array.make total 0 in
+    let prt = Array.make total 0 in
+    (* Port of edge {i, i+1} at i is (i = 0 ? 0 : 1); at i+1 it is 0. *)
+    nbr.(off.(0)) <- 1;
+    prt.(off.(0)) <- 0;
+    for i = 1 to n - 1 do
+      let base = off.(i) in
+      nbr.(base) <- i - 1;
+      prt.(base) <- (if i - 1 = 0 then 0 else 1);
+      if i < n - 1 then begin
+        nbr.(base + 1) <- i + 1;
+        prt.(base + 1) <- 0
+      end
+    done;
+    Graph.of_csr ~n ~off ~nbr ~prt ()
+  end
 
 let cycle n =
   if n < 3 then fail "Gen.cycle: n = %d < 3" n;
@@ -30,17 +60,24 @@ let star n =
 
 let complete n =
   if n < 2 then fail "Gen.complete: n = %d < 2" n;
-  (* Adjacency built directly into pre-sized rows: port p at i leads to
+  (* Adjacency built directly into the CSR arrays: port p at i leads to
      (i + p + 1) mod n, and the port at j back to i is the q solving
      (j + q + 1) mod n = i.  The edge-list path would allocate an
      n²-record list just to have [Graph.make] tear it apart again; at
      n = 10³ that list alone dominates grid setup. *)
-  Graph.of_port_map
-    (Array.init n (fun i ->
-         Array.init (n - 1) (fun p ->
-             let j = (i + p + 1) mod n in
-             let q = ((i - j - 1) mod n + n) mod n in
-             (j, q))))
+  let off = Array.init (n + 1) (fun i -> i * (n - 1)) in
+  let total = n * (n - 1) in
+  let nbr = Array.make total 0 in
+  let prt = Array.make total 0 in
+  for i = 0 to n - 1 do
+    let base = off.(i) in
+    for p = 0 to n - 2 do
+      let j = (i + p + 1) mod n in
+      nbr.(base + p) <- j;
+      prt.(base + p) <- ((i - j - 1) mod n + n) mod n
+    done
+  done;
+  Graph.of_csr ~n ~off ~nbr ~prt ()
 
 let balanced_tree ~arity ~depth =
   if arity < 1 then fail "Gen.balanced_tree: arity = %d" arity;

@@ -32,14 +32,26 @@ val of_adjacency : ?labels:int array -> int list array -> t
     The neighbor lists must be symmetric. *)
 
 val of_port_map : ?labels:int array -> (int * int) array array -> t
-(** [of_port_map adj] adopts the explicit port map [adj.(u).(p) = (v, q)]
-    {e without copying}: the caller hands over ownership of the arrays and
-    must not mutate them afterwards.  All of {!make}'s invariants are
-    checked, but in a single O(n + m) pass with no per-edge allocation —
-    the fast path for dense generators (a clique builds straight into
-    pre-sized rows instead of an [n²]-record edge list).  Raises
-    [Invalid_argument] on a malformed map (asymmetry, self-loop, parallel
-    edge, out-of-range neighbor or port, duplicate label). *)
+(** [of_port_map adj] builds from the explicit port map [adj.(u).(p) =
+    (v, q)], flattened into the internal CSR arrays in one O(n + m)
+    pass.  All of {!make}'s invariants are checked with no per-edge
+    allocation — the fast path for dense generators (a clique builds
+    straight from pre-sized rows instead of an [n²]-record edge list).
+    Raises [Invalid_argument] on a malformed map (asymmetry, self-loop,
+    parallel edge, out-of-range neighbor or port, duplicate label). *)
+
+val of_csr :
+  ?labels:int array -> n:int -> off:int array -> nbr:int array -> prt:int array -> unit -> t
+(** [of_csr ~n ~off ~nbr ~prt ()] adopts adjacency already in the
+    internal CSR form: [off] has length [n+1] with [off.(0) = 0] and
+    monotone offsets, and port [p] at node [u] reaches node
+    [nbr.(off.(u) + p)] arriving on its port [prt.(off.(u) + p)].  The
+    arrays are adopted {e without copying} — the caller hands over
+    ownership and must not mutate them afterwards.  Structural
+    invariants (mirror symmetry, no self-loops or parallel edges, ranges)
+    are checked in O(n + m); [Invalid_argument] on violation.  The
+    zero-intermediate path for generators that can emit CSR directly
+    (a 10⁷-node path allocates three int arrays and nothing else). *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -61,6 +73,28 @@ val endpoint : t -> int -> int -> int * int
 (** [endpoint g u p] is [(v, q)]: following port [p] out of [u] reaches
     node [v], arriving on [v]'s port [q].  Raises [Invalid_argument] on a
     bad port. *)
+
+val endpoint_node : t -> int -> int -> int
+(** [endpoint_node g u p] is [fst (endpoint g u p)] without allocating
+    the pair — the per-send hot path in the runner. *)
+
+val endpoint_port : t -> int -> int -> int
+(** [endpoint_port g u p] is [snd (endpoint g u p)] without allocating
+    the pair. *)
+
+val csr_offsets : t -> int array
+(** The physical CSR offset array (length [n+1]); see {!of_csr} for the
+    layout.  Shared with the graph, {b not} a copy — callers must treat
+    it as read-only.  Exposed so per-message inner loops can index
+    adjacency with zero function-call or bounds-recheck overhead. *)
+
+val csr_neighbors : t -> int array
+(** The physical CSR neighbor array (length [2m]); read-only, see
+    {!csr_offsets}. *)
+
+val csr_ports : t -> int array
+(** The physical CSR arrival-port array (length [2m]); read-only, see
+    {!csr_offsets}. *)
 
 val neighbors : t -> int -> (int * int * int) list
 (** [neighbors g u] lists [(port, neighbor, neighbor_port)] in port

@@ -129,6 +129,31 @@ let note_retransmit t ~round =
   note_round t round;
   t.c_retransmits <- t.c_retransmits + 1
 
+(* Merging is exact, not approximate: every counter is a sum except
+   [c_rounds] and [c_depth], which are maxima — both commutative and
+   associative folds of the per-event contributions, so counters split
+   across domains and absorbed in any order equal the sequential fold
+   over the same events.  This is what lets the sharded runner keep one
+   [t] per domain with no synchronization and still report stats
+   bit-identical to the sequential runner. *)
+let absorb t other =
+  t.c_sent <- t.c_sent + other.c_sent;
+  t.c_delivered <- t.c_delivered + other.c_delivered;
+  t.c_source <- t.c_source + other.c_source;
+  t.c_hello <- t.c_hello + other.c_hello;
+  t.c_control <- t.c_control + other.c_control;
+  t.c_bits <- t.c_bits + other.c_bits;
+  if other.c_rounds > t.c_rounds then t.c_rounds <- other.c_rounds;
+  if other.c_depth > t.c_depth then t.c_depth <- other.c_depth;
+  t.c_wakes <- t.c_wakes + other.c_wakes;
+  t.c_decides <- t.c_decides + other.c_decides;
+  t.c_advice <- t.c_advice + other.c_advice;
+  t.c_faults <- t.c_faults + other.c_faults;
+  t.c_dropped <- t.c_dropped + other.c_dropped;
+  t.c_duplicated <- t.c_duplicated + other.c_duplicated;
+  t.c_retransmits <- t.c_retransmits + other.c_retransmits;
+  t.c_corrected <- t.c_corrected + other.c_corrected
+
 let sink t = Sink.make (observe t)
 
 let summary t =

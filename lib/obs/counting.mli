@@ -82,6 +82,15 @@ val note_fault : t -> round:int -> Event.fault -> unit
 val note_retransmit : t -> round:int -> unit
 (** The [Recover Msg_retransmitted] arm: bumps [retransmits]. *)
 
+val absorb : t -> t -> unit
+(** [absorb t other] folds [other]'s counters into [t], leaving [other]
+    untouched.  Exact, not approximate: every counter is a sum except
+    [rounds] and [causal_depth], which are maxima — both commutative,
+    associative folds, so counters accumulated independently per domain
+    and absorbed in any order are bit-identical to the sequential fold
+    over the same events.  The sharded runner's per-domain counting
+    relies on this. *)
+
 val sink : t -> Sink.t
 (** [observe] packaged as a {!Sink.t} (closing it is a no-op). *)
 

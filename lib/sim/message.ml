@@ -24,14 +24,22 @@ let is_source = function Source -> true | Hello | Control _ -> false
    schemes use to re-disseminate the source message around a failure.
    Two bits keeps them distinct from any empty/one-bit scheme payload. *)
 
-let timeout = Control (Bitstring.Bitbuf.of_bits [ true; false ])
+let timeout_payload = Bitstring.Bitbuf.of_bits [ true; false ]
 
+let timeout = Control timeout_payload
+
+(* The predicates run once per delivered control message: comparing
+   against the preallocated payload keeps them allocation-free (building
+   a fresh two-bit buffer per check used to charge every hardened-scheme
+   delivery a few words). *)
 let is_timeout = function
-  | Control p -> Bitstring.Bitbuf.equal p (Bitstring.Bitbuf.of_bits [ true; false ])
+  | Control p -> Bitstring.Bitbuf.equal p timeout_payload
   | Source | Hello -> false
 
-let reflood = Control (Bitstring.Bitbuf.of_bits [ true; true ])
+let reflood_payload = Bitstring.Bitbuf.of_bits [ true; true ]
+
+let reflood = Control reflood_payload
 
 let is_reflood = function
-  | Control p -> Bitstring.Bitbuf.equal p (Bitstring.Bitbuf.of_bits [ true; true ])
+  | Control p -> Bitstring.Bitbuf.equal p reflood_payload
   | Source | Hello -> false

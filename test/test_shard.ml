@@ -1,0 +1,197 @@
+(* The sharded engine's contract is bit-identity: at any shard count,
+   one run produces byte-for-byte the JSONL trace, the stats, and the
+   verdict inputs of the sequential runner.  The grids below pin that
+   across protocols, graph families, schedulers, shard counts and fault
+   plans — with [min_parallel_batch:1] where the engine is driven
+   directly, so the parallel phases really execute even on test-sized
+   graphs instead of falling back to the coordinator's inline path. *)
+
+open Oracle_core
+module Graph = Netgraph.Graph
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let jsonl events = String.concat "\n" (List.map Obs.Jsonl.encode events)
+
+let families =
+  [
+    ("path", fun () -> Netgraph.Gen.path 500);
+    ("complete", fun () -> Netgraph.Gen.complete 240);
+    ( "sparse",
+      fun () ->
+        Netgraph.Gen.random_connected ~n:1500 ~p:(4.0 /. 1500.0) (Random.State.make [| 1500 |]) );
+  ]
+
+let shard_counts = [ 1; 2; 7 ]
+
+(* Protocol runs through the public [Oracle_core] entry points: the
+   sequential trace and stats are the reference, every shard count must
+   reproduce them byte for byte. *)
+let test_protocol_grid () =
+  List.iter
+    (fun (fam, build) ->
+      let g = build () in
+      List.iter
+        (fun sched ->
+          List.iter
+            (fun (proto, run) ->
+              let reference = ref None in
+              List.iter
+                (fun shards ->
+                  let collect, collected = Obs.Sink.collect () in
+                  let stats, informed, load = run ~sinks:[ collect ] ~sched ~shards g in
+                  let trace = jsonl (collected ()) in
+                  match !reference with
+                  | None -> reference := Some (trace, stats, informed, load)
+                  | Some (t0, s0, i0, l0) ->
+                    let name =
+                      Printf.sprintf "%s/%s/%s/shards=%d" proto fam (Sim.Scheduler.name sched)
+                        shards
+                    in
+                    check_string (name ^ ": trace bytes") t0 trace;
+                    check_bool (name ^ ": stats") true (s0 = stats);
+                    check_bool (name ^ ": informed") true (i0 = informed);
+                    check_bool (name ^ ": per-node load") true (l0 = load))
+                shard_counts)
+            [
+              ( "wakeup",
+                fun ~sinks ~sched ~shards g ->
+                  let o = Wakeup.run ~scheduler:sched ~sinks ~shards g ~source:0 in
+                  let r = o.Wakeup.result in
+                  (r.Sim.Runner.stats, r.Sim.Runner.informed, r.Sim.Runner.per_node_sent) );
+              ( "broadcast",
+                fun ~sinks ~sched ~shards g ->
+                  let o = Broadcast.run ~scheduler:sched ~sinks ~shards g ~source:0 in
+                  let r = o.Broadcast.result in
+                  (r.Sim.Runner.stats, r.Sim.Runner.informed, r.Sim.Runner.per_node_sent) );
+            ])
+        [ Sim.Scheduler.Synchronous; Sim.Scheduler.Async_fifo ])
+    families
+
+(* The engine driven directly with [min_parallel_batch:1], so every
+   round of every run crosses the domain barriers, however small the
+   batch.  Covers the fully-parallel fast path (no sinks), the traced
+   path, and their agreement with each other and with [Runner.run]. *)
+let test_forced_parallel_phases () =
+  List.iter
+    (fun (fam, build) ->
+      let g = build () in
+      let advice _ = Bitstring.Bitbuf.create () in
+      let seq =
+        Sim.Runner.run ~scheduler:Sim.Scheduler.Synchronous ~record_trace:true ~advice g
+          ~source:0 Sim.Scheme.flooding
+      in
+      List.iter
+        (fun shards ->
+          let name = Printf.sprintf "%s/shards=%d" fam shards in
+          (* Fast path: no sinks, no trace. *)
+          let fast =
+            Sim.Shard.run ~scheduler:Sim.Scheduler.Synchronous ~shards ~min_parallel_batch:1
+              ~advice g ~source:0 Sim.Scheme.flooding
+          in
+          check_bool (name ^ " fast: stats") true (fast.Sim.Runner.stats = seq.Sim.Runner.stats);
+          check_bool (name ^ " fast: informed") true
+            (fast.Sim.Runner.informed = seq.Sim.Runner.informed);
+          check_bool (name ^ " fast: load") true
+            (fast.Sim.Runner.per_node_sent = seq.Sim.Runner.per_node_sent);
+          check_bool (name ^ " fast: quiescent") true
+            (fast.Sim.Runner.quiescent = seq.Sim.Runner.quiescent);
+          (* Traced path: the in-memory delivery trace must match the
+             sequential one record for record, sequence numbers
+             included. *)
+          let traced =
+            Sim.Shard.run ~scheduler:Sim.Scheduler.Synchronous ~shards ~min_parallel_batch:1
+              ~record_trace:true ~advice g ~source:0 Sim.Scheme.flooding
+          in
+          check_bool (name ^ " traced: deliveries") true
+            (traced.Sim.Runner.deliveries = seq.Sim.Runner.deliveries);
+          check_bool (name ^ " traced: stats") true
+            (traced.Sim.Runner.stats = seq.Sim.Runner.stats))
+        shard_counts)
+    families
+
+(* Shards composed with fault plans: the coordinator owns every RNG
+   draw, wheel tick and reorder-stage mutation, so the event stream —
+   faults, recoveries, deliveries — is byte-identical at any shard
+   count, across plans that exercise each fault channel and the
+   retransmit machinery. *)
+let test_fault_grid () =
+  let g =
+    Netgraph.Gen.random_connected ~n:900 ~p:(4.0 /. 900.0) (Random.State.make [| 900 |])
+  in
+  let advice _ = Bitstring.Bitbuf.create () in
+  List.iter
+    (fun (spec, retry) ->
+      let faults = Sim.Fault_plan.of_string_exn spec in
+      let reference = ref None in
+      List.iter
+        (fun shards ->
+          let collect, collected = Obs.Sink.collect () in
+          let r =
+            Sim.Shard.run ~scheduler:Sim.Scheduler.Synchronous ~shards ~min_parallel_batch:1
+              ~record_trace:true ~sinks:[ collect ] ~faults ~retry ~advice g ~source:0
+              Sim.Scheme.flooding
+          in
+          let trace = jsonl (collected ()) in
+          match !reference with
+          | None -> reference := Some (trace, r)
+          | Some (t0, r0) ->
+            let name = Printf.sprintf "%s/retry=%d/shards=%d" spec retry shards in
+            check_string (name ^ ": event bytes") t0 trace;
+            check_bool (name ^ ": stats") true (r0.Sim.Runner.stats = r.Sim.Runner.stats);
+            check_bool (name ^ ": deliveries") true
+              (r0.Sim.Runner.deliveries = r.Sim.Runner.deliveries);
+            check_bool (name ^ ": informed") true (r0.Sim.Runner.informed = r.Sim.Runner.informed))
+        shard_counts)
+    [
+      ("drop=0.1,seed=5", 3);
+      ("delay=0.3:7,seed=9", 0);
+      ("dup=0.05,reorder=3,seed=11", 0);
+      ("drop=0.15,delay=0.2:5,crash=7@40,seed=13", 2);
+      ("dead=3,dead=5,dead=11,seed=17", 1);
+    ]
+
+(* The fault harness end to end (tamper, hardened schemes, verdict):
+   [?shards] must not move the verdict or the recorded stream. *)
+let test_harness_shards () =
+  let g =
+    Netgraph.Gen.random_connected ~n:600 ~p:(4.0 /. 600.0) (Random.State.make [| 600 |])
+  in
+  let plan = Fault.Plan.of_string_exn "drop=0.1,advice-flip=4,seed=21" in
+  let reference = ref None in
+  List.iter
+    (fun shards ->
+      let o =
+        Fault.Harness.run ~scheduler:Sim.Scheduler.Synchronous ~plan ~retry:2 ~shards
+          Fault.Harness.Broadcast g ~source:0
+      in
+      let trace = jsonl o.Fault.Harness.events in
+      match !reference with
+      | None -> reference := Some (trace, o.Fault.Harness.verdict)
+      | Some (t0, v0) ->
+        let name = Printf.sprintf "harness/shards=%d" shards in
+        check_string (name ^ ": event bytes") t0 trace;
+        check_bool (name ^ ": verdict") true (v0 = o.Fault.Harness.verdict))
+    shard_counts
+
+(* Input validation and the environment fallback. *)
+let test_validation () =
+  let g = Netgraph.Gen.path 8 in
+  let advice _ = Bitstring.Bitbuf.create () in
+  Alcotest.check_raises "shards=0 rejected" (Invalid_argument "Shard.run: shards must be >= 1")
+    (fun () ->
+      ignore (Sim.Shard.run ~shards:0 ~advice g ~source:0 Sim.Scheme.flooding));
+  Alcotest.check_raises "min_parallel_batch=0 rejected"
+    (Invalid_argument "Shard.run: min_parallel_batch must be >= 1") (fun () ->
+      ignore
+        (Sim.Shard.run ~shards:2 ~min_parallel_batch:0 ~advice g ~source:0 Sim.Scheme.flooding))
+
+let suite =
+  [
+    Alcotest.test_case "protocol grid: shards 1/2/7 byte-identical" `Slow test_protocol_grid;
+    Alcotest.test_case "forced parallel phases bit-identical" `Slow test_forced_parallel_phases;
+    Alcotest.test_case "fault plans x shards byte-identical" `Slow test_fault_grid;
+    Alcotest.test_case "fault harness under shards" `Slow test_harness_shards;
+    Alcotest.test_case "shard count validation" `Quick test_validation;
+  ]
