@@ -122,12 +122,22 @@ let positive_float_conv what =
 
 let batch_conv =
   let parse s =
-    match int_of_string_opt (String.trim s) with
-    | Some b when b >= 1 -> Ok b
-    | Some b -> Error (`Msg (Printf.sprintf "batch size must be at least 1, got %d" b))
-    | None -> Error (`Msg (Printf.sprintf "invalid batch size %S (expected a positive integer)" s))
+    match String.trim s with
+    | "auto" -> Ok `Auto
+    | s -> (
+      match int_of_string_opt s with
+      | Some b when b >= 1 -> Ok (`Fixed b)
+      | Some b -> Error (`Msg (Printf.sprintf "batch size must be at least 1, got %d" b))
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "invalid batch size %S (expected a positive integer or 'auto')" s)))
   in
-  Arg.conv (parse, Format.pp_print_int)
+  let print fmt = function
+    | `Auto -> Format.pp_print_string fmt "auto"
+    | `Fixed b -> Format.pp_print_int fmt b
+  in
+  Arg.conv (parse, print)
 
 let port_conv =
   let parse s =
@@ -947,9 +957,42 @@ let sweep_cmd =
   let batch_arg =
     Arg.(
       value
-      & opt batch_conv Sim.Dispatch.default_batch
-      & info [ "batch" ] ~docv:"N"
-          ~doc:"Task indices per worker batch (work-stealing granularity).")
+      & opt batch_conv (`Fixed Sim.Dispatch.default_batch)
+      & info [ "batch" ] ~docv:"N|auto"
+          ~doc:
+            "Task indices per worker batch (work-stealing granularity), or $(b,auto) for \
+             throughput-adaptive sizing: each worker's next batch is sized from an EWMA of \
+             its observed task rate, clamped to [$(b,--batch-min), $(b,--batch-max)], and \
+             idle workers speculatively re-execute a straggler's in-flight tail \
+             (first-result-wins keeps output bytes identical to any fixed batch).")
+  in
+  let batch_min_arg =
+    Arg.(
+      value
+      & opt (count_conv "minimum batch size") Sim.Dispatch.default_min_batch
+      & info [ "batch-min" ] ~docv:"N"
+          ~doc:
+            "Lower clamp (and initial probe size) for $(b,--batch auto).  Must be at least \
+             1 and at most $(b,--batch-max).")
+  in
+  let batch_max_arg =
+    Arg.(
+      value
+      & opt (count_conv "maximum batch size") Sim.Dispatch.default_max_batch
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Upper clamp for $(b,--batch auto).")
+  in
+  let stats_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON scheduler report to $(docv) after the sweep: wall time, the \
+             lifecycle counters from the stats line, and a $(b,worker_stats) block with \
+             per-worker tasks, EWMA throughput, batches issued, and speculative wins.  \
+             Kept out of the row stream so the JSONL stays byte-identical across \
+             schedulers.")
   in
   let backoff_cap_arg =
     Arg.(
@@ -1011,11 +1054,28 @@ let sweep_cmd =
      as long as every point executed (2 on a bad spec or unusable
      journal, 1 if a point raised). *)
   let run grid out journal crash_after protect retry jobs workers chaos heartbeat_timeout
-      batch backoff_cap listen token expect_remote worker_logs =
+      batch batch_min batch_max stats_out backoff_cap listen token expect_remote worker_logs =
     if retry < 0 then begin
       Printf.eprintf "oraclesize: --retry must be non-negative\n";
       exit 2
     end;
+    (* Batch-clamp nonsense is a usage error on par with an unparsable
+       flag value: Cmdliner's cli_error exit code, before any worker is
+       spawned. *)
+    if batch_min < 1 then begin
+      Printf.eprintf "oraclesize sweep: --batch-min must be at least 1, got %d\n" batch_min;
+      exit 124
+    end;
+    if batch_min > batch_max then begin
+      Printf.eprintf "oraclesize sweep: --batch-min %d exceeds --batch-max %d\n" batch_min
+        batch_max;
+      exit 124
+    end;
+    let batching =
+      match batch with
+      | `Fixed n -> Sim.Dispatch.Fixed n
+      | `Auto -> Sim.Dispatch.Auto { min_batch = batch_min; max_batch = batch_max }
+    in
     if crash_after <> None && journal = None then begin
       Printf.eprintf "oraclesize sweep: --crash-after requires --journal\n";
       exit 2
@@ -1074,6 +1134,8 @@ let sweep_cmd =
     in
     let wall0 = Unix.gettimeofday () in
     let cpu0 = Sys.time () in
+    (* Captured before shutdown for --stats-out; None on the pool path. *)
+    let captured = ref None in
     let outcome =
       if workers = 0 && listen = None then pool_outcome ()
       else begin
@@ -1132,7 +1194,7 @@ let sweep_cmd =
           | exception e -> Error (Printexc.to_string e)
         in
         let d =
-          Sim.Dispatch.create ~workers ~batch ~heartbeat_timeout ~backoff_cap ~token
+          Sim.Dispatch.create ~workers ~batching ~heartbeat_timeout ~backoff_cap ~token
             ?listener ~expect_remote ?stderr_dir:worker_logs
             ~log:(fun m -> Printf.eprintf "sweep: %s\n%!" m)
             ~command ~context:ctx ~fallback ()
@@ -1155,18 +1217,91 @@ let sweep_cmd =
                   pts
               in
               let s = Sim.Dispatch.stats d in
+              let ws = Sim.Dispatch.worker_stats d in
+              captured := Some (s, ws);
               Printf.eprintf
                 "sweep: workers spawned=%d connected=%d died=%d auth-failures=%d \
-                 reassigned-batches=%d inline-tasks=%d\n"
+                 rate-limited=%d reassigned-batches=%d inline-tasks=%d\n"
                 s.Sim.Dispatch.spawned s.Sim.Dispatch.connected s.Sim.Dispatch.died
-                s.Sim.Dispatch.auth_failures s.Sim.Dispatch.reassigned
-                s.Sim.Dispatch.inline_tasks;
+                s.Sim.Dispatch.auth_failures s.Sim.Dispatch.rate_limited
+                s.Sim.Dispatch.reassigned s.Sim.Dispatch.inline_tasks;
+              List.iter
+                (fun (w : Sim.Dispatch.worker_stat) ->
+                  Printf.eprintf
+                    "sweep: worker %d: tasks=%d wins=%d rate=%.1f/s batches=%d \
+                     speculative=%d spec-wins=%d reported=%d\n"
+                    w.worker w.tasks w.wins w.rate w.batches w.speculative w.spec_wins
+                    w.reported)
+                ws;
               outcome
             end)
       end
     in
     let wall = Unix.gettimeofday () -. wall0 in
     let cpu = Sys.time () -. cpu0 in
+    (match stats_out with
+    | None -> ()
+    | Some file -> (
+      let s, ws =
+        match !captured with
+        | Some c -> c
+        | None ->
+          (* Pool path: no dispatch ran; emit a uniform report so
+             tooling can parse wall_seconds regardless of topology. *)
+          ( Sim.Dispatch.
+              {
+                spawned = 0;
+                spawn_failures = 0;
+                connected = 0;
+                auth_failures = 0;
+                rate_limited = 0;
+                died = 0;
+                reassigned = 0;
+                inline_tasks = 0;
+              },
+            [] )
+      in
+      let {
+        Sim.Dispatch.spawned;
+        spawn_failures = _;
+        connected;
+        auth_failures;
+        rate_limited;
+        died;
+        reassigned;
+        inline_tasks;
+      } =
+        s
+      in
+      let spec_batches =
+        List.fold_left (fun a (w : Sim.Dispatch.worker_stat) -> a + w.speculative) 0 ws
+      in
+      let spec_wins =
+        List.fold_left (fun a (w : Sim.Dispatch.worker_stat) -> a + w.spec_wins) 0 ws
+      in
+      let batch_json =
+        match batch with `Fixed n -> string_of_int n | `Auto -> "\"auto\""
+      in
+      let b = Buffer.create 1024 in
+      Printf.bprintf b
+        "{\"schema\":\"oracle-size/worker-stats/v1\",\"workers\":%d,\"batch\":%s,\"batch_min\":%d,\"batch_max\":%d,\"wall_seconds\":%.6f,\"cpu_seconds\":%.6f,\"spawned\":%d,\"connected\":%d,\"died\":%d,\"auth_failures\":%d,\"rate_limited\":%d,\"reassigned\":%d,\"inline_tasks\":%d,\"speculative_batches\":%d,\"speculative_wins\":%d,\"worker_stats\":["
+        workers batch_json batch_min batch_max wall cpu spawned connected died auth_failures
+        rate_limited reassigned inline_tasks spec_batches spec_wins;
+      List.iteri
+        (fun i (w : Sim.Dispatch.worker_stat) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b
+            "{\"worker\":%d,\"tasks\":%d,\"wins\":%d,\"ewma_tput\":%.3f,\"batches\":%d,\"speculative\":%d,\"spec_wins\":%d,\"reported\":%d}"
+            w.worker w.tasks w.wins w.rate w.batches w.speculative w.spec_wins w.reported)
+        ws;
+      Buffer.add_string b "]}\n";
+      try
+        let oc = open_out file in
+        Buffer.output_buffer oc b;
+        close_out oc
+      with Sys_error msg ->
+        Printf.eprintf "oraclesize sweep: cannot write --stats-out: %s\n" msg;
+        exit 2));
     match outcome with
     | Error msg ->
       Printf.eprintf "oraclesize sweep: %s\n" msg;
@@ -1213,7 +1348,8 @@ let sweep_cmd =
     Term.(
       const run $ grid_arg $ out_arg $ journal_out_arg $ crash_after_arg $ protect_arg
       $ retry_arg $ jobs_arg $ workers_arg $ chaos_arg $ heartbeat_timeout_arg $ batch_arg
-      $ backoff_cap_arg $ listen_arg $ token_arg $ expect_remote_arg $ worker_logs_arg)
+      $ batch_min_arg $ batch_max_arg $ stats_out_arg $ backoff_cap_arg $ listen_arg
+      $ token_arg $ expect_remote_arg $ worker_logs_arg)
 
 (* {1 journal} *)
 
@@ -1466,10 +1602,23 @@ let worker_main () =
   in
   match !connect with
   | None ->
+    (* Pipe mode threads the same network shim as TCP, so delay/slow/
+       trickle chaos directives degrade subprocess workers too — that
+       is what lets a single-host CI build a deterministic straggler
+       fleet out of --workers subprocesses. *)
+    let shim = Sim.Transport.Shim.create () in
+    let io =
+      Sim.Transport.shimmed shim (Sim.Transport.fd_io ~input:Unix.stdin ~output:Unix.stdout)
+    in
     exit
-      (Sim.Worker.serve ~id:!id ~auth:!token
-         ~chaos:(Fault.Chaos.hook !chaos ~worker:!id)
-         ~exec ~input:Unix.stdin ~output:Unix.stdout ())
+      (match
+         Sim.Worker.serve_io ~id:!id ~auth:!token
+           ~chaos:(Fault.Chaos.hook ~net:shim !chaos ~worker:!id)
+           ~exec io
+       with
+      | `Exit n -> n
+      | `Lost `Eof -> 0
+      | `Lost `Gone -> 1)
   | Some (host, port) ->
     (* TCP mode: connect, serve, and — because a condemned worker is
        merely disconnected, not killed — rejoin on connection loss.

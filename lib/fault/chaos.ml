@@ -26,7 +26,7 @@
    "seed=N" token for the garbage bytes.  Example:
    "partition:worker=0,after=2,for=1500;trickle:worker=1,after=0". *)
 
-type action = Kill | Hang | Garbage | Partition | Delay | Trickle
+type action = Kill | Hang | Garbage | Partition | Delay | Slow | Trickle
 
 type directive = { action : action; worker : int; after : int; arg : int }
 
@@ -42,6 +42,7 @@ let is_none t = t.directives = []
    link. *)
 let default_partition_ms = 3000
 let default_delay_ms = 25
+let default_slow_ms = 25
 
 let action_name = function
   | Kill -> "kill"
@@ -49,6 +50,7 @@ let action_name = function
   | Garbage -> "garbage"
   | Partition -> "partition"
   | Delay -> "delay"
+  | Slow -> "slow"
   | Trickle -> "trickle"
 
 let to_string t =
@@ -63,7 +65,7 @@ let to_string t =
           match d.action with
           | Kill | Hang | Garbage | Trickle -> base
           | Partition -> Printf.sprintf "%s,for=%d" base d.arg
-          | Delay -> Printf.sprintf "%s,ms=%d" base d.arg)
+          | Delay | Slow -> Printf.sprintf "%s,ms=%d" base d.arg)
         t.directives
     in
     let parts = if t.seed <> 0 then parts @ [ Printf.sprintf "seed=%d" t.seed ] else parts in
@@ -96,10 +98,11 @@ let of_string s =
         | "garbage" -> Ok Garbage
         | "partition" -> Ok Partition
         | "delay" -> Ok Delay
+        | "slow" -> Ok Slow
         | "trickle" -> Ok Trickle
         | _ ->
-          fail "chaos %S: unknown action %S (kill|hang|garbage|partition|delay|trickle)" tok
-            name
+          fail "chaos %S: unknown action %S (kill|hang|garbage|partition|delay|slow|trickle)"
+            tok name
       in
       let* worker, after, arg =
         List.fold_left
@@ -120,7 +123,7 @@ let of_string s =
               | "for" when action = Partition ->
                 let* ms = int_field tok v in
                 Ok (worker, after, Some ms)
-              | "ms" when action = Delay ->
+              | "ms" when action = Delay || action = Slow ->
                 let* ms = int_field tok v in
                 Ok (worker, after, Some ms)
               | _ -> fail "chaos %S: unknown key %S" tok key))
@@ -133,6 +136,7 @@ let of_string s =
           match (action, arg) with
           | Partition, None -> default_partition_ms
           | Delay, None -> default_delay_ms
+          | Slow, None -> default_slow_ms
           | _, None -> 0
           | _, Some ms -> ms
         in
@@ -199,6 +203,12 @@ let hook ?net t ~worker =
         | Delay ->
           (match net with
           | Some (s : Sim.Transport.Shim.state) -> s.delay_s <- float_of_int d.arg /. 1000.
+          | None -> ());
+          scan acc rest
+        | Slow ->
+          (* Sticky in the shim; the directive itself fires once. *)
+          (match net with
+          | Some (s : Sim.Transport.Shim.state) -> s.slow_s <- float_of_int d.arg /. 1000.
           | None -> ());
           scan acc rest
         | Trickle ->

@@ -16,11 +16,15 @@
     (default 3000) with the connection open — the supervisor must tell
     this dead-looking peer from a slow link by its heartbeat deadline,
     and over TCP a condemned worker rejoins afterwards; [delay] stalls
-    the worker's next write once by [ms=MS] (default 25); [trickle]
-    makes every subsequent write go out one byte at a time, exercising
-    the supervisor's frame reassembly.  [delay]/[trickle] act through
-    the {!Sim.Transport.Shim.state} passed to {!hook} as [?net]; on a
-    pipe worker (no shim) they are consumed without effect.
+    the worker's next write once by [ms=MS] (default 25); [slow] makes
+    {e every} subsequent write stall by [ms=MS] (default 25) — the
+    deterministic straggler the adaptive batch scheduler is measured
+    against; [trickle] makes every subsequent write go out one byte at
+    a time, exercising the supervisor's frame reassembly.
+    [delay]/[slow]/[trickle] act through the
+    {!Sim.Transport.Shim.state} passed to {!hook} as [?net]; without a
+    shim they are consumed without effect (both pipe and TCP workers
+    thread one in).
 
     Grammar: ';'-separated directives, each
     ["ACTION:worker=N,after=M[,for=MS|,ms=MS]"], plus an optional
@@ -28,7 +32,7 @@
     ["none"] or the empty string is the empty schedule.  Example:
     ["partition:worker=0,after=2,for=1500;trickle:worker=1,after=0"]. *)
 
-type action = Kill | Hang | Garbage | Partition | Delay | Trickle
+type action = Kill | Hang | Garbage | Partition | Delay | Slow | Trickle
 
 type directive = {
   action : action;
@@ -36,7 +40,7 @@ type directive = {
   after : int;  (** fire once that worker has completed this many tasks *)
   arg : int;
       (** action argument in milliseconds: partition duration ([for=]),
-          delay stall ([ms=]); [0] for actions without one *)
+          delay or slow stall ([ms=]); [0] for actions without one *)
 }
 
 type t = { directives : directive list; seed : int }

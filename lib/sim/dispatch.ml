@@ -2,10 +2,10 @@
 
    Dispatch owns a fleet of workers — subprocesses it spawned itself
    (pipes on their stdin/stdout) and, when given a Transport.listener,
-   remote processes that connected over TCP — hands them fixed-size
-   batches of task indices, and collects Result frames.  The failure
-   model is crash-stop with reassignment: a worker that EOFs, misses
-   its heartbeat deadline, announces the wrong wire version or a bad
+   remote processes that connected over TCP — hands them batches of
+   task indices, and collects Result frames.  The failure model is
+   crash-stop with reassignment: a worker that EOFs, misses its
+   heartbeat deadline, announces the wrong wire version or a bad
    authentication token, or sends one undecodable byte is condemned
    (local: SIGKILL + reap; remote: connection closed) and written off;
    whatever of its in-flight batch lacks results is requeued at the
@@ -19,24 +19,136 @@
    grace window, the remaining tasks run in-process through the
    caller's [fallback].
 
+   Scheduling: batches are carved on demand from a cursor over the
+   fresh indices.  Under [Fixed n] every carve is [n] indices — the
+   classic fixed-batch mode.  Under [Auto] the carve size is steered
+   per worker by an EWMA of its observed task throughput (result
+   arrivals, monotonic-clock timestamped), clamped to
+   [min_batch, max_batch]: fast workers absorb large batches, slow or
+   degraded ones small probes, so one straggling machine holds few
+   indices hostage at any instant.  When the queue runs dry with
+   batches still in flight, an idle worker speculatively re-executes
+   the slowest busy worker's outstanding indices (one copy per batch):
+   results are pure functions of indices and the first result per
+   index wins, so the duplicate is harmless and the tail no longer
+   waits on the straggler.
+
    Authentication: every announce hello carries a shared-secret token
    (--token; default empty).  A mismatch condemns the peer before any
    config or task frame is sent — an unauthenticated connection learns
    nothing about the sweep beyond the fact that something is listening.
+   Accepts are additionally rate-limited per peer address by a token
+   bucket, checked before the bounded-rejoin accept budget is touched,
+   so one misconfigured reconnect loop can neither burn the budget nor
+   starve other addresses.
 
    Determinism: results are pure functions of task indices and the
    supervisor records the first result it sees per index (duplicates
-   from a reassigned-then-drained batch carry identical bytes), so
-   worker count, local/remote mix, death and rejoin schedule, and
-   timing are all invisible in the value [run] returns.  Ordering is
-   the caller's business (Sweep.map_journaled_via appends and emits in
-   canonical order). *)
+   from a reassigned or speculated batch carry identical bytes), so
+   worker count, local/remote mix, batch sizing, speculation, death
+   and rejoin schedule, and timing are all invisible in the value
+   [run] returns.  Ordering is the caller's business
+   (Sweep.map_journaled_via appends and emits in canonical order). *)
+
+(* {1 Throughput accounting} *)
+
+(* Exponentially weighted moving average of an event rate observed at
+   irregular intervals.  The irregular-interval form weights each
+   observation by how much wall time it spans:
+     rate <- (1 - e^(-dt/tau)) * (k/dt)  +  e^(-dt/tau) * rate
+   so a burst of k results after a long silence moves the estimate by
+   the right amount regardless of how the burst was framed. *)
+module Ewma = struct
+  type t = {
+    tau : float;
+    mutable rate : float;
+    mutable last : float option;  (* timestamp of the last folded observation *)
+    mutable pending : int;  (* events seen at dt <= 0, folded into the next interval *)
+    mutable total : int;
+  }
+
+  let default_tau = 3.0
+
+  let create ?(tau = default_tau) () =
+    if tau <= 0. then invalid_arg "Ewma.create: tau <= 0";
+    { tau; rate = 0.; last = None; pending = 0; total = 0 }
+
+  (* Timestamps must be monotone for the decay math; events carried by
+     a non-advancing clock are held [pending] and credited to the next
+     real interval rather than dropped, so counts are conserved. *)
+  let observe t ~now ~tasks =
+    if tasks < 0 then invalid_arg "Ewma.observe: negative tasks";
+    t.total <- t.total + tasks;
+    match t.last with
+    | None ->
+      t.last <- Some now;
+      t.pending <- t.pending + tasks
+    | Some last ->
+      let dt = now -. last in
+      if dt <= 0. then t.pending <- t.pending + tasks
+      else begin
+        let k = float_of_int (tasks + t.pending) in
+        t.pending <- 0;
+        let decay = exp (-.dt /. t.tau) in
+        t.rate <- ((1. -. decay) *. (k /. dt)) +. (decay *. t.rate);
+        t.last <- Some now
+      end
+
+  let rate t = t.rate
+  let total t = t.total
+end
+
+type batching = Fixed of int | Auto of { min_batch : int; max_batch : int }
+
+let default_batch = 16
+let default_min_batch = 1
+let default_max_batch = 64
+
+(* How much work, in seconds at the worker's estimated rate, one
+   adaptive batch should hold.  Small enough that a newly slow worker
+   is re-probed quickly; large enough that a fast worker is not
+   throttled by per-batch round trips. *)
+let auto_horizon = 0.25
+
+let batch_for batching ~rate =
+  match batching with
+  | Fixed n -> n
+  | Auto { min_batch; max_batch } ->
+    if rate <= 0. then min_batch  (* no estimate yet: probe small *)
+    else max min_batch (min max_batch (int_of_float (ceil (rate *. auto_horizon))))
+
+(* Per-worker-id accounting.  Keyed by announced worker id, not
+   connection, so a remote worker that is condemned and rejoins
+   inherits its own history (throughput estimate, failure streak). *)
+type acct = {
+  ewma : Ewma.t;
+  mutable results : int;  (* Result frames received *)
+  mutable wins : int;  (* results that were first for their index *)
+  mutable spec_wins : int;  (* wins delivered by a speculative copy *)
+  mutable batches : int;  (* batches assigned *)
+  mutable speculative : int;  (* of which speculative copies *)
+  mutable reported : int;  (* latest heartbeat completed-task counter *)
+  mutable streak : int;  (* consecutive condemnations since the last completed batch *)
+}
+
+type worker_stat = {
+  worker : int;
+  tasks : int;
+  wins : int;
+  rate : float;
+  batches : int;
+  speculative : int;
+  spec_wins : int;
+  reported : int;
+}
 
 type batch = {
   seq : int;
   indices : int array;
   attempt : int;  (* prior failed assignments of (a superset of) these indices *)
   not_before : float;  (* backoff release time; 0. for fresh batches *)
+  speculative : bool;  (* a duplicate of another worker's in-flight batch *)
+  mutable speculated : bool;  (* a speculative copy of this batch exists (or it is one) *)
 }
 
 type wstate =
@@ -62,21 +174,29 @@ type stats = {
   mutable spawn_failures : int;
   mutable connected : int;  (* remote connections accepted *)
   mutable auth_failures : int;  (* peers condemned for a bad token *)
+  mutable rate_limited : int;  (* connections closed by the per-address token bucket *)
   mutable died : int;
   mutable reassigned : int;  (* batches requeued after a death *)
   mutable inline_tasks : int;  (* tasks run through [fallback] *)
 }
 
+type bucket = { mutable tokens : float; mutable stamp : float }
+
 type t = {
   context : Journal.context;
-  batch_size : int;
+  batching : batching;
   heartbeat_timeout : float;
   backoff_base : float;
   backoff_cap : float;
   token : string;
   listener : Transport.listener option;
   expect_remote : int;
+  accept_rate : float;  (* token-bucket refill, accepts per second per address *)
+  accept_burst : float;  (* token-bucket capacity per address *)
+  buckets : (string, bucket) Hashtbl.t;
   fallback : int -> (Journal.entry, string) result;
+  accounts : (int, acct) Hashtbl.t;  (* keyed by worker id *)
+  mutable mono : float;  (* monotonic clamp over gettimeofday, for EWMA stamps *)
   mutable accepts_left : int;  (* bounded rejoin: remaining accept budget *)
   mutable remote_seen : int;
       (* remote peers that completed (or failed) their first handshake —
@@ -100,15 +220,42 @@ type t = {
   log : string -> unit;
 }
 
-let default_batch = 16
 let default_heartbeat_timeout = 10.
 let default_backoff_cap = 1.0
 let default_max_rejoin = 16
+let default_accept_rate = 4.0
+let default_accept_burst = 32
 let backoff_base = 0.05
 
-let backoff t ~attempt =
-  if attempt < 1 then 0.
-  else min t.backoff_cap (t.backoff_base *. (2. ** float_of_int (attempt - 1)))
+let backoff_delay ~base ~cap ~attempt =
+  if attempt < 1 then 0. else min cap (base *. (2. ** float_of_int (attempt - 1)))
+
+let backoff t ~attempt = backoff_delay ~base:t.backoff_base ~cap:t.backoff_cap ~attempt
+
+(* Clamped-monotone view of the wall clock: never goes backwards even
+   if gettimeofday does (NTP step), so EWMA intervals stay sane. *)
+let mono t now =
+  if now > t.mono then t.mono <- now;
+  t.mono
+
+let acct_for t wid =
+  match Hashtbl.find_opt t.accounts wid with
+  | Some a -> a
+  | None ->
+    let a =
+      {
+        ewma = Ewma.create ();
+        results = 0;
+        wins = 0;
+        spec_wins = 0;
+        batches = 0;
+        speculative = 0;
+        reported = 0;
+        streak = 0;
+      }
+    in
+    Hashtbl.add t.accounts wid a;
+    a
 
 let stats t =
   (* flat copy so callers can't mutate the live counters *)
@@ -118,10 +265,28 @@ let stats t =
     spawn_failures = s.spawn_failures;
     connected = s.connected;
     auth_failures = s.auth_failures;
+    rate_limited = s.rate_limited;
     died = s.died;
     reassigned = s.reassigned;
     inline_tasks = s.inline_tasks;
   }
+
+let worker_stats t =
+  Hashtbl.fold
+    (fun wid (a : acct) acc ->
+      {
+        worker = wid;
+        tasks = a.results;
+        wins = a.wins;
+        rate = Ewma.rate a.ewma;
+        batches = a.batches;
+        speculative = a.speculative;
+        spec_wins = a.spec_wins;
+        reported = a.reported;
+      }
+      :: acc)
+    t.accounts []
+  |> List.sort (fun a b -> compare a.worker b.worker)
 
 let live_workers t = List.length t.live
 
@@ -186,16 +351,23 @@ let spawn ~command ~stderr_dir ~log wid =
     log (Printf.sprintf "worker %d: spawn failed: %s" wid (Printexc.to_string e));
     None
 
-let create ~workers ?(batch = default_batch) ?(heartbeat_timeout = default_heartbeat_timeout)
-    ?(backoff_cap = default_backoff_cap) ?(token = "") ?listener ?(expect_remote = 0)
-    ?(max_rejoin = default_max_rejoin) ?join_grace ?stderr_dir ?(log = fun _ -> ()) ~command
-    ~context ~fallback () =
+let create ~workers ?(batching = Fixed default_batch)
+    ?(heartbeat_timeout = default_heartbeat_timeout) ?(backoff_cap = default_backoff_cap)
+    ?(token = "") ?listener ?(expect_remote = 0) ?(max_rejoin = default_max_rejoin)
+    ?(accept_rate = default_accept_rate) ?(accept_burst = default_accept_burst) ?join_grace
+    ?stderr_dir ?(log = fun _ -> ()) ~command ~context ~fallback () =
   if workers < 0 then invalid_arg "Dispatch.create: negative workers";
-  if batch < 1 then invalid_arg "Dispatch.create: batch < 1";
+  (match batching with
+  | Fixed n -> if n < 1 then invalid_arg "Dispatch.create: batch < 1"
+  | Auto { min_batch; max_batch } ->
+    if min_batch < 1 then invalid_arg "Dispatch.create: min_batch < 1";
+    if max_batch < min_batch then invalid_arg "Dispatch.create: max_batch < min_batch");
   if heartbeat_timeout <= 0. then invalid_arg "Dispatch.create: heartbeat_timeout <= 0";
   if backoff_cap <= 0. then invalid_arg "Dispatch.create: backoff_cap <= 0";
   if expect_remote < 0 then invalid_arg "Dispatch.create: negative expect_remote";
   if max_rejoin < 0 then invalid_arg "Dispatch.create: negative max_rejoin";
+  if accept_rate <= 0. then invalid_arg "Dispatch.create: accept_rate <= 0";
+  if accept_burst < 1 then invalid_arg "Dispatch.create: accept_burst < 1";
   if expect_remote > 0 && listener = None then
     invalid_arg "Dispatch.create: expect_remote without a listener";
   if String.length token > Worker.max_auth_bytes then
@@ -208,6 +380,7 @@ let create ~workers ?(batch = default_batch) ?(heartbeat_timeout = default_heart
       spawn_failures = 0;
       connected = 0;
       auth_failures = 0;
+      rate_limited = 0;
       died = 0;
       reassigned = 0;
       inline_tasks = 0;
@@ -236,14 +409,19 @@ let create ~workers ?(batch = default_batch) ?(heartbeat_timeout = default_heart
   let now = Unix.gettimeofday () in
   {
     context;
-    batch_size = batch;
+    batching;
     heartbeat_timeout;
     backoff_base;
     backoff_cap;
     token;
     listener;
     expect_remote;
+    accept_rate;
+    accept_burst = float_of_int accept_burst;
+    buckets = Hashtbl.create 8;
     fallback;
+    accounts = Hashtbl.create 8;
+    mono = now;
     accepts_left = (match listener with None -> 0 | Some _ -> expect_remote + max_rejoin);
     remote_seen = 0;
     barrier_deadline = (if expect_remote > 0 then now +. join_grace else now);
@@ -282,7 +460,15 @@ let reap pid =
 (* Mark [w] dead: sever it (kill + reap for children, close for
    remotes), drop it from the live list, and requeue whatever of its
    batch still lacks a result.  A severed remote may reconnect later —
-   as a brand-new peer drawing on the accept budget. *)
+   as a brand-new peer drawing on the accept budget.
+
+   The requeue backoff is keyed to the dead worker's consecutive-
+   failure streak, not to the batch lineage alone: a worker that has
+   completed a batch since its last condemnation starts over at the
+   base delay, so one early crash does not permanently tax a recovered
+   (rejoined) worker with the capped backoff, while a worker that dies
+   again and again — same wid, rejoining in a loop — still backs off
+   exponentially. *)
 let bury t ~requeue ~now ~results w reason =
   t.log (Printf.sprintf "%s dead: %s" (describe w) reason);
   t.stats.died <- t.stats.died + 1;
@@ -305,20 +491,68 @@ let bury t ~requeue ~now ~results w reason =
      window for a reconnection. *)
   if t.live = [] && t.listener <> None && not t.degraded then
     t.rejoin_deadline <- Float.max t.rejoin_deadline (now +. t.heartbeat_timeout);
+  let streak =
+    if w.wid >= 0 then begin
+      let a = acct_for t w.wid in
+      a.streak <- a.streak + 1;
+      a.streak
+    end
+    else 0
+  in
   match w.state with
   | Awaiting_hello | Ready -> ()
   | Busy { batch = b; outstanding = _ } ->
-    let undone = Array.of_list (List.filter (fun i -> not (Hashtbl.mem results i)) (Array.to_list b.indices)) in
-    if Array.length undone > 0 then begin
-      let attempt = b.attempt + 1 in
-      t.stats.reassigned <- t.stats.reassigned + 1;
-      requeue
-        { seq = b.seq; indices = undone; attempt; not_before = now +. backoff t ~attempt }
+    if not b.speculative then begin
+      (* A speculative copy's indices are still covered by the original
+         batch (or its requeue), so the copy itself is never requeued. *)
+      let undone =
+        Array.of_list (List.filter (fun i -> not (Hashtbl.mem results i)) (Array.to_list b.indices))
+      in
+      if Array.length undone > 0 then begin
+        let attempt = b.attempt + 1 in
+        let delay = backoff t ~attempt:(if streak > 0 then streak else attempt) in
+        t.stats.reassigned <- t.stats.reassigned + 1;
+        requeue
+          {
+            seq = b.seq;
+            indices = undone;
+            attempt;
+            not_before = now +. delay;
+            speculative = false;
+            speculated = false;
+          }
+      end
     end
+
+(* Per-address token bucket, consulted before any byte is read from a
+   new connection and before the accept budget is decremented. *)
+let rate_limit_ok t ~now addr =
+  let ip =
+    match String.rindex_opt addr ':' with Some i -> String.sub addr 0 i | None -> addr
+  in
+  let b =
+    match Hashtbl.find_opt t.buckets ip with
+    | Some b -> b
+    | None ->
+      let b = { tokens = t.accept_burst; stamp = now } in
+      Hashtbl.add t.buckets ip b;
+      b
+  in
+  if now > b.stamp then begin
+    b.tokens <- Float.min t.accept_burst (b.tokens +. ((now -. b.stamp) *. t.accept_rate));
+    b.stamp <- now
+  end;
+  if b.tokens >= 1. then begin
+    b.tokens <- b.tokens -. 1.;
+    true
+  end
+  else false
 
 (* Drain the listener's pending connections into Awaiting_hello peers.
    The accept budget bounds rejoin: a flapping or adversarial peer
-   cannot make the supervisor accept forever. *)
+   cannot make the supervisor accept forever.  The per-address rate
+   limit runs first: an over-limit connection is closed before any
+   byte is read and does not touch the accept budget. *)
 let accept_pending t ~now =
   match t.listener with
   | None -> ()
@@ -327,7 +561,13 @@ let accept_pending t ~now =
       match Transport.accept l with
       | None -> ()
       | Some (fd, addr) ->
-        if t.accepts_left <= 0 then begin
+        if not (rate_limit_ok t ~now:(mono t now) addr) then begin
+          t.stats.rate_limited <- t.stats.rate_limited + 1;
+          t.log (Printf.sprintf "refusing connection from %s: over per-address rate limit" addr);
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          go ()
+        end
+        else if t.accepts_left <= 0 then begin
           t.log (Printf.sprintf "refusing connection from %s: accept budget exhausted" addr);
           (try Unix.close fd with Unix.Unix_error _ -> ());
           go ()
@@ -371,11 +611,31 @@ let run t indices =
     t.stats.inline_tasks <- t.stats.inline_tasks + 1;
     record i (t.fallback i)
   in
-  (* Work queue: fresh batches in canonical order at the back,
-     reassigned batches at the front. *)
-  let front = ref [] and back = ref [] in
+  (* Work queue: requeued batches at the front; fresh work is carved on
+     demand from a cursor so the carve size can adapt per assignment.
+     Under Fixed the carves replay the classic pre-chunked schedule
+     exactly (same seqs, same contents, same order). *)
+  let front = ref [] in
   let requeue b = front := b :: !front in
-  let pop_released now =
+  let cursor = ref 0 in
+  let fresh_left () = n - !cursor in
+  let carve size =
+    let size = max 1 (min size (fresh_left ())) in
+    let b =
+      {
+        seq = t.next_seq;
+        indices = Array.sub indices !cursor size;
+        attempt = 0;
+        not_before = 0.;
+        speculative = false;
+        speculated = false;
+      }
+    in
+    t.next_seq <- t.next_seq + 1;
+    cursor := !cursor + size;
+    b
+  in
+  let pop_released now ~size =
     let rec pick acc = function
       | [] -> (None, List.rev acc)
       | b :: rest when b.not_before <= now -> (Some b, List.rev_append acc rest)
@@ -385,33 +645,12 @@ let run t indices =
     | Some b, rest ->
       front := rest;
       Some b
-    | None, _ -> (
-      match pick [] !back with
-      | Some b, rest ->
-        back := rest;
-        Some b
-      | None, _ -> None)
+    | None, _ -> if fresh_left () > 0 then Some (carve size) else None
   in
-  let queued () = List.length !front + List.length !back in
+  let queued () = List.length !front in
   let earliest_release () =
-    List.fold_left (fun acc b -> min acc b.not_before) infinity (!front @ !back)
+    List.fold_left (fun acc b -> min acc b.not_before) infinity !front
   in
-  let i = ref 0 in
-  while !i < n do
-    let stop = min n (!i + t.batch_size) in
-    back :=
-      !back
-      @ [
-          {
-            seq = t.next_seq;
-            indices = Array.sub indices !i (stop - !i);
-            attempt = 0;
-            not_before = 0.;
-          };
-        ];
-    t.next_seq <- t.next_seq + 1;
-    i := stop
-  done;
   let done_ () = Hashtbl.length results >= Hashtbl.length wanted in
   (* One decoded message from worker [w].  Any protocol surprise is a
      death sentence (crash-stop) — and authentication is checked here,
@@ -432,6 +671,9 @@ let run t indices =
           | Awaiting_hello ->
             w.wid <- wid;
             w.state <- Ready;
+            (* Stamp the throughput epoch so the first result measures
+               a real interval. *)
+            Ewma.observe (acct_for t wid).ewma ~now:(mono t now) ~tasks:0;
             (match w.peer with
             | Remote addr ->
               t.remote_seen <- t.remote_seen + 1;
@@ -442,16 +684,37 @@ let run t indices =
           Ok ()
         | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
           Error "EPIPE sending config")
-    | Worker.Heartbeat _ ->
+    | Worker.Heartbeat { worker = _; count } ->
+      if w.wid >= 0 then begin
+        let a = acct_for t w.wid in
+        if count > a.reported then a.reported <- count
+      end;
       w.deadline <- now +. t.heartbeat_timeout;
       Ok ()
     | Worker.Result { index; result } ->
+      let fresh = Hashtbl.mem wanted index && not (Hashtbl.mem results index) in
       record index result;
       w.deadline <- now +. t.heartbeat_timeout;
+      if w.wid >= 0 then begin
+        let a = acct_for t w.wid in
+        a.results <- a.results + 1;
+        Ewma.observe a.ewma ~now:(mono t now) ~tasks:1;
+        if fresh then begin
+          a.wins <- a.wins + 1;
+          match w.state with
+          | Busy { batch; outstanding } when batch.speculative && Hashtbl.mem outstanding index
+            ->
+            a.spec_wins <- a.spec_wins + 1
+          | _ -> ()
+        end
+      end;
       (match w.state with
       | Busy { batch = _; outstanding } when Hashtbl.mem outstanding index ->
         Hashtbl.remove outstanding index;
         if Hashtbl.length outstanding = 0 then begin
+          (* A completed batch clears the worker's failure streak — the
+             next condemnation backs off from the base again. *)
+          if w.wid >= 0 then (acct_for t w.wid).streak <- 0;
           w.state <- Ready;
           w.deadline <- infinity
         end
@@ -508,31 +771,98 @@ let run t indices =
       in
       t.handshook <- locals_announced && remotes_ok
     end;
-    (* Assign released work to idle workers (lowest id first). *)
+    let rate_of w = if w.wid >= 0 then Ewma.rate (acct_for t w.wid).ewma else 0. in
+    let note_assignment w b =
+      if w.wid >= 0 then begin
+        let a = acct_for t w.wid in
+        a.batches <- a.batches + 1;
+        if b.speculative then a.speculative <- a.speculative + 1
+      end
+    in
+    (* Tail-end speculation (Auto mode only): with the queue dry but
+       batches still in flight, hand the slowest busy worker's
+       outstanding indices to idle worker [w].  First-result-wins makes
+       the duplicate harmless; one copy per batch bounds the waste. *)
+    let speculate w =
+      match t.batching with
+      | Fixed _ -> false
+      | Auto _ -> (
+        let victims =
+          List.filter_map
+            (fun v ->
+              match v.state with
+              | Busy { batch; outstanding }
+                when (not batch.speculated) && Hashtbl.length outstanding > 0 && v.uid <> w.uid
+                ->
+                Some (v, batch, outstanding)
+              | _ -> None)
+            t.live
+        in
+        match victims with
+        | [] -> false
+        | first :: rest ->
+          let slowest =
+            List.fold_left
+              (fun ((bv, _, _) as best) ((cv, _, _) as cand) ->
+                if (rate_of cv, cv.wid) < (rate_of bv, bv.wid) then cand else best)
+              first rest
+          in
+          let v, vb, outs = slowest in
+          let idx = List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) outs []) in
+          let b =
+            {
+              seq = t.next_seq;
+              indices = Array.of_list idx;
+              attempt = vb.attempt;
+              not_before = 0.;
+              speculative = true;
+              speculated = true;
+            }
+          in
+          t.next_seq <- t.next_seq + 1;
+          match send_msg w (Worker.Task_batch { seq = b.seq; indices = b.indices }) with
+          | () ->
+            vb.speculated <- true;
+            w.state <- Busy { batch = b; outstanding = Hashtbl.copy outs };
+            w.deadline <- now +. t.heartbeat_timeout;
+            note_assignment w b;
+            t.log
+              (Printf.sprintf "%s speculating on %s's batch %d (%d tasks)" (describe w)
+                 (describe v) vb.seq (Array.length b.indices));
+            true
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
+            bury t ~requeue ~now ~results w "EPIPE on task send";
+            true)
+    in
+    (* Assign released work to idle workers (lowest id first); batch
+       size follows the worker's throughput estimate under Auto. *)
     let rec assign () =
       if not t.handshook then ()
       else
         match List.find_opt (fun w -> w.state = Ready) t.live with
-      | None -> ()
-      | Some w -> (
-        match pop_released now with
         | None -> ()
-        | Some b -> (
-          let outstanding = Hashtbl.create (Array.length b.indices) in
-          Array.iter
-            (fun i -> if not (Hashtbl.mem results i) then Hashtbl.replace outstanding i ())
-            b.indices;
-          if Hashtbl.length outstanding = 0 then assign ()
-          else
-            match send_msg w (Worker.Task_batch { seq = b.seq; indices = b.indices }) with
-            | () ->
-              w.state <- Busy { batch = b; outstanding };
-              w.deadline <- now +. t.heartbeat_timeout;
-              assign ()
-            | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _) ->
-              bury t ~requeue ~now ~results w "EPIPE on task send";
-              requeue b;
-              assign ()))
+        | Some w -> (
+          let size = batch_for t.batching ~rate:(rate_of w) in
+          match pop_released now ~size with
+          | None -> if speculate w then assign ()
+          | Some b -> (
+            let outstanding = Hashtbl.create (Array.length b.indices) in
+            Array.iter
+              (fun i -> if not (Hashtbl.mem results i) then Hashtbl.replace outstanding i ())
+              b.indices;
+            if Hashtbl.length outstanding = 0 then assign ()
+            else
+              match send_msg w (Worker.Task_batch { seq = b.seq; indices = b.indices }) with
+              | () ->
+                w.state <- Busy { batch = b; outstanding };
+                w.deadline <- now +. t.heartbeat_timeout;
+                note_assignment w b;
+                assign ()
+              | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF | Unix.ECONNRESET), _, _)
+                ->
+                bury t ~requeue ~now ~results w "EPIPE on task send";
+                requeue b;
+                assign ()))
     in
     assign ();
     if t.live = [] && not (may_wait_for_peers now) then begin

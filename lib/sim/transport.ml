@@ -57,8 +57,11 @@ let socket_io fd = fd_io ~input:fd ~output:fd
 
    The shim sits between the codec and the socket on the *worker* side
    and degrades writes only: a one-shot pre-write stall (a slow link
-   that recovers) and a sticky byte-by-byte trickle (a pathological
-   link that never batches).  Reads are left alone — the interesting
+   that recovers), a sticky per-write stall (a persistently degraded
+   machine — the deterministic straggler the adaptive scheduler is
+   measured against), and a sticky byte-by-byte trickle (a
+   pathological link that never batches).  Reads are left alone — the
+   interesting
    reassembly happens at the supervisor, which must cope with whatever
    boundaries the trickled writes produce.  Content is never altered:
    a shimmed stream delivers exactly the bytes written to it, which is
@@ -66,9 +69,9 @@ let socket_io fd = fd_io ~input:fd ~output:fd
    construction. *)
 
 module Shim = struct
-  type state = { mutable delay_s : float; mutable trickle : bool }
+  type state = { mutable delay_s : float; mutable slow_s : float; mutable trickle : bool }
 
-  let create () = { delay_s = 0.; trickle = false }
+  let create () = { delay_s = 0.; slow_s = 0.; trickle = false }
 end
 
 let shimmed (s : Shim.state) io =
@@ -80,6 +83,8 @@ let shimmed (s : Shim.state) io =
       s.delay_s <- 0.;
       Unix.sleepf d
     end;
+    (* Sticky: a slow directive taxes every write from then on. *)
+    if s.slow_s > 0. then Unix.sleepf s.slow_s;
     if s.trickle then String.iter (fun c -> io.write (String.make 1 c)) data
     else io.write data
   in

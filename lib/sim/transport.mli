@@ -36,13 +36,18 @@ val socket_io : Unix.file_descr -> io
 (** [fd_io] with both directions on one socket. *)
 
 (** Deterministic network-fault state, mutated by
-    {!Fault.Chaos.hook}'s [delay]/[trickle] directives and consumed by
-    {!shimmed}. *)
+    {!Fault.Chaos.hook}'s [delay]/[slow]/[trickle] directives and
+    consumed by {!shimmed}. *)
 module Shim : sig
   type state = {
     mutable delay_s : float;
         (** One-shot pre-write stall in seconds; reset to [0.] once
             served.  Models a slow link that recovers. *)
+    mutable slow_s : float;
+        (** Sticky: every subsequent write stalls this long first.
+            Models a persistently degraded machine or link — the
+            deterministic straggler the adaptive scheduler is measured
+            against. *)
     mutable trickle : bool;
         (** Sticky: every subsequent write goes out one byte at a
             time, exercising the receiver's frame reassembly. *)

@@ -239,6 +239,7 @@ let test_chaos_spec_roundtrip () =
       "garbage:worker=1,after=3;seed=7";
       "partition:worker=0,after=2,for=1500";
       "delay:worker=0,after=1,ms=50";
+      "slow:worker=1,after=0,ms=40";
       "trickle:worker=1,after=0";
       "partition:worker=0,after=2,for=3000;trickle:worker=1,after=0;kill:worker=2,after=4";
       "none";
@@ -248,6 +249,8 @@ let test_chaos_spec_roundtrip () =
     (Chaos.to_string (Chaos.of_string_exn "partition:worker=1,after=0"));
   check_string "delay defaults ms=25" "delay:worker=1,after=0,ms=25"
     (Chaos.to_string (Chaos.of_string_exn "delay:worker=1,after=0"));
+  check_string "slow defaults ms=25" "slow:worker=1,after=0,ms=25"
+    (Chaos.to_string (Chaos.of_string_exn "slow:worker=1,after=0"));
   List.iter
     (fun spec ->
       match Chaos.of_string spec with
@@ -261,6 +264,7 @@ let test_chaos_spec_roundtrip () =
       "kill worker=1";
       "kill:worker=1,after=2,for=500";
       "delay:worker=0,after=1,for=5";
+      "slow:worker=0,after=1,for=5";
       "partition:worker=0,after=1,ms=5";
       "trickle:worker=1,after=0,ms=9";
       "partition:worker=0,after=1,for=-5";
